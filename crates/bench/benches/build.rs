@@ -1,0 +1,34 @@
+//! Construction benchmarks: synthetic generation, label indexing, schema
+//! building — the fixed costs the schema-driven approach pays up front.
+
+use approxql_cost::CostModel;
+use approxql_gen::{DataGenConfig, DataGenerator};
+use approxql_index::LabelIndex;
+use approxql_schema::Schema;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn cfg() -> DataGenConfig {
+    // 1/100 of the paper scale.
+    DataGenConfig::paper_scale_divided(100)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let costs = CostModel::new();
+    let mut group = c.benchmark_group("build_10k_elements");
+    group.sample_size(10);
+    group.bench_function("generate_tree", |b| {
+        b.iter(|| DataGenerator::new(cfg()).generate_tree(&costs))
+    });
+    let tree = DataGenerator::new(cfg()).generate_tree(&costs);
+    group.bench_function("label_index", |b| b.iter(|| LabelIndex::build(&tree)));
+    group.bench_function("schema", |b| b.iter(|| Schema::build(&tree, &costs)));
+    group.bench_function("tree_serialize", |b| b.iter(|| tree.to_bytes()));
+    let bytes = tree.to_bytes();
+    group.bench_function("tree_deserialize", |b| {
+        b.iter(|| approxql_tree::DataTree::from_bytes(&bytes).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

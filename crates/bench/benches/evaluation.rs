@@ -1,0 +1,97 @@
+//! End-to-end evaluation benchmarks: direct vs. schema-driven best-n on a
+//! generated collection (a criterion-sized slice of Figure 7), plus the
+//! dynamic-programming ablation (memoization on/off).
+
+use approxql_bench::{build_collection, make_queries, PATTERNS};
+use approxql_core::direct;
+use approxql_core::schema_eval::{self, SchemaEvalConfig};
+use approxql_core::EvalOptions;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_direct_vs_schema(c: &mut Criterion) {
+    // 1/100 of the paper scale: 10,000 elements, 100,000 words.
+    let col = build_collection(100, 5);
+    let mut group = c.benchmark_group("best10");
+    group.sample_size(20);
+    for (idx, (name, pattern)) in PATTERNS.iter().enumerate() {
+        let queries = make_queries(&col, pattern, 5, 3, 17 + idx as u64);
+        group.bench_with_input(BenchmarkId::new("direct", name), &queries, |b, qs| {
+            b.iter(|| {
+                for (_, ex) in qs {
+                    let _ = direct::best_n(
+                        ex,
+                        &col.labels,
+                        col.tree.interner(),
+                        Some(10),
+                        EvalOptions::default(),
+                    );
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("schema", name), &queries, |b, qs| {
+            b.iter(|| {
+                for (_, ex) in qs {
+                    let _ = schema_eval::best_n_schema(
+                        ex,
+                        &col.schema,
+                        col.tree.interner(),
+                        10,
+                        EvalOptions::default(),
+                        SchemaEvalConfig::default(),
+                    );
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_memo_ablation(c: &mut Criterion) {
+    let col = build_collection(100, 5);
+    let queries = make_queries(&col, PATTERNS[2].1, 5, 3, 23);
+    let mut group = c.benchmark_group("memo_ablation");
+    group.sample_size(20);
+    for (label, use_memo) in [("memo_on", true), ("memo_off", false)] {
+        let opts = EvalOptions {
+            use_memo,
+            ..EvalOptions::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                for (_, ex) in &queries {
+                    let _ = direct::best_n(ex, &col.labels, col.tree.interner(), None, opts);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_join_ablation_end_to_end(c: &mut Criterion) {
+    let col = build_collection(100, 5);
+    let queries = make_queries(&col, PATTERNS[1].1, 10, 3, 29);
+    let mut group = c.benchmark_group("join_ablation");
+    group.sample_size(20);
+    for (label, use_paper_joins) in [("fold_on_pop", false), ("paper_rescan", true)] {
+        let opts = EvalOptions {
+            use_paper_joins,
+            ..EvalOptions::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                for (_, ex) in &queries {
+                    let _ = direct::best_n(ex, &col.labels, col.tree.interner(), None, opts);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_direct_vs_schema,
+    bench_memo_ablation,
+    bench_join_ablation_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,499 @@
+//! Command implementations for the `approxql` binary.
+
+use approxql_core::schema_eval::SchemaEvalConfig;
+use approxql_core::{Database, DatabaseError, EvalOptions, QueryHit};
+use approxql_cost::{parse_cost_file, CostModel};
+use approxql_gen::{DataGenConfig, DataGenerator};
+use approxql_xml::Document;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage:
+  approxql build   <out.axql> <doc.xml>... [--costs FILE]
+      parse XML documents into a persistent approXQL database
+
+  approxql query   <db.axql> <QUERY> [-n N] [--direct|--schema]
+                   [--costs FILE] [--xml] [--stats]
+      run an approximate query; results are ranked by transformation cost
+
+  approxql stats   <db.axql>
+      print collection, index, and schema statistics
+
+  approxql explain <db.axql> <QUERY> [--costs FILE] [-k K]
+      show the expanded representation and the best K second-level queries
+
+  approxql gen     <out-dir> [--elements N] [--names N] [--terms N]
+                   [--words N] [--seed S] [--docs N]
+      write a synthetic XML collection (Section 8.1 workload)";
+
+/// Errors surfaced to `main`.
+#[derive(Debug)]
+pub enum CliError {
+    /// Command-line usage problem (prints usage).
+    Usage(String),
+    /// I/O failure.
+    Io(std::io::Error),
+    /// Library failure.
+    Db(DatabaseError),
+    /// Cost-file parse failure.
+    Costs(approxql_cost::CostFileError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Io(e) => write!(f, "{e}"),
+            CliError::Db(e) => write!(f, "{e}"),
+            CliError::Costs(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<DatabaseError> for CliError {
+    fn from(e: DatabaseError) -> Self {
+        CliError::Db(e)
+    }
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+/// Parsed flags: positional arguments plus `--key value` / `-k value`
+/// options and bare `--switches`.
+struct Flags {
+    positional: Vec<String>,
+    options: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+const VALUE_OPTIONS: &[&str] = &[
+    "-n", "-k", "--costs", "--elements", "--names", "--terms", "--words", "--seed", "--docs",
+];
+
+fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
+    let mut flags = Flags {
+        positional: Vec::new(),
+        options: Vec::new(),
+        switches: Vec::new(),
+    };
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if VALUE_OPTIONS.contains(&a.as_str()) {
+            let v = it
+                .next()
+                .ok_or_else(|| usage(format!("option {a} needs a value")))?;
+            flags.options.push((a.clone(), v.clone()));
+        } else if a.starts_with('-') && a.len() > 1 {
+            flags.switches.push(a.clone());
+        } else {
+            flags.positional.push(a.clone());
+        }
+    }
+    Ok(flags)
+}
+
+impl Flags {
+    fn option(&self, name: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn option_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, CliError> {
+        match self.option(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| usage(format!("invalid value `{v}` for {name}"))),
+        }
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn load_costs(flags: &Flags) -> Result<CostModel, CliError> {
+    match flags.option("--costs") {
+        None => Ok(CostModel::new()),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)?;
+            parse_cost_file(&text).map_err(CliError::Costs)
+        }
+    }
+}
+
+/// Entry point: dispatches on the subcommand.
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let (cmd, rest) = args
+        .split_first()
+        .ok_or_else(|| usage("missing subcommand"))?;
+    let flags = parse_flags(rest)?;
+    match cmd.as_str() {
+        "build" => cmd_build(&flags),
+        "query" => cmd_query(&flags),
+        "stats" => cmd_stats(&flags),
+        "explain" => cmd_explain(&flags),
+        "gen" => cmd_gen(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(usage(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+fn cmd_build(flags: &Flags) -> Result<(), CliError> {
+    let [out, docs @ ..] = flags.positional.as_slice() else {
+        return Err(usage("build needs an output path and at least one document"));
+    };
+    if docs.is_empty() {
+        return Err(usage("build needs at least one XML document"));
+    }
+    let costs = load_costs(flags)?;
+    let mut parsed: Vec<Document> = Vec::with_capacity(docs.len());
+    for path in docs {
+        let text = std::fs::read_to_string(path)?;
+        parsed.push(approxql_xml::parse_document(&text).map_err(DatabaseError::Xml)?);
+    }
+    let db = Database::from_documents(&parsed, costs);
+    db.save(out)?;
+    let stats = db.tree().stats();
+    println!(
+        "built {out}: {} elements, {} words, {} distinct labels",
+        stats.element_count, stats.word_count, stats.distinct_labels
+    );
+    Ok(())
+}
+
+fn print_hit(db: &Database, rank: usize, hit: QueryHit, as_xml: bool) -> Result<(), CliError> {
+    if as_xml {
+        let el = db.result_element(hit)?;
+        println!(
+            "<!-- rank {rank}, cost {} -->\n{}",
+            hit.cost,
+            Document { root: el }.to_xml_string()
+        );
+    } else {
+        let el = db.result_element(hit)?;
+        println!("#{rank}\tcost={}\tnode={}\t<{}>", hit.cost, hit.root, el.name);
+    }
+    Ok(())
+}
+
+fn cmd_query(flags: &Flags) -> Result<(), CliError> {
+    let [db_path, query] = flags.positional.as_slice() else {
+        return Err(usage("query needs a database path and a query string"));
+    };
+    let n: usize = flags.option_parsed("-n")?.unwrap_or(10);
+    let as_xml = flags.switch("--xml");
+    let show_stats = flags.switch("--stats");
+    if flags.switch("--direct") && flags.switch("--schema") {
+        return Err(usage("--direct and --schema are mutually exclusive"));
+    }
+    let use_direct = flags.switch("--direct");
+
+    let mut db = Database::open(db_path)?;
+    if let Some(costs_path) = flags.option("--costs") {
+        // Re-derive the database view under the query's own cost table.
+        let text = std::fs::read_to_string(costs_path)?;
+        let costs = parse_cost_file(&text).map_err(CliError::Costs)?;
+        db = Database::from_tree(db.tree().clone(), costs);
+    }
+
+    if use_direct {
+        let (hits, stats) = db.query_direct_with(query, Some(n), EvalOptions::default())?;
+        for (rank, hit) in hits.iter().enumerate() {
+            print_hit(&db, rank, *hit, as_xml)?;
+        }
+        if show_stats {
+            eprintln!(
+                "direct: {} fetches, {} list ops, {} entries, {} memo hits",
+                stats.fetches, stats.ops, stats.list_entries, stats.memo_hits
+            );
+        }
+    } else {
+        let (hits, stats) = db.query_schema_with(
+            query,
+            n,
+            EvalOptions::default(),
+            SchemaEvalConfig::default(),
+        )?;
+        for (rank, hit) in hits.iter().enumerate() {
+            print_hit(&db, rank, *hit, as_xml)?;
+        }
+        if show_stats {
+            eprintln!(
+                "schema: {} rounds (k={}), {} second-level queries, {} rows",
+                stats.rounds, stats.k_final, stats.second_level_queries, stats.secondary_rows
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_stats(flags: &Flags) -> Result<(), CliError> {
+    let [db_path] = flags.positional.as_slice() else {
+        return Err(usage("stats needs a database path"));
+    };
+    let db = Database::open(db_path)?;
+    let t = db.tree().stats();
+    let s = db.schema().stats();
+    println!("data tree:");
+    println!("  nodes            {}", t.node_count);
+    println!("  elements         {}", t.element_count);
+    println!("  word occurrences {}", t.word_count);
+    println!("  distinct labels  {}", t.distinct_labels);
+    println!("  max depth        {}", t.max_depth);
+    println!("label index:");
+    println!("  postings         {}", db.labels().len());
+    println!("  entries          {}", db.labels().entry_count());
+    println!("schema:");
+    println!("  nodes            {}", s.schema_nodes);
+    println!(
+        "  compression      {}x",
+        t.node_count / s.schema_nodes.max(1)
+    );
+    println!("  I_sec postings   {}", s.secondary_postings);
+    println!("  max class size   {}", s.max_instances);
+    Ok(())
+}
+
+fn cmd_explain(flags: &Flags) -> Result<(), CliError> {
+    let [db_path, query] = flags.positional.as_slice() else {
+        return Err(usage("explain needs a database path and a query string"));
+    };
+    let k: usize = flags.option_parsed("-k")?.unwrap_or(5);
+    let mut db = Database::open(db_path)?;
+    if let Some(costs_path) = flags.option("--costs") {
+        let text = std::fs::read_to_string(costs_path)?;
+        let costs = parse_cost_file(&text).map_err(CliError::Costs)?;
+        db = Database::from_tree(db.tree().clone(), costs);
+    }
+    let (parsed, expanded) = db.compile(query)?;
+    println!("query (canonical): {parsed}");
+    println!(
+        "separated representation: {} conjunctive quer{}",
+        parsed.separate().len(),
+        if parsed.separate().len() == 1 { "y" } else { "ies" }
+    );
+    println!(
+        "expanded representation: {} nodes, {} leaves, {} derivations",
+        expanded.len(),
+        expanded.leaf_count(),
+        expanded.derivation_count()
+    );
+    let run = approxql_core::schema_eval::best_k_second_level(
+        &expanded,
+        db.schema(),
+        db.tree().interner(),
+        k,
+        EvalOptions::default(),
+    );
+    println!(
+        "best {} second-level quer{} (complete: {}):",
+        run.queries.len(),
+        if run.queries.len() == 1 { "y" } else { "ies" },
+        run.complete
+    );
+    for (i, entry) in run.queries.iter().enumerate() {
+        let skel = entry.skeleton();
+        println!(
+            "  #{i} cost={} skeleton={}",
+            entry.cost,
+            render_skeleton(&db, &skel)
+        );
+    }
+    Ok(())
+}
+
+fn render_skeleton(db: &Database, skel: &approxql_core::topk::Skeleton) -> String {
+    let label = db.tree().resolve_label(skel.label);
+    if skel.children.is_empty() {
+        format!("{label}@{}", skel.pre)
+    } else {
+        let kids: Vec<String> = skel
+            .children
+            .iter()
+            .map(|c| render_skeleton(db, c))
+            .collect();
+        format!("{label}@{}[{}]", skel.pre, kids.join(" and "))
+    }
+}
+
+fn cmd_gen(flags: &Flags) -> Result<(), CliError> {
+    let [out_dir] = flags.positional.as_slice() else {
+        return Err(usage("gen needs an output directory"));
+    };
+    let mut cfg = DataGenConfig::default();
+    if let Some(v) = flags.option_parsed("--elements")? {
+        cfg.element_count = v;
+    }
+    if let Some(v) = flags.option_parsed("--names")? {
+        cfg.element_names = v;
+    }
+    if let Some(v) = flags.option_parsed("--terms")? {
+        cfg.vocabulary = v;
+    }
+    if let Some(v) = flags.option_parsed("--words")? {
+        cfg.word_occurrences = v;
+    }
+    if let Some(v) = flags.option_parsed("--seed")? {
+        cfg.seed = v;
+    }
+    let docs_per_file: usize = flags.option_parsed("--docs")?.unwrap_or(100);
+
+    let out = PathBuf::from(out_dir);
+    std::fs::create_dir_all(&out)?;
+    let documents = DataGenerator::new(cfg).generate_documents();
+    let mut written = 0;
+    for (i, chunk) in documents.chunks(docs_per_file.max(1)).enumerate() {
+        let mut text = String::from("<collection>");
+        for el in chunk {
+            text.push_str(&Document { root: el.clone() }.to_xml_string());
+        }
+        text.push_str("</collection>");
+        let path = out.join(format!("part{i:04}.xml"));
+        std::fs::write(&path, text)?;
+        written += 1;
+    }
+    println!(
+        "wrote {} documents into {} file(s) under {}",
+        documents.len(),
+        written,
+        out.display()
+    );
+    Ok(())
+}
+
+/// Test helper: runs a command line given as separate words.
+#[cfg(test)]
+pub fn run_words(words: &[&str]) -> Result<(), CliError> {
+    let args: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+    run(&args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("axql-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn full_cli_roundtrip() {
+        let dir = tmpdir("round");
+        let doc = dir.join("catalog.xml");
+        std::fs::write(
+            &doc,
+            "<catalog><cd><title>piano concerto</title></cd><cd><title>piano sonata</title></cd></catalog>",
+        )
+        .unwrap();
+        let db = dir.join("db.axql");
+        run_words(&["build", db.to_str().unwrap(), doc.to_str().unwrap()]).unwrap();
+        run_words(&["stats", db.to_str().unwrap()]).unwrap();
+        run_words(&[
+            "query",
+            db.to_str().unwrap(),
+            r#"cd[title["piano"]]"#,
+            "-n",
+            "5",
+            "--direct",
+        ])
+        .unwrap();
+        run_words(&["query", db.to_str().unwrap(), r#"cd[title["piano"]]"#, "--schema"]).unwrap();
+        run_words(&["explain", db.to_str().unwrap(), r#"cd[title["piano"]]"#]).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn query_with_costs_file() {
+        let dir = tmpdir("costs");
+        let doc = dir.join("c.xml");
+        std::fs::write(&doc, "<a><mc><title>piano</title></mc></a>").unwrap();
+        let db = dir.join("db.axql");
+        run_words(&["build", db.to_str().unwrap(), doc.to_str().unwrap()]).unwrap();
+        let costs = dir.join("costs.txt");
+        std::fs::write(&costs, "rename name cd mc 4\n").unwrap();
+        run_words(&[
+            "query",
+            db.to_str().unwrap(),
+            r#"cd[title["piano"]]"#,
+            "--costs",
+            costs.to_str().unwrap(),
+        ])
+        .unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gen_writes_parseable_xml() {
+        let dir = tmpdir("gen");
+        run_words(&[
+            "gen",
+            dir.to_str().unwrap(),
+            "--elements",
+            "200",
+            "--terms",
+            "50",
+            "--words",
+            "600",
+            "--docs",
+            "10",
+        ])
+        .unwrap();
+        let mut parsed = 0;
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let p = entry.unwrap().path();
+            if p.extension().is_some_and(|e| e == "xml") {
+                let text = std::fs::read_to_string(&p).unwrap();
+                approxql_xml::parse_document(&text).unwrap();
+                parsed += 1;
+            }
+        }
+        assert!(parsed > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(matches!(run_words(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(run_words(&["bogus"]), Err(CliError::Usage(_))));
+        assert!(matches!(run_words(&["build"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run_words(&["query", "x"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_words(&["query", "a", "b", "-n"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_words(&["query", "a", "b", "--direct", "--schema"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn missing_database_is_reported() {
+        assert!(matches!(
+            run_words(&["stats", "/nonexistent/db.axql"]),
+            Err(CliError::Db(_) | CliError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,29 @@
+//! `approxql` — the approXQL command line.
+//!
+//! ```text
+//! approxql build  <out.axql> <doc.xml>... [--costs FILE]
+//! approxql query  <db.axql> <QUERY> [-n N] [--direct|--schema] [--costs FILE] [--xml] [--stats]
+//! approxql stats  <db.axql>
+//! approxql explain <db.axql> <QUERY> [--costs FILE] [-k K]
+//! approxql gen    <out-dir> [--elements N] [--names N] [--terms N] [--words N] [--seed S] [--docs N]
+//! ```
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(commands::CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n");
+            eprintln!("{}", commands::USAGE);
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

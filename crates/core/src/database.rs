@@ -1,0 +1,359 @@
+//! The user-facing facade: documents + cost model + indexes + schema.
+
+use crate::direct::{self, DirectStats, EvalOptions};
+use crate::schema_eval::{self, EvalStats, SchemaEvalConfig};
+use approxql_cost::{parse_cost_file, write_cost_file, Cost, CostFileError, CostModel};
+use approxql_index::persist::{
+    load_blob, load_label_index, save_blob, save_label_index, PersistError,
+};
+use approxql_index::LabelIndex;
+use approxql_query::expand::ExpandedQuery;
+use approxql_query::{parse_query, ParseError, Query};
+use approxql_schema::Schema;
+use approxql_storage::{StorageError, Store};
+use approxql_tree::{DataTree, DataTreeBuilder, NodeId, TreeDecodeError, TreeError};
+use approxql_xml::{parse_document, Document, Element, XmlError};
+use std::fmt;
+use std::path::Path;
+
+/// Errors raised by [`Database`] operations.
+#[derive(Debug)]
+pub enum DatabaseError {
+    /// Malformed XML input.
+    Xml(XmlError),
+    /// Malformed approXQL query.
+    Query(ParseError),
+    /// Tree-level failure (e.g. materializing a text node).
+    Tree(TreeError),
+    /// Storage-layer failure.
+    Storage(StorageError),
+    /// Index (de)serialization failure.
+    Persist(PersistError),
+    /// Serialized tree decoding failure.
+    TreeDecode(TreeDecodeError),
+    /// Stored cost file failed to parse.
+    CostFile(CostFileError),
+}
+
+impl fmt::Display for DatabaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatabaseError::Xml(e) => write!(f, "{e}"),
+            DatabaseError::Query(e) => write!(f, "{e}"),
+            DatabaseError::Tree(e) => write!(f, "{e}"),
+            DatabaseError::Storage(e) => write!(f, "{e}"),
+            DatabaseError::Persist(e) => write!(f, "{e}"),
+            DatabaseError::TreeDecode(e) => write!(f, "{e}"),
+            DatabaseError::CostFile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatabaseError {}
+
+macro_rules! from_error {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for DatabaseError {
+            fn from(e: $ty) -> Self {
+                DatabaseError::$variant(e)
+            }
+        }
+    };
+}
+
+from_error!(Xml, XmlError);
+from_error!(Query, ParseError);
+from_error!(Tree, TreeError);
+from_error!(Storage, StorageError);
+from_error!(Persist, PersistError);
+from_error!(TreeDecode, TreeDecodeError);
+from_error!(CostFile, CostFileError);
+
+/// One result of a query: the embedding root and its cost (Definition 11's
+/// root–cost pair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryHit {
+    /// Root of the result subtree.
+    pub root: NodeId,
+    /// Embedding cost (0 = exact match).
+    pub cost: Cost,
+}
+
+/// An approXQL database: the data tree with its label indexes, schema, and
+/// cost model. See the crate docs for an end-to-end example.
+pub struct Database {
+    tree: DataTree,
+    costs: CostModel,
+    labels: LabelIndex,
+    schema: Schema,
+}
+
+impl Database {
+    /// Builds a database from an already-constructed data tree. The tree
+    /// must have been encoded with the same cost model.
+    pub fn from_tree(tree: DataTree, costs: CostModel) -> Database {
+        let labels = LabelIndex::build(&tree);
+        let schema = Schema::build(&tree, &costs);
+        Database {
+            tree,
+            costs,
+            labels,
+            schema,
+        }
+    }
+
+    /// Parses one XML document and builds a database over it.
+    pub fn from_xml_str(xml: &str, costs: CostModel) -> Result<Database, DatabaseError> {
+        Database::from_xml_strs(&[xml], costs)
+    }
+
+    /// Parses several XML documents into one collection (all roots hang
+    /// below the virtual super-root).
+    pub fn from_xml_strs(xmls: &[&str], costs: CostModel) -> Result<Database, DatabaseError> {
+        let docs = xmls
+            .iter()
+            .map(|x| parse_document(x))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Database::from_documents(&docs, costs))
+    }
+
+    /// Builds a database from parsed documents.
+    pub fn from_documents(docs: &[Document], costs: CostModel) -> Database {
+        let mut b = DataTreeBuilder::new();
+        for d in docs {
+            b.add_document(d);
+        }
+        let tree = b.build(&costs);
+        Database::from_tree(tree, costs)
+    }
+
+    /// The data tree.
+    pub fn tree(&self) -> &DataTree {
+        &self.tree
+    }
+
+    /// The cost model.
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// The label indexes `I_struct`/`I_text`.
+    pub fn labels(&self) -> &LabelIndex {
+        &self.labels
+    }
+
+    /// The schema with its indexes.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Parses and expands a query against this database's cost model.
+    pub fn compile(&self, query: &str) -> Result<(Query, ExpandedQuery), DatabaseError> {
+        let q = parse_query(query)?;
+        let ex = ExpandedQuery::build(&q, &self.costs);
+        Ok((q, ex))
+    }
+
+    /// Direct evaluation (Section 6): finds **all** approximate results,
+    /// sorts them by cost, prunes after `n` (`None` = return everything).
+    pub fn query_direct(
+        &self,
+        query: &str,
+        n: Option<usize>,
+    ) -> Result<Vec<QueryHit>, DatabaseError> {
+        Ok(self.query_direct_with(query, n, EvalOptions::default())?.0)
+    }
+
+    /// Direct evaluation with explicit options; also returns counters.
+    pub fn query_direct_with(
+        &self,
+        query: &str,
+        n: Option<usize>,
+        opts: EvalOptions,
+    ) -> Result<(Vec<QueryHit>, DirectStats), DatabaseError> {
+        let (_, ex) = self.compile(query)?;
+        let (pairs, stats) = direct::best_n(&ex, &self.labels, self.tree.interner(), n, opts);
+        Ok((
+            pairs
+                .into_iter()
+                .map(|(pre, cost)| QueryHit {
+                    root: NodeId(pre),
+                    cost,
+                })
+                .collect(),
+            stats,
+        ))
+    }
+
+    /// Schema-driven evaluation (Section 7): finds the best `n` results by
+    /// generating and executing second-level queries incrementally.
+    pub fn query_schema(&self, query: &str, n: usize) -> Result<Vec<QueryHit>, DatabaseError> {
+        Ok(self
+            .query_schema_with(query, n, EvalOptions::default(), SchemaEvalConfig::default())?
+            .0)
+    }
+
+    /// Schema-driven evaluation with explicit options; also returns
+    /// counters.
+    pub fn query_schema_with(
+        &self,
+        query: &str,
+        n: usize,
+        opts: EvalOptions,
+        cfg: SchemaEvalConfig,
+    ) -> Result<(Vec<QueryHit>, EvalStats), DatabaseError> {
+        let (_, ex) = self.compile(query)?;
+        let (pairs, stats) =
+            schema_eval::best_n_schema(&ex, &self.schema, self.tree.interner(), n, opts, cfg);
+        Ok((
+            pairs
+                .into_iter()
+                .map(|(pre, cost)| QueryHit {
+                    root: NodeId(pre),
+                    cost,
+                })
+                .collect(),
+            stats,
+        ))
+    }
+
+    /// Opens a lazy result stream (incremental retrieval, Section 9):
+    /// hits arrive in nondecreasing cost order as second-level queries are
+    /// generated and executed on demand.
+    ///
+    /// ```
+    /// # use approxql_core::Database;
+    /// # use approxql_cost::CostModel;
+    /// # let db = Database::from_xml_str("<a><b>x</b></a>", CostModel::new()).unwrap();
+    /// let mut stream = db.query_schema_stream(r#"a[b["x"]]"#).unwrap();
+    /// let first = stream.next();
+    /// assert!(first.is_some());
+    /// ```
+    pub fn query_schema_stream(
+        &self,
+        query: &str,
+    ) -> Result<crate::schema_eval::ResultStream<'_>, DatabaseError> {
+        let (_, ex) = self.compile(query)?;
+        Ok(crate::schema_eval::ResultStream::new(
+            ex,
+            &self.schema,
+            self.tree.interner(),
+            EvalOptions::default(),
+            SchemaEvalConfig::default(),
+        ))
+    }
+
+    /// Materializes the result subtree of a hit as an XML element
+    /// (the "additional step" after Definition 12).
+    pub fn result_element(&self, hit: QueryHit) -> Result<Element, DatabaseError> {
+        Ok(self.tree.subtree_element(hit.root)?)
+    }
+
+    /// Persists the database (data tree, cost model, label indexes) into a
+    /// single store file. The schema is cheap to rebuild and is derived
+    /// again on [`Database::open`].
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DatabaseError> {
+        let mut store = Store::create_file(path)?;
+        save_blob(&mut store, "tree", &self.tree.to_bytes())?;
+        save_blob(&mut store, "costs", write_cost_file(&self.costs).as_bytes())?;
+        save_label_index(&mut store, &self.labels, self.tree.interner())?;
+        store.commit()?;
+        Ok(())
+    }
+
+    /// Opens a database saved with [`Database::save`].
+    pub fn open(path: impl AsRef<Path>) -> Result<Database, DatabaseError> {
+        let mut store = Store::open_file(path)?;
+        let tree_bytes = load_blob(&mut store, "tree")?;
+        let tree = DataTree::from_bytes(&tree_bytes)?;
+        let cost_bytes = load_blob(&mut store, "costs")?;
+        let costs = parse_cost_file(&String::from_utf8_lossy(&cost_bytes))?;
+        let labels = load_label_index(&mut store, tree.interner())?;
+        let schema = Schema::build(&tree, &costs);
+        Ok(Database {
+            tree,
+            costs,
+            labels,
+            schema,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxql_cost::tables::paper_section6_costs;
+
+    const CATALOG: &str = r#"<catalog>
+        <cd><title>Piano Concerto</title><composer>Rachmaninov</composer></cd>
+        <cd><title>Kinderszenen</title>
+            <tracks><track><title>Vivace piano</title></track></tracks></cd>
+    </catalog>"#;
+
+    #[test]
+    fn end_to_end_direct_query() {
+        let db = Database::from_xml_str(CATALOG, paper_section6_costs()).unwrap();
+        let hits = db.query_direct(r#"cd[title["piano"]]"#, None).unwrap();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].cost, Cost::ZERO);
+        let el = db.result_element(hits[0]).unwrap();
+        assert_eq!(el.name, "cd");
+        assert_eq!(el.find_child("title").unwrap().text_content(), "piano concerto");
+    }
+
+    #[test]
+    fn schema_and_direct_agree_end_to_end() {
+        let db = Database::from_xml_str(CATALOG, paper_section6_costs()).unwrap();
+        let direct = db
+            .query_direct(r#"cd[title["piano" and "concerto"]]"#, None)
+            .unwrap();
+        let schema = db
+            .query_schema(r#"cd[title["piano" and "concerto"]]"#, direct.len())
+            .unwrap();
+        assert_eq!(direct, schema);
+    }
+
+    #[test]
+    fn query_errors_surface() {
+        let db = Database::from_xml_str(CATALOG, CostModel::new()).unwrap();
+        assert!(matches!(
+            db.query_direct("cd[", None),
+            Err(DatabaseError::Query(_))
+        ));
+    }
+
+    #[test]
+    fn xml_errors_surface() {
+        assert!(matches!(
+            Database::from_xml_str("<broken", CostModel::new()),
+            Err(DatabaseError::Xml(_))
+        ));
+    }
+
+    #[test]
+    fn save_and_open_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("axql-db-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("catalog.axql");
+        let db = Database::from_xml_str(CATALOG, paper_section6_costs()).unwrap();
+        let before = db.query_direct(r#"cd[title["piano"]]"#, None).unwrap();
+        db.save(&path).unwrap();
+        let db2 = Database::open(&path).unwrap();
+        let after = db2.query_direct(r#"cd[title["piano"]]"#, None).unwrap();
+        assert_eq!(before, after);
+        let via_schema = db2.query_schema(r#"cd[title["piano"]]"#, 2).unwrap();
+        assert_eq!(before, via_schema);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn multiple_documents_form_one_collection() {
+        let db = Database::from_xml_strs(
+            &["<cd><title>piano</title></cd>", "<mc><title>piano</title></mc>"],
+            CostModel::new(),
+        )
+        .unwrap();
+        assert_eq!(db.query_direct(r#"cd[title["piano"]]"#, None).unwrap().len(), 1);
+        assert_eq!(db.query_direct(r#"mc[title["piano"]]"#, None).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,549 @@
+//! Algorithm `primary` (Section 6.5, Figure 4): direct evaluation.
+//!
+//! The evaluator walks the expanded query representation bottom-up and
+//! computes, for every query node and every candidate data node, the best
+//! embedding cost of the query subtree — entirely through the list algebra
+//! of [`crate::list`]. The full version's two refinements are included:
+//!
+//! * **Leaf rule** — entries track a second cost channel for embeddings
+//!   that match at least one original query leaf (see crate docs).
+//! * **Dynamic programming** — deletion `or`s share their bridged subtree
+//!   in the expanded DAG; evaluation results are memoized per
+//!   `(query node, ancestor list identity)`, and the pending edge cost is
+//!   applied as a *post-shift* so it does not fragment the memo key.
+
+use crate::list::{self, List};
+use approxql_index::LabelIndex;
+use approxql_query::expand::{ExpandedNode, ExpandedQuery};
+use approxql_tree::{Cost, Interner, LabelId, NodeType};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Evaluation options shared by the direct and schema-driven algorithms.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// Enforce the leaf rule: results must match at least one original
+    /// query leaf (the paper's full version). Default `true`.
+    pub enforce_leaf_match: bool,
+    /// Memoize shared subtree evaluations (the paper's dynamic
+    /// programming). Default `true`; switchable for the ablation bench.
+    pub use_memo: bool,
+    /// Use the literal O(s·l)-style join formulation instead of the
+    /// fold-on-pop structural merge (ablation). Default `false`.
+    pub use_paper_joins: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            enforce_leaf_match: true,
+            use_memo: true,
+            use_paper_joins: false,
+        }
+    }
+}
+
+/// Counters describing one direct evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirectStats {
+    /// Number of index fetches.
+    pub fetches: usize,
+    /// Total entries produced by all list operations.
+    pub list_entries: usize,
+    /// Number of list operations executed.
+    pub ops: usize,
+    /// Memoization hits (shared subtree evaluations avoided).
+    pub memo_hits: usize,
+}
+
+/// A list with a stable identity (for memo keys).
+struct LRef {
+    id: u64,
+    list: List,
+}
+
+struct Evaluator<'a> {
+    ex: &'a ExpandedQuery,
+    index: &'a LabelIndex,
+    interner: &'a Interner,
+    opts: EvalOptions,
+    memo: HashMap<(usize, u64), Rc<LRef>>,
+    /// Fetched candidate lists per `(type, label, is_leaf)`. Sharing the
+    /// list identity is what makes the `(query node, ancestor list)` memo
+    /// effective: both branches of a deletion `or` see the same lists.
+    fetch_cache: HashMap<(NodeType, String, bool), Rc<LRef>>,
+    next_id: u64,
+    stats: DirectStats,
+}
+
+impl<'a> Evaluator<'a> {
+    fn wrap(&mut self, list: List) -> Rc<LRef> {
+        self.next_id += 1;
+        self.stats.list_entries += list.len();
+        self.stats.ops += 1;
+        Rc::new(LRef {
+            id: self.next_id,
+            list,
+        })
+    }
+
+    fn lookup(&self, label: &str) -> Option<LabelId> {
+        self.interner.get(label)
+    }
+
+    fn fetch(&mut self, label: &str, ty: NodeType, is_leaf: bool) -> List {
+        self.stats.fetches += 1;
+        match self.lookup(label) {
+            Some(id) => list::fetch(self.index, ty, id, is_leaf),
+            None => Vec::new(),
+        }
+    }
+
+    /// Fetches with a stable list identity (see `fetch_cache`).
+    fn fetch_cached(&mut self, label: &str, ty: NodeType, is_leaf: bool) -> Rc<LRef> {
+        let key = (ty, label.to_owned(), is_leaf);
+        if let Some(hit) = self.fetch_cache.get(&key) {
+            return Rc::clone(hit);
+        }
+        let list = self.fetch(label, ty, is_leaf);
+        let wrapped = self.wrap(list);
+        self.fetch_cache.insert(key, Rc::clone(&wrapped));
+        wrapped
+    }
+
+    /// The leaf/node candidate list: the original label's posting merged
+    /// with all renamed labels' postings (rename costs applied).
+    fn fetch_with_renamings(
+        &mut self,
+        label: &str,
+        ty: NodeType,
+        renamings: &[(String, Cost)],
+        is_leaf: bool,
+    ) -> List {
+        let mut l = self.fetch(label, ty, is_leaf);
+        for (ren, c_ren) in renamings {
+            let lt = self.fetch(ren, ty, is_leaf);
+            l = list::merge(&l, &lt, *c_ren);
+        }
+        l
+    }
+
+    fn join(&self, ancestors: &List, descendants: &List) -> List {
+        if self.opts.use_paper_joins {
+            list::join_paper(ancestors, descendants, Cost::ZERO)
+        } else {
+            list::join(ancestors, descendants, Cost::ZERO)
+        }
+    }
+
+    fn outerjoin(&self, ancestors: &List, descendants: &List, c_del: Cost) -> List {
+        if self.opts.use_paper_joins {
+            list::outerjoin_paper(ancestors, descendants, Cost::ZERO, c_del)
+        } else {
+            list::outerjoin(ancestors, descendants, Cost::ZERO, c_del)
+        }
+    }
+
+    /// Evaluates query node `u` against ancestor candidates `anc`,
+    /// returning a list over (copies of) the ancestors whose costs are the
+    /// best embedding costs of `u`'s subtree below each ancestor. Edge
+    /// costs are *not* applied here — callers shift afterwards, keeping
+    /// the memo key independent of the incoming edge.
+    fn eval(&mut self, u: usize, anc: &Rc<LRef>) -> Rc<LRef> {
+        if self.opts.use_memo {
+            if let Some(hit) = self.memo.get(&(u, anc.id)) {
+                self.stats.memo_hits += 1;
+                return Rc::clone(hit);
+            }
+        }
+        let result = match &self.ex.nodes[u] {
+            ExpandedNode::Leaf {
+                label,
+                ty,
+                renamings,
+                delcost,
+            } => {
+                let ld = self.fetch_with_renamings(label, *ty, renamings, true);
+                self.outerjoin(&anc.list, &ld, *delcost)
+            }
+            ExpandedNode::Node {
+                label,
+                ty,
+                renamings,
+                child,
+            } => {
+                let child = *child;
+                let la = self.fetch_cached(label, *ty, false);
+                let mut res = self.eval(child, &la).list.clone();
+                for (ren, c_ren) in renamings.clone() {
+                    let lt = self.fetch_cached(&ren, *ty, false);
+                    let lt_res = self.eval(child, &lt);
+                    res = list::merge(&res, &lt_res.list, c_ren);
+                }
+                self.join(&anc.list, &res)
+            }
+            ExpandedNode::And { left, right } => {
+                let (left, right) = (*left, *right);
+                let ll = self.eval(left, anc);
+                let lr = self.eval(right, anc);
+                list::intersect(&ll.list, &lr.list, Cost::ZERO)
+            }
+            ExpandedNode::Or {
+                left,
+                right,
+                edgecost,
+            } => {
+                let (left, right, edgecost) = (*left, *right, *edgecost);
+                let ll = self.eval(left, anc);
+                let lr = self.eval(right, anc);
+                let shifted = list::shift(lr.list.clone(), edgecost);
+                list::union(&ll.list, &shifted, Cost::ZERO)
+            }
+        };
+        let wrapped = self.wrap(result);
+        if self.opts.use_memo {
+            self.memo.insert((u, anc.id), Rc::clone(&wrapped));
+        }
+        wrapped
+    }
+
+    /// Top-level evaluation: the root is never joined with an ancestor
+    /// list (Figure 4's "if u has no parent then return L_D").
+    fn eval_root(&mut self) -> List {
+        match &self.ex.nodes[self.ex.root] {
+            ExpandedNode::Leaf {
+                label,
+                ty,
+                renamings,
+                ..
+            } => {
+                // A bare-selector query: candidates with zero cost (plus
+                // rename costs); the root leaf is never deletable.
+                self.fetch_with_renamings(label, *ty, &renamings.clone(), true)
+            }
+            ExpandedNode::Node {
+                label,
+                ty,
+                renamings,
+                child,
+            } => {
+                let child = *child;
+                let la = self.fetch_cached(label, *ty, false);
+                let mut res = self.eval(child, &la).list.clone();
+                for (ren, c_ren) in renamings.clone() {
+                    let lt = self.fetch_cached(&ren, *ty, false);
+                    let lt_res = self.eval(child, &lt);
+                    res = list::merge(&res, &lt_res.list, c_ren);
+                }
+                res
+            }
+            other => unreachable!("query root must be a selector, got {other:?}"),
+        }
+    }
+}
+
+/// Runs algorithm `primary` against the data indexes, returning the list of
+/// all embedding roots with their cost channels plus evaluation counters.
+pub fn evaluate(
+    expanded: &ExpandedQuery,
+    index: &LabelIndex,
+    interner: &Interner,
+    opts: EvalOptions,
+) -> (List, DirectStats) {
+    let mut ev = Evaluator {
+        ex: expanded,
+        index,
+        interner,
+        opts,
+        memo: HashMap::new(),
+        fetch_cache: HashMap::new(),
+        next_id: 0,
+        stats: DirectStats::default(),
+    };
+    let result = ev.eval_root();
+    ev.stats.list_entries += result.len();
+    (result, ev.stats)
+}
+
+/// The best-n-pairs problem (Definition 12) by direct evaluation: find all
+/// results, sort, prune after `n` (`None` = all results).
+pub fn best_n(
+    expanded: &ExpandedQuery,
+    index: &LabelIndex,
+    interner: &Interner,
+    n: Option<usize>,
+    opts: EvalOptions,
+) -> (Vec<(u32, Cost)>, DirectStats) {
+    let (result, stats) = evaluate(expanded, index, interner, opts);
+    (
+        list::sort_best(n, &result, opts.enforce_leaf_match),
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxql_cost::tables::paper_section6_costs;
+    use approxql_cost::CostModel;
+    use approxql_query::parse_query;
+    use approxql_tree::{DataTree, DataTreeBuilder};
+
+    /// The catalog of Figure 1/3: two sound-storage entries.
+    ///
+    /// ```text
+    /// root
+    /// ├── cd                      (pre 1)
+    /// │   ├── title               (pre 2): "piano" "concerto"
+    /// │   └── composer            (pre 5): "rachmaninov"
+    /// └── cd                      (pre 7)
+    ///     ├── title               (pre 8): "kinderszenen"
+    ///     └── tracks              (pre 10)
+    ///         └── track           (pre 11)
+    ///             ├── title       (pre 12): "vivace"  [as Fig. 3]
+    ///             └── ...
+    /// ```
+    fn catalog(costs: &CostModel) -> DataTree {
+        let mut b = DataTreeBuilder::new();
+        b.begin_struct("cd"); // 1
+        b.begin_struct("title"); // 2
+        b.add_text("piano concerto"); // 3 4
+        b.end();
+        b.begin_struct("composer"); // 5
+        b.add_text("rachmaninov"); // 6
+        b.end();
+        b.end();
+        b.begin_struct("cd"); // 7
+        b.begin_struct("title"); // 8
+        b.add_text("kinderszenen"); // 9
+        b.end();
+        b.begin_struct("tracks"); // 10
+        b.begin_struct("track"); // 11
+        b.begin_struct("title"); // 12
+        b.add_text("vivace piano"); // 13 14
+        b.end();
+        b.end();
+        b.end();
+        b.end();
+        b.build(costs)
+    }
+
+    fn run(query: &str, costs: &CostModel, tree: &DataTree, n: Option<usize>) -> Vec<(u32, Cost)> {
+        let q = parse_query(query).unwrap();
+        let ex = ExpandedQuery::build(&q, costs);
+        let index = LabelIndex::build(tree);
+        best_n(&ex, &index, tree.interner(), n, EvalOptions::default()).0
+    }
+
+    #[test]
+    fn exact_match_costs_zero() {
+        let costs = paper_section6_costs();
+        let tree = catalog(&costs);
+        let hits = run(
+            r#"cd[title["piano" and "concerto"] and composer["rachmaninov"]]"#,
+            &costs,
+            &tree,
+            None,
+        );
+        assert_eq!(hits[0], (1, Cost::ZERO));
+    }
+
+    #[test]
+    fn second_cd_matches_approximately() {
+        // For cd[title["piano"]], cd#7 matches via the track title with
+        // insertions of tracks (1) and track (1): cost 2.
+        let costs = paper_section6_costs();
+        let tree = catalog(&costs);
+        let hits = run(r#"cd[title["piano"]]"#, &costs, &tree, None);
+        assert_eq!(hits, vec![(1, Cost::ZERO), (7, Cost::finite(2))]);
+    }
+
+    #[test]
+    fn leaf_deletion_uses_outerjoin() {
+        // cd#7's title has no "concerto": the leaf is deleted (cost 6).
+        // The embedding goes through the direct title (pre 8).
+        let costs = paper_section6_costs();
+        let tree = catalog(&costs);
+        let hits = run(r#"cd[title["piano" and "concerto"]]"#, &costs, &tree, None);
+        assert_eq!(hits[0], (1, Cost::ZERO));
+        // cd#7: "piano" matches in track title (distance 2), "concerto"
+        // deleted (6): total 8.
+        assert_eq!(hits[1], (7, Cost::finite(8)));
+    }
+
+    #[test]
+    fn all_leaves_deleted_is_rejected() {
+        // Query where the only leaf has a finite delete cost: results must
+        // still match the leaf (leaf rule).
+        let costs = CostModel::builder()
+            .delete(NodeType::Text, "nonexistent", Cost::finite(1))
+            .build();
+        let tree = catalog(&costs);
+        let hits = run(r#"cd[title["nonexistent"]]"#, &costs, &tree, None);
+        assert!(hits.is_empty());
+        // Without the leaf rule both CDs come back via deletion.
+        let q = parse_query(r#"cd[title["nonexistent"]]"#).unwrap();
+        let ex = ExpandedQuery::build(&q, &costs);
+        let index = LabelIndex::build(&tree);
+        let opts = EvalOptions {
+            enforce_leaf_match: false,
+            ..Default::default()
+        };
+        let (hits, _) = best_n(&ex, &index, tree.interner(), None, opts);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].1, Cost::finite(1));
+    }
+
+    #[test]
+    fn root_renaming_shifts_search_space() {
+        let costs = CostModel::builder()
+            .rename(NodeType::Struct, "dvd", "cd", Cost::finite(4))
+            .build();
+        let tree = catalog(&costs);
+        // dvd[title["piano"]]: no dvd exists, but renaming dvd -> cd (4).
+        let hits = run(r#"dvd[title["piano"]]"#, &costs, &tree, None);
+        assert_eq!(hits[0], (1, Cost::finite(4)));
+    }
+
+    #[test]
+    fn inner_node_deletion_bridges() {
+        // cd[track[title["vivace"]]]: exact on cd#7. Deleting `track`
+        // (cost 3) would search title["vivace"] directly under cd — the
+        // only vivace-title sits under tracks/track, so the exact match
+        // (cost 0) wins; make deletion observable with a query whose track
+        // context does not exist.
+        let costs = paper_section6_costs();
+        let tree = catalog(&costs);
+        let hits = run(r#"cd[track[title["piano" and "concerto"]]]"#, &costs, &tree, None);
+        // cd#1: track deleted (3), then title["piano" and "concerto"]
+        // matches exactly below cd#1: total 3.
+        assert_eq!(hits[0], (1, Cost::finite(3)));
+    }
+
+    #[test]
+    fn or_queries_take_the_cheaper_branch() {
+        let costs = paper_section6_costs();
+        let tree = catalog(&costs);
+        let hits = run(
+            r#"cd[title["concerto" or "kinderszenen"]]"#,
+            &costs,
+            &tree,
+            None,
+        );
+        assert_eq!(hits, vec![(1, Cost::ZERO), (7, Cost::ZERO)]);
+    }
+
+    #[test]
+    fn text_renaming_applies() {
+        // "sonata" matches nothing; renamed to "concerto" -> wait, the
+        // model renames concerto -> sonata, so query "concerto" can become
+        // "sonata" — query for a sonata CD instead:
+        let costs = CostModel::builder()
+            .rename(NodeType::Text, "sonata", "concerto", Cost::finite(3))
+            .build();
+        let tree = catalog(&costs);
+        let hits = run(r#"cd[title["sonata"]]"#, &costs, &tree, None);
+        assert_eq!(hits[0], (1, Cost::finite(3)));
+    }
+
+    #[test]
+    fn bare_root_query_returns_all_instances() {
+        let costs = paper_section6_costs();
+        let tree = catalog(&costs);
+        let hits = run("cd", &costs, &tree, None);
+        assert_eq!(hits, vec![(1, Cost::ZERO), (7, Cost::ZERO)]);
+    }
+
+    #[test]
+    fn struct_leaf_query() {
+        let costs = paper_section6_costs();
+        let tree = catalog(&costs);
+        // cd[tracks]: only cd#7 has a tracks element.
+        let hits = run("cd[tracks]", &costs, &tree, None);
+        assert_eq!(hits, vec![(7, Cost::ZERO)]);
+    }
+
+    #[test]
+    fn best_n_truncates_sorted_results() {
+        let costs = paper_section6_costs();
+        let tree = catalog(&costs);
+        let all = run(r#"cd[title["piano"]]"#, &costs, &tree, None);
+        let top1 = run(r#"cd[title["piano"]]"#, &costs, &tree, Some(1));
+        assert_eq!(top1.as_slice(), &all[..1]);
+    }
+
+    #[test]
+    fn unknown_labels_yield_no_results() {
+        let costs = CostModel::new();
+        let tree = catalog(&costs);
+        assert!(run(r#"zzz["nope"]"#, &costs, &tree, None).is_empty());
+    }
+
+    #[test]
+    fn memoization_hits_on_deletion_bridges() {
+        let costs = paper_section6_costs();
+        let tree = catalog(&costs);
+        let q = parse_query(r#"cd[track[title["piano"]]]"#).unwrap();
+        let ex = ExpandedQuery::build(&q, &costs);
+        let index = LabelIndex::build(&tree);
+        let (_, stats) = evaluate(&ex, &index, tree.interner(), EvalOptions::default());
+        // The bridged subtree below the deletable `track` and `title`
+        // nodes is shared; at least one evaluation must be saved.
+        assert!(stats.memo_hits > 0, "expected memo hits, got {stats:?}");
+        // Results identical without memoization.
+        let opts = EvalOptions {
+            use_memo: false,
+            ..Default::default()
+        };
+        let (with_memo, _) = best_n(&ex, &index, tree.interner(), None, EvalOptions::default());
+        let (without_memo, stats2) = best_n(&ex, &index, tree.interner(), None, opts);
+        assert_eq!(with_memo, without_memo);
+        assert_eq!(stats2.memo_hits, 0);
+    }
+
+    #[test]
+    fn paper_joins_agree_with_fast_joins() {
+        let costs = paper_section6_costs();
+        let tree = catalog(&costs);
+        let q = parse_query(
+            r#"cd[track[title["piano" and "concerto"]] and composer["rachmaninov"]]"#,
+        )
+        .unwrap();
+        let ex = ExpandedQuery::build(&q, &costs);
+        let index = LabelIndex::build(&tree);
+        let fast = best_n(&ex, &index, tree.interner(), None, EvalOptions::default()).0;
+        let slow = best_n(
+            &ex,
+            &index,
+            tree.interner(),
+            None,
+            EvalOptions {
+                use_paper_joins: true,
+                ..Default::default()
+            },
+        )
+        .0;
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn figure2_query_full_evaluation() {
+        // The Figure 2 query against the catalog: cd#1 embeds by deleting
+        // track (3): title/piano/concerto + composer/rachmaninov all match
+        // directly. cd#7 matches the track context but pays for missing
+        // words/composer.
+        let costs = paper_section6_costs();
+        let tree = catalog(&costs);
+        let hits = run(
+            r#"cd[track[title["piano" and "concerto"]] and composer["rachmaninov"]]"#,
+            &costs,
+            &tree,
+            None,
+        );
+        assert_eq!(hits[0], (1, Cost::finite(3)));
+        // cd#7 cannot embed the composer branch at all: it has no composer
+        // (and the leaf "rachmaninov" is not deletable), so deleting the
+        // inner `composer` node still leaves nowhere for the word to match.
+        assert_eq!(hits.len(), 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! The approXQL evaluation algorithms — the paper's primary contribution.
+//!
+//! * [`list`] — the list algebra of Sections 6.3/6.4 (`fetch`, `merge`,
+//!   `join`, `outerjoin`, `intersect`, `union`, `sort`) over
+//!   preorder-sorted entry lists.
+//! * [`direct`] — algorithm `primary` (Section 6.5, Figure 4): direct
+//!   evaluation of an expanded query against the data-tree indexes,
+//!   finding the images of *all* approximate embeddings bottom-up, with
+//!   memoization of shared (deletion-bridged) subtrees.
+//! * [`topk`] — the adapted, segment-based top-k list operations of
+//!   Section 7.2, which run the same algorithm against the *schema* to
+//!   produce the best *k* second-level queries.
+//! * [`secondary`] — algorithm `secondary` (Section 7.3, Figure 5):
+//!   executing second-level queries against the path-dependent index.
+//! * [`schema_eval`] — the incremental best-n driver (Section 7.4,
+//!   Figure 6) combining the two.
+//! * [`mod@reference`] — a deliberately naive oracle evaluator (explicit
+//!   closure enumeration + brute-force embedding search) used by the
+//!   property-test suite to validate both fast paths.
+//! * [`Database`] — the user-facing facade tying documents, cost model,
+//!   indexes, and schema together.
+//!
+//! ## The leaf rule
+//!
+//! Definition 4 restricts leaf deletions; the paper's "full version" of
+//! `primary` enforces it by rejecting "data subtrees that do not contain
+//! matches of any query leaf". We implement exactly that rule: every list
+//! entry carries two cost channels — the best embedding cost overall
+//! (`cost_any`) and the best cost among embeddings that match at least one
+//! original query leaf (`cost_leaf`) — and results are ranked by
+//! `cost_leaf` unless [`EvalOptions::enforce_leaf_match`] is switched off.
+
+pub mod database;
+pub mod direct;
+pub mod list;
+pub mod reference;
+pub mod schema_eval;
+pub mod secondary;
+pub mod topk;
+
+pub use database::{Database, DatabaseError, QueryHit};
+pub use direct::{DirectStats, EvalOptions};
+pub use reference::ReferenceEvaluator;
+pub use schema_eval::{EvalStats, ResultStream, SchemaEvalConfig};

@@ -1,0 +1,321 @@
+//! A deliberately naive reference evaluator (test oracle).
+//!
+//! This module follows the *theoretical* evaluation procedure of Section
+//! 5.3 step by step: break the query into its separated representation,
+//! explicitly enumerate the semi-transformed queries (all combinations of
+//! deletions and renamings), and find embeddings of each by brute-force
+//! recursive search over the data tree, charging insertions through the
+//! node-distance function. It shares no code with the list-algebra
+//! evaluators, which makes it a meaningful oracle for the property tests:
+//! `primary` (direct) and the schema-driven evaluation must produce
+//! exactly the same root–cost pairs.
+//!
+//! The closure of a query is infinite (insertions can be repeated); the
+//! enumeration is finite because insertions are *implicit*: an embedding
+//! maps query edges to ancestor–descendant pairs and pays the insert costs
+//! of the skipped nodes — exactly Definition 8 restated.
+//!
+//! Complexity is exponential in the query size and quadratic in the data
+//! size. Use only on small inputs.
+
+use approxql_cost::{Cost, CostModel, NodeType};
+use approxql_query::{ConjunctiveNode, Query};
+use approxql_tree::{DataTree, NodeId};
+
+/// One semi-transformed query node.
+#[derive(Debug, Clone)]
+struct VNode {
+    label: String,
+    ty: NodeType,
+    children: Vec<VNode>,
+}
+
+/// A semi-transformed query: transformation cost so far plus the number of
+/// original query leaves it retains.
+#[derive(Debug, Clone)]
+struct Variant {
+    root: VNode,
+    cost: Cost,
+    leaves_kept: usize,
+}
+
+/// The oracle evaluator.
+pub struct ReferenceEvaluator<'a> {
+    tree: &'a DataTree,
+    costs: &'a CostModel,
+}
+
+impl<'a> ReferenceEvaluator<'a> {
+    /// Creates an evaluator over `tree` with transformation costs `costs`.
+    /// The tree must have been encoded with the same cost model.
+    pub fn new(tree: &'a DataTree, costs: &'a CostModel) -> Self {
+        ReferenceEvaluator { tree, costs }
+    }
+
+    /// Solves the best-n-pairs problem (Definition 12) naively.
+    /// `None` returns all root–cost pairs.
+    pub fn best_n(
+        &self,
+        query: &Query,
+        n: Option<usize>,
+        enforce_leaf_match: bool,
+    ) -> Vec<(u32, Cost)> {
+        let mut best: Vec<Cost> = vec![Cost::INFINITY; self.tree.len()];
+        for conj in query.separate() {
+            for variant in self.enumerate(&conj.root) {
+                if enforce_leaf_match && variant.leaves_kept == 0 {
+                    continue;
+                }
+                if !variant.cost.is_finite() {
+                    continue;
+                }
+                for d in self.tree.nodes() {
+                    let c = self.embed(&variant.root, d);
+                    if c.is_finite() {
+                        let total = variant.cost + c;
+                        if total < best[d.index()] {
+                            best[d.index()] = total;
+                        }
+                    }
+                }
+            }
+        }
+        let mut pairs: Vec<(u32, Cost)> = best
+            .into_iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_finite())
+            .map(|(i, c)| (i as u32, c))
+            .collect();
+        pairs.sort_by_key(|&(pre, c)| (c, pre));
+        if let Some(n) = n {
+            pairs.truncate(n);
+        }
+        pairs
+    }
+
+    /// Alternatives for one node, each a *splice*: the sequence of nodes
+    /// that takes the original node's place (empty for a deleted leaf,
+    /// the child sequence for a deleted inner node).
+    fn enumerate_splices(
+        &self,
+        node: &ConjunctiveNode,
+        is_root: bool,
+    ) -> Vec<(Vec<VNode>, Cost, usize)> {
+        let ty = match node {
+            ConjunctiveNode::Struct { .. } => NodeType::Struct,
+            ConjunctiveNode::Text { .. } => NodeType::Text,
+        };
+        let label = node.label();
+        let mut out = Vec::new();
+        if node.is_leaf() {
+            // Keep (with original label or any renaming) …
+            out.push((
+                vec![VNode {
+                    label: label.to_owned(),
+                    ty,
+                    children: Vec::new(),
+                }],
+                Cost::ZERO,
+                1,
+            ));
+            for (ren, c_ren) in self.costs.renamings(ty, label) {
+                out.push((
+                    vec![VNode {
+                        label: ren.clone(),
+                        ty,
+                        children: Vec::new(),
+                    }],
+                    *c_ren,
+                    1,
+                ));
+            }
+            // … or delete the leaf (never the root).
+            if !is_root {
+                let del = self.costs.delete_cost(ty, label);
+                if del.is_finite() {
+                    out.push((Vec::new(), del, 0));
+                }
+            }
+            return out;
+        }
+        // Inner node: combine the child splices first.
+        let mut assembled: Vec<(Vec<VNode>, Cost, usize)> =
+            vec![(Vec::new(), Cost::ZERO, 0)];
+        for child in node.children() {
+            let child_splices = self.enumerate_splices(child, false);
+            let mut next = Vec::with_capacity(assembled.len() * child_splices.len());
+            for (nodes, cost, leaves) in &assembled {
+                for (c_nodes, c_cost, c_leaves) in &child_splices {
+                    let mut nodes = nodes.clone();
+                    nodes.extend(c_nodes.iter().cloned());
+                    next.push((nodes, *cost + *c_cost, leaves + c_leaves));
+                }
+            }
+            assembled = next;
+        }
+        for (children, cost, leaves) in &assembled {
+            // Keep the node (original label or renaming) …
+            out.push((
+                vec![VNode {
+                    label: label.to_owned(),
+                    ty,
+                    children: children.clone(),
+                }],
+                *cost,
+                *leaves,
+            ));
+            for (ren, c_ren) in self.costs.renamings(ty, label) {
+                out.push((
+                    vec![VNode {
+                        label: ren.clone(),
+                        ty,
+                        children: children.clone(),
+                    }],
+                    *cost + *c_ren,
+                    *leaves,
+                ));
+            }
+            // … or delete it, splicing the children into the parent.
+            if !is_root {
+                let del = self.costs.delete_cost(ty, label);
+                if del.is_finite() {
+                    out.push((children.clone(), *cost + del, *leaves));
+                }
+            }
+        }
+        out
+    }
+
+    fn enumerate(&self, root: &ConjunctiveNode) -> Vec<Variant> {
+        self.enumerate_splices(root, true)
+            .into_iter()
+            .map(|(mut nodes, cost, leaves_kept)| {
+                debug_assert_eq!(nodes.len(), 1, "the root is never spliced away");
+                Variant {
+                    root: nodes.pop().unwrap(),
+                    cost,
+                    leaves_kept,
+                }
+            })
+            .collect()
+    }
+
+    /// Cost of embedding the semi-transformed subtree `v` with its root
+    /// mapped to data node `d` — infinite if impossible. Insertions are
+    /// charged through [`DataTree::distance`].
+    fn embed(&self, v: &VNode, d: NodeId) -> Cost {
+        if self.tree.node_type(d) != v.ty || self.tree.label(d) != v.label {
+            return Cost::INFINITY;
+        }
+        let mut total = Cost::ZERO;
+        for child in &v.children {
+            let mut best = Cost::INFINITY;
+            for desc in self.tree.descendants_inclusive(d).skip(1) {
+                let sub = self.embed(child, desc);
+                if sub.is_finite() {
+                    best = best.min(self.tree.distance(d, desc) + sub);
+                }
+            }
+            total += best;
+            if !total.is_finite() {
+                return Cost::INFINITY;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxql_cost::tables::paper_section6_costs;
+    use approxql_query::parse_query;
+    use approxql_tree::DataTreeBuilder;
+
+    fn catalog(costs: &CostModel) -> DataTree {
+        let mut b = DataTreeBuilder::new();
+        b.begin_struct("cd");
+        b.begin_struct("title");
+        b.add_text("piano concerto");
+        b.end();
+        b.begin_struct("composer");
+        b.add_text("rachmaninov");
+        b.end();
+        b.end();
+        b.begin_struct("cd");
+        b.begin_struct("title");
+        b.add_text("kinderszenen");
+        b.end();
+        b.begin_struct("tracks");
+        b.begin_struct("track");
+        b.begin_struct("title");
+        b.add_text("vivace piano");
+        b.end();
+        b.end();
+        b.end();
+        b.end();
+        b.build(costs)
+    }
+
+    #[test]
+    fn oracle_finds_the_exact_match() {
+        let costs = paper_section6_costs();
+        let tree = catalog(&costs);
+        let ev = ReferenceEvaluator::new(&tree, &costs);
+        let q = parse_query(r#"cd[title["piano" and "concerto"]]"#).unwrap();
+        let hits = ev.best_n(&q, None, true);
+        assert_eq!(hits[0], (1, Cost::ZERO));
+        assert_eq!(hits[1], (7, Cost::finite(8)));
+    }
+
+    #[test]
+    fn oracle_agrees_with_primary_on_the_catalog() {
+        let costs = paper_section6_costs();
+        let tree = catalog(&costs);
+        let index = approxql_index::LabelIndex::build(&tree);
+        let ev = ReferenceEvaluator::new(&tree, &costs);
+        for query in [
+            r#"cd[title["piano"]]"#,
+            r#"cd[title["piano" and "concerto"]]"#,
+            r#"cd[track[title["piano" and "concerto"]] and composer["rachmaninov"]]"#,
+            r#"cd[title["concerto" or "kinderszenen"]]"#,
+            r#"mc[title["piano"]]"#,
+            "cd[tracks]",
+            "cd",
+        ] {
+            let q = parse_query(query).unwrap();
+            let ex = approxql_query::expand::ExpandedQuery::build(&q, &costs);
+            let (fast, _) = crate::direct::best_n(
+                &ex,
+                &index,
+                tree.interner(),
+                None,
+                crate::direct::EvalOptions::default(),
+            );
+            let slow = ev.best_n(&q, None, true);
+            assert_eq!(fast, slow, "oracle mismatch for {query}");
+        }
+    }
+
+    #[test]
+    fn oracle_respects_leaf_rule_flag() {
+        let costs = CostModel::builder()
+            .delete(NodeType::Text, "nonexistent", Cost::finite(1))
+            .build();
+        let tree = catalog(&costs);
+        let ev = ReferenceEvaluator::new(&tree, &costs);
+        let q = parse_query(r#"cd[title["nonexistent"]]"#).unwrap();
+        assert!(ev.best_n(&q, None, true).is_empty());
+        let loose = ev.best_n(&q, None, false);
+        assert_eq!(loose.len(), 2);
+    }
+
+    #[test]
+    fn oracle_truncates_to_n() {
+        let costs = paper_section6_costs();
+        let tree = catalog(&costs);
+        let ev = ReferenceEvaluator::new(&tree, &costs);
+        let q = parse_query(r#"cd[title["piano"]]"#).unwrap();
+        assert_eq!(ev.best_n(&q, Some(1), true).len(), 1);
+    }
+}

@@ -1,0 +1,609 @@
+//! The adapted top-k list operations of Section 7.2.
+//!
+//! Run against the *schema*, the evaluation must keep not just the best
+//! embedding per (query subtree, schema subtree) but the best **k** — each
+//! one a distinct *second-level query*. Lists therefore consist of
+//! *segments*: runs of entries with the same preorder number, sorted by
+//! cost, at most `k` entries long.
+//!
+//! Entries are extended by a `label` (the matched, possibly renamed label)
+//! and by `children` pointers to the skeleton nodes of the embedding image
+//! (the paper's `pointers` set); a root entry plus the nodes reachable
+//! through the pointers *is* the second-level query.
+//!
+//! Unlike the direct evaluation's grouped minima, each top-k entry is one
+//! concrete embedding, so the leaf rule reduces to a boolean flag.
+
+use approxql_index::LabelIndex;
+use approxql_tree::{Cost, LabelId, NodeType};
+use std::rc::Rc;
+
+/// A node of a second-level query: a schema node, the (possibly renamed)
+/// label it must carry, and the required descendant skeletons.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Skeleton {
+    /// Preorder number of the schema node.
+    pub pre: u32,
+    /// Label the instances must carry (for struct nodes: the node name;
+    /// for text classes: the matched word).
+    pub label: LabelId,
+    /// Required descendants.
+    pub children: Vec<Rc<Skeleton>>,
+}
+
+impl Skeleton {
+    /// Number of nodes in this skeleton.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(|c| c.size()).sum::<usize>()
+    }
+}
+
+/// A top-k list entry (Section 7.2's extended entry structure).
+#[derive(Debug, Clone)]
+pub struct KEntry {
+    /// Preorder number of the schema node.
+    pub pre: u32,
+    /// Bound of the schema node.
+    pub bound: u32,
+    /// Pathcost of the schema node.
+    pub pathcost: Cost,
+    /// Insert cost of the schema node.
+    pub inscost: Cost,
+    /// Embedding cost of this (single) embedding.
+    pub cost: Cost,
+    /// Whether the embedding matches at least one original query leaf.
+    pub has_leaf: bool,
+    /// The matched label (the paper's `label` component).
+    pub label: LabelId,
+    /// Skeletons of the matched descendants (the paper's `pointers`).
+    pub children: Vec<Rc<Skeleton>>,
+}
+
+impl KEntry {
+    /// Materializes the skeleton rooted at this entry.
+    pub fn skeleton(&self) -> Rc<Skeleton> {
+        Rc::new(Skeleton {
+            pre: self.pre,
+            label: self.label,
+            children: self.children.clone(),
+        })
+    }
+}
+
+/// A segmented list: sorted by `pre`; entries with equal `pre` form a
+/// segment sorted by cost, at most `k` long.
+pub type KList = Vec<KEntry>;
+
+/// Iterates over the segments (maximal equal-`pre` runs) of a list.
+pub fn segments(list: &KList) -> impl Iterator<Item = &[KEntry]> {
+    SegmentIter { list, pos: 0 }
+}
+
+struct SegmentIter<'a> {
+    list: &'a KList,
+    pos: usize,
+}
+
+impl<'a> Iterator for SegmentIter<'a> {
+    type Item = &'a [KEntry];
+
+    fn next(&mut self) -> Option<&'a [KEntry]> {
+        if self.pos >= self.list.len() {
+            return None;
+        }
+        let start = self.pos;
+        let pre = self.list[start].pre;
+        while self.pos < self.list.len() && self.list[self.pos].pre == pre {
+            self.pos += 1;
+        }
+        Some(&self.list[start..self.pos])
+    }
+}
+
+fn push_segment(out: &mut KList, mut seg: Vec<KEntry>, k: usize) {
+    seg.sort_by_key(|e| e.cost); // stable: creation order breaks ties
+    seg.truncate(k);
+    out.extend(seg);
+}
+
+/// `fetch` for the schema run: one zero-cost entry per schema node, tagged
+/// with the fetched label.
+pub fn fetch_k(index: &LabelIndex, ty: NodeType, label: LabelId, is_leaf: bool) -> KList {
+    index
+        .fetch(ty, label)
+        .iter()
+        .map(|p| KEntry {
+            pre: p.pre,
+            bound: p.bound,
+            pathcost: p.pathcost,
+            inscost: p.inscost,
+            cost: Cost::ZERO,
+            has_leaf: is_leaf,
+            label,
+            children: Vec::new(),
+        })
+        .collect()
+}
+
+/// Adds `c` to every entry's cost.
+pub fn shift_k(mut l: KList, c: Cost) -> KList {
+    if c != Cost::ZERO {
+        for e in &mut l {
+            e.cost += c;
+        }
+    }
+    l
+}
+
+/// `merge` for segments: interleaves two lists; entries from `right` pay
+/// `c_ren`. Segments falling on the same schema node (two words sharing a
+/// text class) are merged and re-capped at `k`.
+pub fn merge_k(left: &KList, right: &KList, c_ren: Cost, k: usize) -> KList {
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    let mut ls = segments(left).peekable();
+    let mut rs = segments(right).peekable();
+    loop {
+        match (ls.peek(), rs.peek()) {
+            (None, None) => break,
+            (Some(_), None) => out.extend(ls.next().unwrap().iter().cloned()),
+            (None, Some(_)) => {
+                let seg: Vec<KEntry> = rs
+                    .next()
+                    .unwrap()
+                    .iter()
+                    .cloned()
+                    .map(|mut e| {
+                        e.cost += c_ren;
+                        e
+                    })
+                    .collect();
+                push_segment(&mut out, seg, k);
+            }
+            (Some(l), Some(r)) => {
+                if l[0].pre < r[0].pre {
+                    out.extend(ls.next().unwrap().iter().cloned());
+                } else if r[0].pre < l[0].pre {
+                    let seg: Vec<KEntry> = rs
+                        .next()
+                        .unwrap()
+                        .iter()
+                        .cloned()
+                        .map(|mut e| {
+                            e.cost += c_ren;
+                            e
+                        })
+                        .collect();
+                    push_segment(&mut out, seg, k);
+                } else {
+                    let mut seg: Vec<KEntry> = ls.next().unwrap().to_vec();
+                    seg.extend(rs.next().unwrap().iter().cloned().map(|mut e| {
+                        e.cost += c_ren;
+                        e
+                    }));
+                    push_segment(&mut out, seg, k);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Candidate collected while scanning an ancestor's descendant interval.
+#[derive(Clone)]
+struct Candidate {
+    /// `pathcost(d) + cost(d)` — ordering key (ancestor shift is constant).
+    key: Cost,
+    /// Index into the descendant list (deterministic tiebreak).
+    seq: usize,
+}
+
+/// Bounded candidate collector (keeps the `k` smallest keys).
+struct TopK {
+    k: usize,
+    items: Vec<Candidate>, // small k: linear maintenance is fine
+}
+
+impl TopK {
+    fn new(k: usize) -> TopK {
+        TopK {
+            k,
+            items: Vec::new(),
+        }
+    }
+
+    fn offer(&mut self, c: Candidate) {
+        if !c.key.is_finite() {
+            return;
+        }
+        let pos = self
+            .items
+            .partition_point(|x| (x.key, x.seq) <= (c.key, c.seq));
+        if pos >= self.k {
+            return;
+        }
+        self.items.insert(pos, c);
+        self.items.truncate(self.k);
+    }
+
+    fn absorb(&mut self, other: TopK) {
+        for c in other.items {
+            self.offer(c);
+        }
+    }
+}
+
+/// Core of `join`/`outerjoin` (Section 7.2): for each ancestor, the best
+/// `k` descendants by `distance + cost`, via the same fold-on-pop stack as
+/// the direct join.
+fn interval_topk(ancestors: &KList, descendants: &KList, k: usize) -> Vec<TopK> {
+    let mut result: Vec<TopK> = (0..ancestors.len()).map(|_| TopK::new(k)).collect();
+    let mut stack: Vec<(usize, TopK)> = Vec::new();
+    let (mut i, mut j) = (0, 0);
+
+    macro_rules! close_until {
+        ($pre:expr) => {
+            while let Some((top, _)) = stack.last() {
+                if ancestors[*top].bound >= $pre {
+                    break;
+                }
+                let (top, collected) = stack.pop().unwrap();
+                if let Some((_, parent)) = stack.last_mut() {
+                    let mut copy = TopK::new(k);
+                    copy.items = collected.items.clone();
+                    parent.absorb(copy);
+                }
+                result[top] = collected;
+            }
+        };
+    }
+
+    while i < ancestors.len() || j < descendants.len() {
+        let descendant_turn = match (ancestors.get(i), descendants.get(j)) {
+            (Some(a), Some(d)) => d.pre <= a.pre,
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        if descendant_turn {
+            let d = &descendants[j];
+            close_until!(d.pre);
+            if let Some((top, coll)) = stack.last_mut() {
+                if ancestors[*top].pre < d.pre {
+                    coll.offer(Candidate {
+                        key: d.pathcost + d.cost,
+                        seq: j,
+                    });
+                }
+            }
+            j += 1;
+        } else {
+            let pre = ancestors[i].pre;
+            close_until!(pre);
+            stack.push((i, TopK::new(k)));
+            i += 1;
+        }
+    }
+    close_until!(u32::MAX);
+    result
+}
+
+fn emit_descendant(a: &KEntry, d: &KEntry, key: Cost, c_edge: Cost) -> KEntry {
+    let cost = key
+        .checked_sub(a.pathcost)
+        .and_then(|c| c.checked_sub(a.inscost))
+        .expect("descendant pathcost covers ancestor pathcost + inscost")
+        + c_edge;
+    KEntry {
+        cost,
+        has_leaf: d.has_leaf,
+        children: vec![d.skeleton()],
+        ..a.clone()
+    }
+}
+
+/// `join` (Section 7.2): for each ancestor, one output entry per kept
+/// descendant (at most `k`), pointer set initialized with that descendant.
+pub fn join_k(ancestors: &KList, descendants: &KList, c_edge: Cost, k: usize) -> KList {
+    let collected = interval_topk(ancestors, descendants, k);
+    let mut out = Vec::new();
+    for (a, coll) in ancestors.iter().zip(collected) {
+        for c in &coll.items {
+            out.push(emit_descendant(a, &descendants[c.seq], c.key, c_edge));
+        }
+    }
+    out
+}
+
+/// `outerjoin` (Section 7.2): like `join`, plus the deletion alternative
+/// (cost `c_del`, empty pointer set) competing for the `k` slots.
+pub fn outerjoin_k(
+    ancestors: &KList,
+    descendants: &KList,
+    c_edge: Cost,
+    c_del: Cost,
+    k: usize,
+) -> KList {
+    let collected = interval_topk(ancestors, descendants, k);
+    let mut out = Vec::new();
+    for (a, coll) in ancestors.iter().zip(collected) {
+        let mut seg: Vec<KEntry> = coll
+            .items
+            .iter()
+            .map(|c| emit_descendant(a, &descendants[c.seq], c.key, c_edge))
+            .collect();
+        if c_del.is_finite() {
+            seg.push(KEntry {
+                cost: c_del + c_edge,
+                has_leaf: false,
+                children: Vec::new(),
+                ..a.clone()
+            });
+        }
+        push_segment(&mut out, seg, k);
+    }
+    out
+}
+
+/// `intersect` (Section 7.2): for segments on the same schema node, the
+/// `k` cheapest pairs; pointer sets are united.
+pub fn intersect_k(left: &KList, right: &KList, c_edge: Cost, k: usize) -> KList {
+    let mut out = Vec::new();
+    let mut ls = segments(left).peekable();
+    let mut rs = segments(right).peekable();
+    while let (Some(l), Some(r)) = (ls.peek(), rs.peek()) {
+        if l[0].pre < r[0].pre {
+            ls.next();
+        } else if r[0].pre < l[0].pre {
+            rs.next();
+        } else {
+            let (l, r) = (ls.next().unwrap(), rs.next().unwrap());
+            let mut seg = Vec::with_capacity(l.len() * r.len());
+            for a in l {
+                for b in r {
+                    let cost = a.cost + b.cost + c_edge;
+                    if !cost.is_finite() {
+                        continue;
+                    }
+                    let mut children = a.children.clone();
+                    children.extend(b.children.iter().cloned());
+                    seg.push(KEntry {
+                        cost,
+                        has_leaf: a.has_leaf || b.has_leaf,
+                        children,
+                        ..a.clone()
+                    });
+                }
+            }
+            push_segment(&mut out, seg, k);
+        }
+    }
+    out
+}
+
+/// `union` (Section 7.2): merges segments on the same schema node, keeping
+/// the best `k`; lone segments are copied. `c_edge` applies to every
+/// output entry.
+pub fn union_k(left: &KList, right: &KList, c_edge: Cost, k: usize) -> KList {
+    let mut out = Vec::new();
+    let mut ls = segments(left).peekable();
+    let mut rs = segments(right).peekable();
+    loop {
+        let seg: Vec<KEntry> = match (ls.peek(), rs.peek()) {
+            (None, None) => break,
+            (Some(l), None) => {
+                let _ = l;
+                ls.next().unwrap().to_vec()
+            }
+            (None, Some(_)) => rs.next().unwrap().to_vec(),
+            (Some(l), Some(r)) => {
+                if l[0].pre < r[0].pre {
+                    ls.next().unwrap().to_vec()
+                } else if r[0].pre < l[0].pre {
+                    rs.next().unwrap().to_vec()
+                } else {
+                    let mut seg = ls.next().unwrap().to_vec();
+                    seg.extend(rs.next().unwrap().iter().cloned());
+                    seg
+                }
+            }
+        };
+        let seg = seg
+            .into_iter()
+            .map(|mut e| {
+                e.cost += c_edge;
+                e
+            })
+            .filter(|e| e.cost.is_finite())
+            .collect();
+        push_segment(&mut out, seg, k);
+    }
+    out
+}
+
+/// Final `sort` for the schema run: flattens the root list into the best
+/// `k` second-level queries, ordered by `(cost, pre, segment position)`.
+pub fn sort_k_best(k: usize, list: &KList, require_leaf: bool) -> Vec<KEntry> {
+    let mut indexed: Vec<(usize, &KEntry)> = list
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.cost.is_finite() && (!require_leaf || e.has_leaf))
+        .collect();
+    indexed.sort_by_key(|(i, e)| (e.cost, e.pre, *i));
+    indexed.into_iter().take(k).map(|(_, e)| e.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ke(pre: u32, bound: u32, pathcost: u64, cost: u64, label: u32) -> KEntry {
+        KEntry {
+            pre,
+            bound,
+            pathcost: Cost::finite(pathcost),
+            inscost: Cost::finite(1),
+            cost: Cost::finite(cost),
+            has_leaf: true,
+            label: LabelId(label),
+            children: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn segments_group_by_pre() {
+        let l = vec![ke(1, 1, 0, 0, 0), ke(1, 1, 0, 2, 0), ke(4, 4, 0, 1, 0)];
+        let segs: Vec<usize> = segments(&l).map(|s| s.len()).collect();
+        assert_eq!(segs, vec![2, 1]);
+    }
+
+    #[test]
+    fn join_k_emits_k_copies_per_ancestor() {
+        let anc = vec![ke(1, 9, 0, 0, 7)];
+        let desc = vec![ke(3, 3, 2, 5, 1), ke(4, 4, 2, 1, 2), ke(5, 5, 2, 3, 3)];
+        let j = join_k(&anc, &desc, Cost::ZERO, 2);
+        assert_eq!(j.len(), 2);
+        // distance = 2 - 0 - 1 = 1; best costs 1+1=2 and 3+1=4.
+        assert_eq!(j[0].cost, Cost::finite(2));
+        assert_eq!(j[1].cost, Cost::finite(4));
+        // pointers reference the matched descendants.
+        assert_eq!(j[0].children[0].pre, 4);
+        assert_eq!(j[1].children[0].pre, 5);
+        // the ancestor's own label is preserved.
+        assert_eq!(j[0].label, LabelId(7));
+    }
+
+    #[test]
+    fn join_k_with_k1_equals_min() {
+        let anc = vec![ke(1, 9, 0, 0, 0)];
+        let desc = vec![ke(3, 3, 2, 5, 1), ke(4, 4, 2, 1, 2)];
+        let j = join_k(&anc, &desc, Cost::ZERO, 1);
+        assert_eq!(j.len(), 1);
+        assert_eq!(j[0].cost, Cost::finite(2));
+    }
+
+    #[test]
+    fn outerjoin_k_inserts_deletion_candidate_in_order() {
+        let anc = vec![ke(1, 9, 0, 0, 0)];
+        let desc = vec![ke(3, 3, 2, 5, 1)]; // match cost 6
+        let oj = outerjoin_k(&anc, &desc, Cost::ZERO, Cost::finite(4), 2);
+        assert_eq!(oj.len(), 2);
+        assert_eq!(oj[0].cost, Cost::finite(4)); // deletion first
+        assert!(!oj[0].has_leaf);
+        assert!(oj[0].children.is_empty());
+        assert_eq!(oj[1].cost, Cost::finite(6));
+        assert!(oj[1].has_leaf);
+    }
+
+    #[test]
+    fn outerjoin_k_keeps_ancestor_without_descendants() {
+        let anc = vec![ke(1, 9, 0, 0, 0)];
+        let oj = outerjoin_k(&anc, &vec![], Cost::ZERO, Cost::finite(4), 3);
+        assert_eq!(oj.len(), 1);
+        assert_eq!(oj[0].cost, Cost::finite(4));
+        let oj = outerjoin_k(&anc, &vec![], Cost::ZERO, Cost::INFINITY, 3);
+        assert!(oj.is_empty());
+    }
+
+    #[test]
+    fn intersect_k_takes_best_pairs_and_unions_pointers() {
+        let mut a1 = ke(2, 5, 0, 1, 0);
+        a1.children = vec![Rc::new(Skeleton {
+            pre: 3,
+            label: LabelId(1),
+            children: vec![],
+        })];
+        let mut b1 = ke(2, 5, 0, 2, 0);
+        b1.children = vec![Rc::new(Skeleton {
+            pre: 4,
+            label: LabelId(2),
+            children: vec![],
+        })];
+        let x = intersect_k(&vec![a1], &vec![b1], Cost::finite(1), 4);
+        assert_eq!(x.len(), 1);
+        assert_eq!(x[0].cost, Cost::finite(4));
+        assert_eq!(x[0].children.len(), 2);
+    }
+
+    #[test]
+    fn intersect_k_caps_pairs_at_k() {
+        let l = vec![ke(2, 5, 0, 0, 0), ke(2, 5, 0, 1, 0)];
+        let r = vec![ke(2, 5, 0, 0, 0), ke(2, 5, 0, 10, 0)];
+        let x = intersect_k(&l, &r, Cost::ZERO, 3);
+        assert_eq!(x.len(), 3);
+        let costs: Vec<Cost> = x.iter().map(|e| e.cost).collect();
+        assert_eq!(costs, vec![Cost::ZERO, Cost::finite(1), Cost::finite(10)]);
+    }
+
+    #[test]
+    fn union_k_merges_segments() {
+        let l = vec![ke(2, 5, 0, 3, 0)];
+        let r = vec![ke(2, 5, 0, 1, 0), ke(7, 7, 0, 0, 0)];
+        let u = union_k(&l, &r, Cost::ZERO, 1);
+        // segment at 2 keeps only the cheaper entry; segment at 7 copied.
+        assert_eq!(u.len(), 2);
+        assert_eq!(u[0].cost, Cost::finite(1));
+        assert_eq!(u[1].pre, 7);
+    }
+
+    #[test]
+    fn merge_k_charges_renames_and_recaps() {
+        let l = vec![ke(2, 5, 0, 0, 10)];
+        let r = vec![ke(2, 5, 0, 0, 11), ke(3, 3, 0, 0, 11)];
+        let m = merge_k(&l, &r, Cost::finite(2), 1);
+        // shared segment at 2: original (0) beats renamed (2); k=1 keeps 1.
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].cost, Cost::ZERO);
+        assert_eq!(m[0].label, LabelId(10));
+        assert_eq!(m[1].pre, 3);
+        assert_eq!(m[1].cost, Cost::finite(2));
+        assert_eq!(m[1].label, LabelId(11));
+    }
+
+    #[test]
+    fn sort_k_best_filters_and_orders() {
+        let mut no_leaf = ke(5, 5, 0, 0, 0);
+        no_leaf.has_leaf = false;
+        let l = vec![ke(9, 9, 0, 2, 0), no_leaf, ke(1, 1, 0, 1, 0)];
+        let best = sort_k_best(10, &l, true);
+        assert_eq!(best.len(), 2);
+        assert_eq!(best[0].pre, 1);
+        assert_eq!(best[1].pre, 9);
+        let best = sort_k_best(10, &l, false);
+        assert_eq!(best.len(), 3);
+        assert_eq!(best[0].pre, 5);
+    }
+
+    #[test]
+    fn nested_ancestors_fold_candidates() {
+        // outer(1..9) contains inner(2..5); descendant at 4 counts for
+        // both, descendant at 7 only for the outer.
+        let anc = vec![ke(1, 9, 0, 0, 0), ke(2, 5, 1, 0, 0)];
+        let desc = vec![ke(4, 4, 2, 0, 1), ke(7, 7, 1, 0, 2)];
+        let j = join_k(&anc, &desc, Cost::ZERO, 2);
+        let outer: Vec<_> = j.iter().filter(|e| e.pre == 1).collect();
+        let inner: Vec<_> = j.iter().filter(|e| e.pre == 2).collect();
+        assert_eq!(outer.len(), 2);
+        assert_eq!(inner.len(), 1);
+        assert_eq!(inner[0].children[0].pre, 4);
+    }
+
+    #[test]
+    fn skeleton_size_counts_nodes() {
+        let s = Skeleton {
+            pre: 0,
+            label: LabelId(0),
+            children: vec![
+                Rc::new(Skeleton {
+                    pre: 1,
+                    label: LabelId(1),
+                    children: vec![],
+                }),
+                Rc::new(Skeleton {
+                    pre: 2,
+                    label: LabelId(2),
+                    children: vec![],
+                }),
+            ],
+        };
+        assert_eq!(s.size(), 3);
+    }
+}

@@ -1,0 +1,323 @@
+//! The label-bound cost model (Definition 6, "simplest variant").
+
+use crate::Cost;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The two node types of the data model of Section 4.
+///
+/// `Struct` nodes represent elements and attribute names; `Text` nodes
+/// represent single words of element text or attribute values. Queries are
+/// typed the same way: name selectors map to `Struct`, text selectors to
+/// `Text`. Costs are keyed by `(NodeType, label)` so that an element named
+/// `concerto` and the word `"concerto"` can carry different costs.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum NodeType {
+    /// An element or attribute-name node.
+    Struct,
+    /// A single word of text or of an attribute value.
+    Text,
+}
+
+impl NodeType {
+    /// Short lowercase name used in cost files (`name` / `term`).
+    pub fn keyword(self) -> &'static str {
+        match self {
+            NodeType::Struct => "name",
+            NodeType::Text => "term",
+        }
+    }
+}
+
+impl fmt::Display for NodeType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// Errors raised while building a [`CostModel`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum CostModelError {
+    /// Insert costs must be finite: they enter `pathcost` sums on every data
+    /// node and an infinite value would poison the distance computation.
+    InfiniteInsertCost { label: String },
+    /// A rename from a label to itself is meaningless (it is the identity).
+    SelfRename { label: String },
+}
+
+impl fmt::Display for CostModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostModelError::InfiniteInsertCost { label } => {
+                write!(f, "insert cost for label `{label}` must be finite")
+            }
+            CostModelError::SelfRename { label } => {
+                write!(f, "rename of label `{label}` to itself is not allowed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostModelError {}
+
+type LabelKey = (NodeType, String);
+
+/// Costs of the basic query transformations, bound to labels.
+///
+/// Lookup semantics follow Section 6 of the paper:
+///
+/// * [`CostModel::insert_cost`] falls back to a finite default (paper: `1`),
+/// * [`CostModel::delete_cost`] and [`CostModel::rename_cost`] fall back to
+///   [`Cost::INFINITY`] ("all delete and rename costs not listed in the
+///   table are infinite").
+#[derive(Clone, Debug, Default)]
+pub struct CostModel {
+    insert_default: u64,
+    insert: HashMap<LabelKey, Cost>,
+    delete: HashMap<LabelKey, Cost>,
+    /// `(type, from) -> [(to, cost)]`, kept sorted by `to` for determinism.
+    rename: HashMap<LabelKey, Vec<(String, Cost)>>,
+}
+
+impl CostModel {
+    /// An empty model: inserts cost 1, deletes and renames are forbidden.
+    pub fn new() -> CostModel {
+        CostModel {
+            insert_default: 1,
+            ..CostModel::default()
+        }
+    }
+
+    /// Starts building a model.
+    pub fn builder() -> CostModelBuilder {
+        CostModelBuilder {
+            model: CostModel::new(),
+        }
+    }
+
+    /// The default insert cost applied to unlisted labels.
+    pub fn insert_default(&self) -> Cost {
+        Cost::finite(self.insert_default)
+    }
+
+    /// Cost of inserting a node with this label into a query. Always finite.
+    pub fn insert_cost(&self, ty: NodeType, label: &str) -> Cost {
+        self.insert
+            .get(&(ty, label.to_owned()))
+            .copied()
+            .unwrap_or(Cost::finite(self.insert_default))
+    }
+
+    /// Cost of deleting a query node with this label (infinite if unlisted).
+    pub fn delete_cost(&self, ty: NodeType, label: &str) -> Cost {
+        self.delete
+            .get(&(ty, label.to_owned()))
+            .copied()
+            .unwrap_or(Cost::INFINITY)
+    }
+
+    /// Cost of renaming `from` to `to` (infinite if unlisted).
+    pub fn rename_cost(&self, ty: NodeType, from: &str, to: &str) -> Cost {
+        if from == to {
+            return Cost::ZERO;
+        }
+        self.rename
+            .get(&(ty, from.to_owned()))
+            .and_then(|v| {
+                v.iter()
+                    .find(|(t, _)| t == to)
+                    .map(|&(_, c)| c)
+            })
+            .unwrap_or(Cost::INFINITY)
+    }
+
+    /// All finite renamings of a label, sorted by target label.
+    pub fn renamings(&self, ty: NodeType, from: &str) -> &[(String, Cost)] {
+        self.rename
+            .get(&(ty, from.to_owned()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterates over all explicitly listed insert costs.
+    pub fn listed_inserts(&self) -> impl Iterator<Item = (NodeType, &str, Cost)> {
+        self.insert.iter().map(|((ty, l), c)| (*ty, l.as_str(), *c))
+    }
+
+    /// Iterates over all explicitly listed delete costs.
+    pub fn listed_deletes(&self) -> impl Iterator<Item = (NodeType, &str, Cost)> {
+        self.delete.iter().map(|((ty, l), c)| (*ty, l.as_str(), *c))
+    }
+
+    /// Iterates over all explicitly listed renamings.
+    pub fn listed_renames(&self) -> impl Iterator<Item = (NodeType, &str, &str, Cost)> {
+        self.rename.iter().flat_map(|((ty, from), v)| {
+            v.iter().map(move |(to, c)| (*ty, from.as_str(), to.as_str(), *c))
+        })
+    }
+
+    /// Number of explicitly listed entries (inserts + deletes + renames).
+    pub fn len(&self) -> usize {
+        self.insert.len() + self.delete.len() + self.rename.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// `true` if no explicit costs are listed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Builder for [`CostModel`].
+#[derive(Clone, Debug)]
+pub struct CostModelBuilder {
+    model: CostModel,
+}
+
+impl CostModelBuilder {
+    /// Sets the default insert cost for unlisted labels (paper: `1`).
+    pub fn insert_default(mut self, cost: u64) -> Self {
+        self.model.insert_default = cost;
+        self
+    }
+
+    /// Lists an explicit insert cost. The cost must be finite.
+    pub fn insert(mut self, ty: NodeType, label: &str, cost: Cost) -> Self {
+        assert!(
+            cost.is_finite(),
+            "insert cost for `{label}` must be finite (it enters pathcost sums)"
+        );
+        self.model.insert.insert((ty, label.to_owned()), cost);
+        self
+    }
+
+    /// Lists an explicit delete cost.
+    pub fn delete(mut self, ty: NodeType, label: &str, cost: Cost) -> Self {
+        self.model.delete.insert((ty, label.to_owned()), cost);
+        self
+    }
+
+    /// Lists an explicit rename cost. Self-renames are rejected.
+    pub fn rename(mut self, ty: NodeType, from: &str, to: &str, cost: Cost) -> Self {
+        assert!(from != to, "rename of `{from}` to itself is not allowed");
+        let entry = self
+            .model
+            .rename
+            .entry((ty, from.to_owned()))
+            .or_default();
+        match entry.iter_mut().find(|(t, _)| t == to) {
+            Some(slot) => slot.1 = cost,
+            None => {
+                entry.push((to.to_owned(), cost));
+                entry.sort_by(|a, b| a.0.cmp(&b.0));
+            }
+        }
+        self
+    }
+
+    /// Finishes the model.
+    pub fn build(self) -> CostModel {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CostModel {
+        CostModel::builder()
+            .insert_default(1)
+            .insert(NodeType::Struct, "title", Cost::finite(3))
+            .delete(NodeType::Struct, "track", Cost::finite(3))
+            .delete(NodeType::Text, "concerto", Cost::finite(6))
+            .rename(NodeType::Struct, "cd", "dvd", Cost::finite(6))
+            .rename(NodeType::Struct, "cd", "mc", Cost::finite(4))
+            .rename(NodeType::Text, "concerto", "sonata", Cost::finite(3))
+            .build()
+    }
+
+    #[test]
+    fn insert_defaults_to_one() {
+        let m = sample();
+        assert_eq!(m.insert_cost(NodeType::Struct, "unknown"), Cost::finite(1));
+        assert_eq!(m.insert_cost(NodeType::Struct, "title"), Cost::finite(3));
+    }
+
+    #[test]
+    fn delete_defaults_to_infinity() {
+        let m = sample();
+        assert_eq!(m.delete_cost(NodeType::Struct, "unknown"), Cost::INFINITY);
+        assert_eq!(m.delete_cost(NodeType::Struct, "track"), Cost::finite(3));
+        assert_eq!(m.delete_cost(NodeType::Text, "concerto"), Cost::finite(6));
+    }
+
+    #[test]
+    fn deletes_are_typed() {
+        let m = sample();
+        // `concerto` the *element* is not deletable, only the word is.
+        assert_eq!(m.delete_cost(NodeType::Struct, "concerto"), Cost::INFINITY);
+    }
+
+    #[test]
+    fn rename_defaults_to_infinity() {
+        let m = sample();
+        assert_eq!(
+            m.rename_cost(NodeType::Struct, "cd", "dvd"),
+            Cost::finite(6)
+        );
+        assert_eq!(
+            m.rename_cost(NodeType::Struct, "cd", "vhs"),
+            Cost::INFINITY
+        );
+    }
+
+    #[test]
+    fn identity_rename_is_free() {
+        let m = sample();
+        assert_eq!(m.rename_cost(NodeType::Struct, "cd", "cd"), Cost::ZERO);
+    }
+
+    #[test]
+    fn renamings_are_sorted_by_target() {
+        let m = sample();
+        let r = m.renamings(NodeType::Struct, "cd");
+        assert_eq!(
+            r,
+            &[
+                ("dvd".to_owned(), Cost::finite(6)),
+                ("mc".to_owned(), Cost::finite(4))
+            ]
+        );
+        assert!(m.renamings(NodeType::Struct, "title").is_empty());
+    }
+
+    #[test]
+    fn rename_overwrite_updates_cost() {
+        let m = CostModel::builder()
+            .rename(NodeType::Struct, "a", "b", Cost::finite(5))
+            .rename(NodeType::Struct, "a", "b", Cost::finite(2))
+            .build();
+        assert_eq!(m.rename_cost(NodeType::Struct, "a", "b"), Cost::finite(2));
+        assert_eq!(m.renamings(NodeType::Struct, "a").len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_rename_panics() {
+        let _ = CostModel::builder().rename(NodeType::Struct, "a", "a", Cost::finite(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn infinite_insert_panics() {
+        let _ = CostModel::builder().insert(NodeType::Struct, "a", Cost::INFINITY);
+    }
+
+    #[test]
+    fn len_counts_all_entries() {
+        let m = sample();
+        assert_eq!(m.len(), 1 + 2 + 3);
+        assert!(!m.is_empty());
+        assert!(CostModel::new().is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! Canonical cost tables from the paper, used by tests, examples, and the
+//! paper-example integration suite.
+
+use crate::{Cost, CostModel, NodeType};
+
+/// The example cost table of Section 6:
+///
+/// | insertion | cost | deletion     | cost | renaming              | cost |
+/// |-----------|------|--------------|------|-----------------------|------|
+/// | category  | 4    | composer     | 7    | cd → dvd              | 6    |
+/// | cd        | 2    | "concerto"   | 6    | cd → mc               | 4    |
+/// | composer  | 5    | "piano"      | 8    | composer → performer  | 4    |
+/// | performer | 5    | title        | 5    | "concerto" → "sonata" | 3    |
+/// | title     | 3    | track        | 3    | title → category      | 4    |
+///
+/// All unlisted delete and rename costs are infinite; all remaining insert
+/// costs are 1.
+pub fn paper_section6_costs() -> CostModel {
+    CostModel::builder()
+        .insert_default(1)
+        .insert(NodeType::Struct, "category", Cost::finite(4))
+        .insert(NodeType::Struct, "cd", Cost::finite(2))
+        .insert(NodeType::Struct, "composer", Cost::finite(5))
+        .insert(NodeType::Struct, "performer", Cost::finite(5))
+        .insert(NodeType::Struct, "title", Cost::finite(3))
+        .delete(NodeType::Struct, "composer", Cost::finite(7))
+        .delete(NodeType::Text, "concerto", Cost::finite(6))
+        .delete(NodeType::Text, "piano", Cost::finite(8))
+        .delete(NodeType::Struct, "title", Cost::finite(5))
+        .delete(NodeType::Struct, "track", Cost::finite(3))
+        .rename(NodeType::Struct, "cd", "dvd", Cost::finite(6))
+        .rename(NodeType::Struct, "cd", "mc", Cost::finite(4))
+        .rename(NodeType::Struct, "composer", "performer", Cost::finite(4))
+        .rename(NodeType::Text, "concerto", "sonata", Cost::finite(3))
+        .rename(NodeType::Struct, "title", "category", Cost::finite(4))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section6_table_matches_paper() {
+        let m = paper_section6_costs();
+        assert_eq!(m.insert_cost(NodeType::Struct, "category"), Cost::finite(4));
+        assert_eq!(m.insert_cost(NodeType::Struct, "cd"), Cost::finite(2));
+        assert_eq!(m.insert_cost(NodeType::Struct, "tracks"), Cost::finite(1));
+        assert_eq!(m.delete_cost(NodeType::Struct, "track"), Cost::finite(3));
+        assert_eq!(m.delete_cost(NodeType::Text, "piano"), Cost::finite(8));
+        assert_eq!(m.delete_cost(NodeType::Struct, "cd"), Cost::INFINITY);
+        assert_eq!(m.rename_cost(NodeType::Struct, "cd", "dvd"), Cost::finite(6));
+        assert_eq!(
+            m.rename_cost(NodeType::Struct, "title", "category"),
+            Cost::finite(4)
+        );
+        assert_eq!(
+            m.rename_cost(NodeType::Text, "concerto", "sonata"),
+            Cost::finite(3)
+        );
+        assert_eq!(m.len(), 15);
+    }
+}

@@ -1,0 +1,346 @@
+//! Synthetic XML collections (the Aboulnaga/Naughton/Zhang stand-in).
+
+use crate::zipf::Zipf;
+use approxql_cost::CostModel;
+use approxql_tree::{DataTree, DataTreeBuilder};
+use approxql_xml::Element;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic collection. The defaults are 1/100 of the
+/// paper's test series ("1,000,000 elements, 100,000 terms, and 10,000,000
+/// term occurrences … 100 different element names"); scale with
+/// [`DataGenConfig::paper_scale`].
+#[derive(Debug, Clone)]
+pub struct DataGenConfig {
+    /// Target number of elements (struct nodes).
+    pub element_count: usize,
+    /// Size of the element-name pool (paper: 100).
+    pub element_names: usize,
+    /// Term vocabulary size (paper: 100,000).
+    pub vocabulary: usize,
+    /// Target total word occurrences (paper: 10,000,000).
+    pub word_occurrences: usize,
+    /// Zipf exponent of the term distribution.
+    pub zipf_exponent: f64,
+    /// Maximum element nesting depth below the virtual root.
+    pub max_depth: usize,
+    /// Branching factor of the name forest: element name `i` may contain
+    /// the names `b*i+1 ..= b*i+b` (each name thus has essentially one
+    /// parent context — the regularity that keeps a DataGuide small,
+    /// which real data-centric documents exhibit and the paper's schema
+    /// approach exploits).
+    pub dtd_branching: usize,
+    /// Probability that a name may additionally nest *itself* (creating
+    /// repeated labels along a path — the paper's recursivity `l`).
+    pub recursion_prob: f64,
+    /// Child elements instantiated per element.
+    pub fanout: std::ops::RangeInclusive<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DataGenConfig {
+    fn default() -> Self {
+        DataGenConfig {
+            element_count: 10_000,
+            element_names: 100,
+            vocabulary: 1_000,
+            word_occurrences: 100_000,
+            zipf_exponent: 1.0,
+            max_depth: 8,
+            dtd_branching: 3,
+            recursion_prob: 0.1,
+            fanout: 1..=5,
+            seed: 20020324, // EDBT 2002
+        }
+    }
+}
+
+impl DataGenConfig {
+    /// The paper's full test-series scale: 1M elements, 100 names, 100k
+    /// terms, 10M word occurrences.
+    pub fn paper_scale() -> DataGenConfig {
+        DataGenConfig {
+            element_count: 1_000_000,
+            element_names: 100,
+            vocabulary: 100_000,
+            word_occurrences: 10_000_000,
+            ..DataGenConfig::default()
+        }
+    }
+
+    /// Scales element count and word occurrences by `1/div` (name pool and
+    /// vocabulary stay as in the paper so selectivities keep their shape).
+    pub fn paper_scale_divided(div: usize) -> DataGenConfig {
+        let full = DataGenConfig::paper_scale();
+        DataGenConfig {
+            element_count: full.element_count / div,
+            word_occurrences: full.word_occurrences / div,
+            ..full
+        }
+    }
+}
+
+/// Where generated nodes go: a data-tree builder or an XML element tree.
+trait Sink {
+    fn begin(&mut self, name: &str);
+    fn end(&mut self);
+    fn word(&mut self, w: &str);
+}
+
+impl Sink for DataTreeBuilder {
+    fn begin(&mut self, name: &str) {
+        self.begin_struct(name);
+    }
+    fn end(&mut self) {
+        DataTreeBuilder::end(self);
+    }
+    fn word(&mut self, w: &str) {
+        self.add_word(w);
+    }
+}
+
+/// Builds `approxql_xml` elements (for examples and XML export).
+struct ElementSink {
+    stack: Vec<Element>,
+    done: Vec<Element>,
+}
+
+impl Sink for ElementSink {
+    fn begin(&mut self, name: &str) {
+        self.stack.push(Element::new(name));
+    }
+    fn end(&mut self) {
+        let el = self.stack.pop().expect("balanced begin/end");
+        match self.stack.last_mut() {
+            Some(parent) => parent.children.push(approxql_xml::XmlNode::Element(el)),
+            None => self.done.push(el),
+        }
+    }
+    fn word(&mut self, w: &str) {
+        let el = self.stack.last_mut().expect("words occur inside elements");
+        if let Some(approxql_xml::XmlNode::Text(t)) = el.children.last_mut() {
+            t.push(' ');
+            t.push_str(w);
+        } else {
+            el.children.push(approxql_xml::XmlNode::Text(w.to_owned()));
+        }
+    }
+}
+
+/// The seeded synthetic-collection generator.
+pub struct DataGenerator {
+    cfg: DataGenConfig,
+    /// `dtd[name] = allowed child names` (indices into the name pool).
+    dtd: Vec<Vec<usize>>,
+    zipf: Zipf,
+}
+
+impl DataGenerator {
+    /// Creates a generator (derives the random DTD from the seed).
+    pub fn new(cfg: DataGenConfig) -> DataGenerator {
+        assert!(cfg.element_names > 0, "need at least one element name");
+        assert!(cfg.vocabulary > 0, "need a non-empty vocabulary");
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5f5f);
+        let names = cfg.element_names;
+        let b = cfg.dtd_branching.max(1);
+        let dtd = (0..names)
+            .map(|i| {
+                let mut children: Vec<usize> =
+                    (b * i + 1..=b * i + b).filter(|&c| c < names).collect();
+                if rng.gen_bool(cfg.recursion_prob) {
+                    children.push(i); // recursive element (e.g. part/part)
+                }
+                children
+            })
+            .collect();
+        let zipf = Zipf::new(cfg.vocabulary, cfg.zipf_exponent);
+        DataGenerator { cfg, dtd, zipf }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DataGenConfig {
+        &self.cfg
+    }
+
+    fn name(&self, i: usize) -> String {
+        format!("name{i:03}")
+    }
+
+    fn term(&self, i: usize) -> String {
+        format!("term{i}")
+    }
+
+    /// Words attached to each element: total occurrences spread uniformly
+    /// over the elements (paper scale: 10 words per element).
+    fn words_per_element(&self) -> usize {
+        self.cfg.word_occurrences / self.cfg.element_count.max(1)
+    }
+
+    fn emit_element<S: Sink>(
+        &self,
+        rng: &mut StdRng,
+        sink: &mut S,
+        name_idx: usize,
+        depth: usize,
+        budget: &mut usize,
+    ) {
+        sink.begin(&self.name(name_idx));
+        for _ in 0..self.words_per_element() {
+            sink.word(&self.term(self.zipf.sample(rng)));
+        }
+        let children = &self.dtd[name_idx];
+        if depth < self.cfg.max_depth && !children.is_empty() {
+            let fanout = rng.gen_range(self.cfg.fanout.clone());
+            for _ in 0..fanout {
+                if *budget == 0 {
+                    break;
+                }
+                let child = children[rng.gen_range(0..children.len())];
+                *budget -= 1;
+                self.emit_element(rng, sink, child, depth + 1, budget);
+            }
+        }
+        sink.end();
+    }
+
+    fn generate_into<S: Sink>(&self, sink: &mut S) {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut budget = self.cfg.element_count;
+        while budget > 0 {
+            // Every document is rooted at the name forest's root.
+            let root = 0;
+            budget -= 1;
+            self.emit_element(&mut rng, sink, root, 1, &mut budget);
+        }
+    }
+
+    /// Generates the collection directly as an encoded [`DataTree`]
+    /// (the fast path used by the benchmarks).
+    pub fn generate_tree(&self, costs: &CostModel) -> DataTree {
+        let mut builder = DataTreeBuilder::new();
+        self.generate_into(&mut builder);
+        builder.build(costs)
+    }
+
+    /// Generates the collection as XML element trees (one per document).
+    pub fn generate_documents(&self) -> Vec<Element> {
+        let mut sink = ElementSink {
+            stack: Vec::new(),
+            done: Vec::new(),
+        };
+        self.generate_into(&mut sink);
+        sink.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> DataGenConfig {
+        DataGenConfig {
+            element_count: 500,
+            element_names: 20,
+            vocabulary: 50,
+            word_occurrences: 2_000,
+            ..DataGenConfig::default()
+        }
+    }
+
+    #[test]
+    fn element_count_hits_target() {
+        let g = DataGenerator::new(small_cfg());
+        let tree = g.generate_tree(&CostModel::new());
+        let stats = tree.stats();
+        assert_eq!(stats.element_count, 500);
+        // 4 words per element.
+        assert_eq!(stats.word_count, 500 * 4);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = DataGenerator::new(small_cfg()).generate_tree(&CostModel::new());
+        let b = DataGenerator::new(small_cfg()).generate_tree(&CostModel::new());
+        assert_eq!(a.len(), b.len());
+        for n in a.nodes() {
+            assert_eq!(a.label(n), b.label(n));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = DataGenerator::new(small_cfg()).generate_tree(&CostModel::new());
+        let mut cfg = small_cfg();
+        cfg.seed += 1;
+        let b = DataGenerator::new(cfg).generate_tree(&CostModel::new());
+        let differs = a.len() != b.len()
+            || a.nodes().any(|n| a.label(n) != b.label(n));
+        assert!(differs);
+    }
+
+    #[test]
+    fn depth_is_bounded() {
+        let mut cfg = small_cfg();
+        cfg.max_depth = 4;
+        let tree = DataGenerator::new(cfg).generate_tree(&CostModel::new());
+        // +1 for the word level below the deepest element.
+        assert!(tree.stats().max_depth <= 5);
+    }
+
+    #[test]
+    fn name_pool_is_respected() {
+        let g = DataGenerator::new(small_cfg());
+        let tree = g.generate_tree(&CostModel::new());
+        for n in tree.nodes().skip(1) {
+            let l = tree.label(n);
+            assert!(
+                l.starts_with("name") || l.starts_with("term"),
+                "unexpected label {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn documents_match_tree_statistics() {
+        let g = DataGenerator::new(small_cfg());
+        let docs = g.generate_documents();
+        let elements: usize = docs.iter().map(Element::element_count).sum();
+        assert_eq!(elements, 500);
+        // Loading the documents yields the same tree shape as direct
+        // generation.
+        let tree = g.generate_tree(&CostModel::new());
+        let mut b = DataTreeBuilder::new();
+        for d in &docs {
+            b.add_document(&approxql_xml::Document { root: d.clone() });
+        }
+        let tree2 = b.build(&CostModel::new());
+        assert_eq!(tree.len(), tree2.len());
+    }
+
+    #[test]
+    fn schema_is_compact_relative_to_data() {
+        let g = DataGenerator::new(small_cfg());
+        let tree = g.generate_tree(&CostModel::new());
+        let schema = approxql_schema::Schema::build(&tree, &CostModel::new());
+        assert!(
+            schema.tree().len() * 2 < tree.len(),
+            "schema {} vs data {}",
+            schema.tree().len(),
+            tree.len()
+        );
+    }
+
+    #[test]
+    fn paper_scale_config_matches_section_8() {
+        let cfg = DataGenConfig::paper_scale();
+        assert_eq!(cfg.element_count, 1_000_000);
+        assert_eq!(cfg.element_names, 100);
+        assert_eq!(cfg.vocabulary, 100_000);
+        assert_eq!(cfg.word_occurrences, 10_000_000);
+        let tenth = DataGenConfig::paper_scale_divided(10);
+        assert_eq!(tenth.element_count, 100_000);
+        assert_eq!(tenth.vocabulary, 100_000);
+    }
+}

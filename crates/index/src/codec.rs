@@ -1,0 +1,117 @@
+//! Byte encodings of posting lists (for the storage layer).
+
+use crate::{InstancePosting, Posting};
+use approxql_tree::Cost;
+use std::fmt;
+
+/// Decode errors for serialized postings.
+#[derive(Debug, PartialEq, Eq)]
+pub struct PostingDecodeError(pub &'static str);
+
+impl fmt::Display for PostingDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "posting decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PostingDecodeError {}
+
+/// Encodes a posting list: each entry as `pre, bound, pathcost, inscost`
+/// (little endian, 24 bytes per entry).
+pub fn encode_postings(postings: &[Posting]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(postings.len() * 24);
+    for p in postings {
+        out.extend_from_slice(&p.pre.to_le_bytes());
+        out.extend_from_slice(&p.bound.to_le_bytes());
+        out.extend_from_slice(&p.pathcost.raw().to_le_bytes());
+        out.extend_from_slice(&p.inscost.raw().to_le_bytes());
+    }
+    out
+}
+
+/// Decodes [`encode_postings`] output.
+pub fn decode_postings(data: &[u8]) -> Result<Vec<Posting>, PostingDecodeError> {
+    if !data.len().is_multiple_of(24) {
+        return Err(PostingDecodeError("length is not a multiple of 24"));
+    }
+    let mut out = Vec::with_capacity(data.len() / 24);
+    for chunk in data.chunks_exact(24) {
+        out.push(Posting {
+            pre: u32::from_le_bytes(chunk[0..4].try_into().unwrap()),
+            bound: u32::from_le_bytes(chunk[4..8].try_into().unwrap()),
+            pathcost: Cost::from_raw(u64::from_le_bytes(chunk[8..16].try_into().unwrap())),
+            inscost: Cost::from_raw(u64::from_le_bytes(chunk[16..24].try_into().unwrap())),
+        });
+    }
+    Ok(out)
+}
+
+/// Encodes instance postings (8 bytes per entry).
+pub fn encode_instances(postings: &[InstancePosting]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(postings.len() * 8);
+    for p in postings {
+        out.extend_from_slice(&p.pre.to_le_bytes());
+        out.extend_from_slice(&p.bound.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes [`encode_instances`] output.
+pub fn decode_instances(data: &[u8]) -> Result<Vec<InstancePosting>, PostingDecodeError> {
+    if !data.len().is_multiple_of(8) {
+        return Err(PostingDecodeError("length is not a multiple of 8"));
+    }
+    let mut out = Vec::with_capacity(data.len() / 8);
+    for chunk in data.chunks_exact(8) {
+        out.push(InstancePosting {
+            pre: u32::from_le_bytes(chunk[0..4].try_into().unwrap()),
+            bound: u32::from_le_bytes(chunk[4..8].try_into().unwrap()),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn postings_roundtrip() {
+        let ps = vec![
+            Posting {
+                pre: 1,
+                bound: 9,
+                pathcost: Cost::finite(3),
+                inscost: Cost::finite(2),
+            },
+            Posting {
+                pre: 10,
+                bound: 10,
+                pathcost: Cost::finite(0),
+                inscost: Cost::INFINITY,
+            },
+        ];
+        assert_eq!(decode_postings(&encode_postings(&ps)).unwrap(), ps);
+    }
+
+    #[test]
+    fn instances_roundtrip() {
+        let ps = vec![
+            InstancePosting { pre: 1, bound: 2 },
+            InstancePosting { pre: 3, bound: 3 },
+        ];
+        assert_eq!(decode_instances(&encode_instances(&ps)).unwrap(), ps);
+    }
+
+    #[test]
+    fn empty_roundtrips() {
+        assert_eq!(decode_postings(&[]).unwrap(), vec![]);
+        assert_eq!(decode_instances(&[]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn bad_lengths_rejected() {
+        assert!(decode_postings(&[0u8; 23]).is_err());
+        assert!(decode_instances(&[0u8; 7]).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Persisting indexes in an [`approxql_storage::Store`].
+//!
+//! Key layout (all keys are byte strings):
+//!
+//! * `meta#<name>` — named blobs (the serialized data tree, schema tree, …)
+//! * `ls#<label>` / `lt#<label>` — `I_struct` / `I_text` postings
+//! * `sec#<schema-pre, big-endian u32>#<label>` — path-dependent postings,
+//!   mirroring the paper's `pre(u)#label(u)` key construction.
+//!
+//! Labels are stored as strings; on load they are resolved against the
+//! interner of the (already loaded) data tree, so label ids stay consistent.
+
+use crate::codec::{
+    decode_instances, decode_postings, encode_instances, encode_postings, PostingDecodeError,
+};
+use crate::{LabelIndex, SecondaryIndex};
+use approxql_storage::{StorageError, Store};
+use approxql_tree::{Interner, NodeType};
+use std::fmt;
+
+/// Errors raised while saving or loading indexes.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying storage failure.
+    Storage(StorageError),
+    /// A posting value failed to decode.
+    Decode(PostingDecodeError),
+    /// A stored key is malformed.
+    BadKey(String),
+    /// A stored label does not exist in the tree's interner.
+    UnknownLabel(String),
+    /// A required `meta#` blob is missing.
+    MissingBlob(&'static str),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Storage(e) => write!(f, "{e}"),
+            PersistError::Decode(e) => write!(f, "{e}"),
+            PersistError::BadKey(k) => write!(f, "malformed index key `{k}`"),
+            PersistError::UnknownLabel(l) => {
+                write!(f, "stored label `{l}` is not in the tree's interner")
+            }
+            PersistError::MissingBlob(b) => write!(f, "missing stored blob `{b}`"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<StorageError> for PersistError {
+    fn from(e: StorageError) -> Self {
+        PersistError::Storage(e)
+    }
+}
+
+impl From<PostingDecodeError> for PersistError {
+    fn from(e: PostingDecodeError) -> Self {
+        PersistError::Decode(e)
+    }
+}
+
+fn label_key(ty: NodeType, label: &str) -> Vec<u8> {
+    let mut k = match ty {
+        NodeType::Struct => b"ls#".to_vec(),
+        NodeType::Text => b"lt#".to_vec(),
+    };
+    k.extend_from_slice(label.as_bytes());
+    k
+}
+
+fn sec_key(schema_pre: u32, label: &str) -> Vec<u8> {
+    let mut k = b"sec#".to_vec();
+    k.extend_from_slice(&schema_pre.to_be_bytes());
+    k.push(b'#');
+    k.extend_from_slice(label.as_bytes());
+    k
+}
+
+/// Saves a named blob under `meta#<name>`.
+pub fn save_blob(store: &mut Store, name: &str, data: &[u8]) -> Result<(), PersistError> {
+    let mut k = b"meta#".to_vec();
+    k.extend_from_slice(name.as_bytes());
+    store.put(&k, data)?;
+    Ok(())
+}
+
+/// Loads a named blob saved with [`save_blob`].
+pub fn load_blob(store: &mut Store, name: &'static str) -> Result<Vec<u8>, PersistError> {
+    let mut k = b"meta#".to_vec();
+    k.extend_from_slice(name.as_bytes());
+    store.get(&k)?.ok_or(PersistError::MissingBlob(name))
+}
+
+/// Saves a label index; labels are resolved through `interner`.
+pub fn save_label_index(
+    store: &mut Store,
+    index: &LabelIndex,
+    interner: &Interner,
+) -> Result<(), PersistError> {
+    for ((ty, label), posting) in index.iter() {
+        let key = label_key(ty, interner.resolve(label));
+        store.put(&key, &encode_postings(posting))?;
+    }
+    Ok(())
+}
+
+/// Loads a label index saved with [`save_label_index`].
+pub fn load_label_index(
+    store: &mut Store,
+    interner: &Interner,
+) -> Result<LabelIndex, PersistError> {
+    let mut index = LabelIndex::default();
+    for (prefix, ty) in [(&b"ls#"[..], NodeType::Struct), (&b"lt#"[..], NodeType::Text)] {
+        let entries = store.scan_prefix(prefix)?.collect_all()?;
+        for (key, value) in entries {
+            let label_bytes = &key[prefix.len()..];
+            let label_str = std::str::from_utf8(label_bytes)
+                .map_err(|_| PersistError::BadKey(String::from_utf8_lossy(&key).into_owned()))?;
+            let label = interner
+                .get(label_str)
+                .ok_or_else(|| PersistError::UnknownLabel(label_str.to_owned()))?;
+            index.insert_posting(ty, label, decode_postings(&value)?);
+        }
+    }
+    Ok(index)
+}
+
+/// Saves a secondary index; labels are resolved through `interner`.
+pub fn save_secondary_index(
+    store: &mut Store,
+    index: &SecondaryIndex,
+    interner: &Interner,
+) -> Result<(), PersistError> {
+    for ((schema_pre, label), posting) in index.iter() {
+        let key = sec_key(schema_pre, interner.resolve(label));
+        store.put(&key, &encode_instances(posting))?;
+    }
+    Ok(())
+}
+
+/// Loads a secondary index saved with [`save_secondary_index`].
+pub fn load_secondary_index(
+    store: &mut Store,
+    interner: &Interner,
+) -> Result<SecondaryIndex, PersistError> {
+    let mut index = SecondaryIndex::new();
+    let entries = store.scan_prefix(b"sec#")?.collect_all()?;
+    for (key, value) in entries {
+        let rest = &key[4..];
+        if rest.len() < 5 || rest[4] != b'#' {
+            return Err(PersistError::BadKey(
+                String::from_utf8_lossy(&key).into_owned(),
+            ));
+        }
+        let schema_pre = u32::from_be_bytes(rest[0..4].try_into().unwrap());
+        let label_str = std::str::from_utf8(&rest[5..])
+            .map_err(|_| PersistError::BadKey(String::from_utf8_lossy(&key).into_owned()))?;
+        let label = interner
+            .get(label_str)
+            .ok_or_else(|| PersistError::UnknownLabel(label_str.to_owned()))?;
+        index.insert_posting(schema_pre, label, decode_instances(&value)?);
+    }
+    Ok(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InstancePosting, Posting};
+    use approxql_cost::CostModel;
+    use approxql_tree::{Cost, DataTree, DataTreeBuilder};
+
+    fn tree() -> DataTree {
+        let mut b = DataTreeBuilder::new();
+        b.begin_struct("cd");
+        b.begin_struct("title");
+        b.add_text("piano concerto");
+        b.end();
+        b.end();
+        b.build(&CostModel::new())
+    }
+
+    #[test]
+    fn label_index_roundtrip() {
+        let t = tree();
+        let idx = LabelIndex::build(&t);
+        let mut store = Store::in_memory().unwrap();
+        save_label_index(&mut store, &idx, t.interner()).unwrap();
+        let loaded = load_label_index(&mut store, t.interner()).unwrap();
+        assert_eq!(loaded.len(), idx.len());
+        assert_eq!(loaded.entry_count(), idx.entry_count());
+        let cd = t.lookup_label("cd").unwrap();
+        assert_eq!(
+            loaded.fetch(NodeType::Struct, cd),
+            idx.fetch(NodeType::Struct, cd)
+        );
+        let piano = t.lookup_label("piano").unwrap();
+        assert_eq!(
+            loaded.fetch(NodeType::Text, piano),
+            idx.fetch(NodeType::Text, piano)
+        );
+    }
+
+    #[test]
+    fn secondary_index_roundtrip() {
+        let t = tree();
+        let mut idx = SecondaryIndex::new();
+        let cd = t.lookup_label("cd").unwrap();
+        let piano = t.lookup_label("piano").unwrap();
+        idx.push(1, cd, InstancePosting { pre: 1, bound: 4 });
+        idx.push(3, piano, InstancePosting { pre: 3, bound: 3 });
+        idx.push(3, piano, InstancePosting { pre: 9, bound: 9 });
+        let mut store = Store::in_memory().unwrap();
+        save_secondary_index(&mut store, &idx, t.interner()).unwrap();
+        let loaded = load_secondary_index(&mut store, t.interner()).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.fetch(3, piano), idx.fetch(3, piano));
+        assert_eq!(loaded.fetch(1, cd), idx.fetch(1, cd));
+    }
+
+    #[test]
+    fn blob_roundtrip_and_missing() {
+        let mut store = Store::in_memory().unwrap();
+        save_blob(&mut store, "tree", b"bytes").unwrap();
+        assert_eq!(load_blob(&mut store, "tree").unwrap(), b"bytes");
+        assert!(matches!(
+            load_blob(&mut store, "nope"),
+            Err(PersistError::MissingBlob("nope"))
+        ));
+    }
+
+    #[test]
+    fn unknown_label_on_load_is_an_error() {
+        let t = tree();
+        let idx = LabelIndex::build(&t);
+        let mut store = Store::in_memory().unwrap();
+        save_label_index(&mut store, &idx, t.interner()).unwrap();
+        // A different tree without those labels.
+        let other = DataTreeBuilder::new().build(&CostModel::new());
+        assert!(matches!(
+            load_label_index(&mut store, other.interner()),
+            Err(PersistError::UnknownLabel(_))
+        ));
+    }
+
+    #[test]
+    fn postings_with_infinite_costs_survive() {
+        let t = tree();
+        let mut idx = LabelIndex::build(&t);
+        let cd = t.lookup_label("cd").unwrap();
+        idx.insert_posting(
+            NodeType::Struct,
+            cd,
+            vec![Posting {
+                pre: 1,
+                bound: 2,
+                pathcost: Cost::INFINITY,
+                inscost: Cost::finite(1),
+            }],
+        );
+        let mut store = Store::in_memory().unwrap();
+        save_label_index(&mut store, &idx, t.interner()).unwrap();
+        let loaded = load_label_index(&mut store, t.interner()).unwrap();
+        assert_eq!(loaded.fetch(NodeType::Struct, cd)[0].pathcost, Cost::INFINITY);
+    }
+}

@@ -1,0 +1,112 @@
+//! Path-dependent postings: the secondary index `I_sec` of Section 7.3.
+
+use approxql_tree::LabelId;
+use std::collections::HashMap;
+
+/// One instance of a schema node: a data node as a preorder–bound pair
+/// (everything `secondary` needs for its descendant tests).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct InstancePosting {
+    /// Preorder number of the instance in the data tree.
+    pub pre: u32,
+    /// Bound of the instance's subtree.
+    pub bound: u32,
+}
+
+/// The secondary index: maps `(schema node, label)` to the sorted list of
+/// data-tree instances.
+///
+/// The label component mirrors the paper's key construction
+/// `pre(u)#label(u)`: for struct nodes it is redundant (a schema node has
+/// one name) but for *merged text classes* of a compacted schema it selects
+/// the instances of one specific word.
+#[derive(Debug, Clone, Default)]
+pub struct SecondaryIndex {
+    map: HashMap<(u32, LabelId), Vec<InstancePosting>>,
+}
+
+impl SecondaryIndex {
+    /// Creates an empty index (populated by the schema builder).
+    pub fn new() -> SecondaryIndex {
+        SecondaryIndex::default()
+    }
+
+    /// Appends an instance to the posting of `(schema_pre, label)`.
+    /// Instances must be added in increasing preorder (the schema builder
+    /// walks the data tree in preorder, so this holds naturally).
+    pub fn push(&mut self, schema_pre: u32, label: LabelId, instance: InstancePosting) {
+        let list = self.map.entry((schema_pre, label)).or_default();
+        debug_assert!(
+            list.last().is_none_or(|last| last.pre < instance.pre),
+            "instances must be appended in preorder"
+        );
+        list.push(instance);
+    }
+
+    /// The instances of `(schema_pre, label)`, preorder-sorted.
+    pub fn fetch(&self, schema_pre: u32, label: LabelId) -> &[InstancePosting] {
+        self.map
+            .get(&(schema_pre, label))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of `(schema node, label)` postings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if no postings exist.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total number of instance entries.
+    pub fn entry_count(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// Iterates over all postings (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = ((u32, LabelId), &[InstancePosting])> {
+        self.map.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+
+    /// Inserts a whole posting (used when loading from storage).
+    pub fn insert_posting(
+        &mut self,
+        schema_pre: u32,
+        label: LabelId,
+        posting: Vec<InstancePosting>,
+    ) {
+        self.map.insert((schema_pre, label), posting);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_fetch() {
+        let mut idx = SecondaryIndex::new();
+        let l = LabelId(3);
+        idx.push(7, l, InstancePosting { pre: 10, bound: 12 });
+        idx.push(7, l, InstancePosting { pre: 20, bound: 25 });
+        assert_eq!(idx.fetch(7, l).len(), 2);
+        assert_eq!(idx.fetch(7, l)[1].pre, 20);
+        assert!(idx.fetch(8, l).is_empty());
+        assert!(idx.fetch(7, LabelId(4)).is_empty());
+        assert_eq!(idx.entry_count(), 2);
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn out_of_order_push_panics_in_debug() {
+        let mut idx = SecondaryIndex::new();
+        let l = LabelId(0);
+        idx.push(0, l, InstancePosting { pre: 5, bound: 5 });
+        idx.push(0, l, InstancePosting { pre: 4, bound: 4 });
+    }
+}

@@ -1,0 +1,163 @@
+//! The parsed form of an approXQL query.
+
+use std::fmt;
+
+/// A node of the query AST.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryNode {
+    /// A name selector, optionally with a containment expression:
+    /// `cd` or `cd[…]`.
+    Name {
+        /// The element name searched for.
+        label: String,
+        /// The bracketed sub-expression, if any.
+        child: Option<Box<QueryNode>>,
+    },
+    /// A text selector for one normalized word. Multi-word string literals
+    /// are split by the parser into `and`-connected single-word selectors
+    /// (mirroring the word splitting of the data model, Section 4).
+    Text {
+        /// The normalized (lowercased) word.
+        word: String,
+    },
+    /// Conjunction of two sub-expressions.
+    And(Box<QueryNode>, Box<QueryNode>),
+    /// Disjunction of two sub-expressions.
+    Or(Box<QueryNode>, Box<QueryNode>),
+}
+
+impl QueryNode {
+    /// Number of selectors (name + text) in this subexpression.
+    pub fn selector_count(&self) -> usize {
+        match self {
+            QueryNode::Name { child, .. } => {
+                1 + child.as_ref().map_or(0, |c| c.selector_count())
+            }
+            QueryNode::Text { .. } => 1,
+            QueryNode::And(l, r) | QueryNode::Or(l, r) => {
+                l.selector_count() + r.selector_count()
+            }
+        }
+    }
+
+    /// Number of `or` operators in this subexpression.
+    pub fn or_count(&self) -> usize {
+        match self {
+            QueryNode::Name { child, .. } => child.as_ref().map_or(0, |c| c.or_count()),
+            QueryNode::Text { .. } => 0,
+            QueryNode::And(l, r) => l.or_count() + r.or_count(),
+            QueryNode::Or(l, r) => 1 + l.or_count() + r.or_count(),
+        }
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent_is_and: bool) -> fmt::Result {
+        match self {
+            QueryNode::Name { label, child } => {
+                write!(f, "{label}")?;
+                if let Some(c) = child {
+                    write!(f, "[")?;
+                    c.fmt_prec(f, false)?;
+                    write!(f, "]")?;
+                }
+                Ok(())
+            }
+            QueryNode::Text { word } => write!(f, "\"{word}\""),
+            QueryNode::And(l, r) => {
+                l.fmt_prec(f, true)?;
+                write!(f, " and ")?;
+                r.fmt_prec(f, true)
+            }
+            QueryNode::Or(l, r) => {
+                if parent_is_and {
+                    write!(f, "(")?;
+                }
+                l.fmt_prec(f, false)?;
+                write!(f, " or ")?;
+                r.fmt_prec(f, false)?;
+                if parent_is_and {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A complete approXQL query. The root is always a name selector: the paper
+/// gives the query root the role of defining the *scope* of the search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// The root name selector.
+    pub root: QueryNode,
+}
+
+impl Query {
+    /// Root label of the query.
+    pub fn root_label(&self) -> &str {
+        match &self.root {
+            QueryNode::Name { label, .. } => label,
+            _ => unreachable!("parser guarantees a name-selector root"),
+        }
+    }
+
+    /// Number of selectors in the query.
+    pub fn selector_count(&self) -> usize {
+        self.root.selector_count()
+    }
+
+    /// Number of `or` operators in the query.
+    pub fn or_count(&self) -> usize {
+        self.root.or_count()
+    }
+}
+
+impl fmt::Display for Query {
+    /// Renders a canonical form that reparses to the same AST.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.root.fmt_prec(f, false)
+    }
+}
+
+impl fmt::Display for QueryNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(label: &str, child: Option<QueryNode>) -> QueryNode {
+        QueryNode::Name {
+            label: label.into(),
+            child: child.map(Box::new),
+        }
+    }
+
+    fn text(w: &str) -> QueryNode {
+        QueryNode::Text { word: w.into() }
+    }
+
+    #[test]
+    fn selector_count_counts_names_and_texts() {
+        let q = name(
+            "cd",
+            Some(QueryNode::And(
+                Box::new(name("title", Some(text("piano")))),
+                Box::new(text("rachmaninov")),
+            )),
+        );
+        assert_eq!(q.selector_count(), 4);
+        assert_eq!(q.or_count(), 0);
+    }
+
+    #[test]
+    fn or_count_counts_ors() {
+        let q = QueryNode::Or(
+            Box::new(text("a")),
+            Box::new(QueryNode::Or(Box::new(text("b")), Box::new(text("c")))),
+        );
+        assert_eq!(q.or_count(), 2);
+    }
+}

@@ -1,0 +1,238 @@
+//! The separated query representation (Section 3).
+//!
+//! A query containing `or` operators is broken up into a *set* of
+//! conjunctive queries — one per combination of `or` alternatives. Each
+//! conjunctive query is a labeled, typed tree: name selectors become
+//! `struct` nodes, text selectors become `text` leaves, and each `and`
+//! expression contributes the children of its enclosing node.
+//!
+//! The separated representation is exponential in the number of `or`s
+//! (a query with *k* `or` operators separates into up to 2^k conjuncts);
+//! it exists for the semantics, for the reference evaluator, and for tests.
+//! The evaluation algorithms use the linear-size expanded representation
+//! instead.
+
+use crate::ast::{Query, QueryNode};
+use std::fmt;
+
+/// A node of a conjunctive query tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ConjunctiveNode {
+    /// An element node with conjunctively required children.
+    Struct {
+        /// Element name.
+        label: String,
+        /// Conjunctive children (possibly empty: a bare name selector).
+        children: Vec<ConjunctiveNode>,
+    },
+    /// A single-word text leaf.
+    Text {
+        /// The normalized word.
+        word: String,
+    },
+}
+
+impl ConjunctiveNode {
+    /// The label (element name or word).
+    pub fn label(&self) -> &str {
+        match self {
+            ConjunctiveNode::Struct { label, .. } => label,
+            ConjunctiveNode::Text { word } => word,
+        }
+    }
+
+    /// The children (empty for text leaves and bare struct leaves).
+    pub fn children(&self) -> &[ConjunctiveNode] {
+        match self {
+            ConjunctiveNode::Struct { children, .. } => children,
+            ConjunctiveNode::Text { .. } => &[],
+        }
+    }
+
+    /// `true` for leaves of the query tree (text selectors and childless
+    /// name selectors).
+    pub fn is_leaf(&self) -> bool {
+        self.children().is_empty()
+    }
+
+    /// Total number of nodes in this subtree.
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(ConjunctiveNode::size).sum::<usize>()
+    }
+
+    fn fmt_node(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConjunctiveNode::Text { word } => write!(f, "\"{word}\""),
+            ConjunctiveNode::Struct { label, children } => {
+                write!(f, "{label}")?;
+                if !children.is_empty() {
+                    write!(f, "[")?;
+                    for (i, c) in children.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " and ")?;
+                        }
+                        c.fmt_node(f)?;
+                    }
+                    write!(f, "]")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One conjunctive query of the separated representation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConjunctiveQuery {
+    /// The root; always a [`ConjunctiveNode::Struct`].
+    pub root: ConjunctiveNode,
+}
+
+impl ConjunctiveQuery {
+    /// Number of nodes in the query tree.
+    pub fn size(&self) -> usize {
+        self.root.size()
+    }
+
+    /// Number of leaves (text selectors + childless name selectors).
+    pub fn leaf_count(&self) -> usize {
+        fn walk(n: &ConjunctiveNode) -> usize {
+            if n.is_leaf() {
+                1
+            } else {
+                n.children().iter().map(walk).sum()
+            }
+        }
+        walk(&self.root)
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.root.fmt_node(f)
+    }
+}
+
+/// Alternatives for the child list contributed by an expression.
+fn separate_expr(node: &QueryNode) -> Vec<Vec<ConjunctiveNode>> {
+    match node {
+        QueryNode::Text { word } => vec![vec![ConjunctiveNode::Text { word: word.clone() }]],
+        QueryNode::Name { .. } => separate_step(node)
+            .into_iter()
+            .map(|n| vec![n])
+            .collect(),
+        QueryNode::And(l, r) => {
+            let ls = separate_expr(l);
+            let rs = separate_expr(r);
+            let mut out = Vec::with_capacity(ls.len() * rs.len());
+            for a in &ls {
+                for b in &rs {
+                    let mut v = a.clone();
+                    v.extend(b.iter().cloned());
+                    out.push(v);
+                }
+            }
+            out
+        }
+        QueryNode::Or(l, r) => {
+            let mut out = separate_expr(l);
+            out.extend(separate_expr(r));
+            out
+        }
+    }
+}
+
+/// Alternatives for a single name-selector step.
+fn separate_step(node: &QueryNode) -> Vec<ConjunctiveNode> {
+    match node {
+        QueryNode::Name { label, child } => match child {
+            None => vec![ConjunctiveNode::Struct {
+                label: label.clone(),
+                children: Vec::new(),
+            }],
+            Some(e) => separate_expr(e)
+                .into_iter()
+                .map(|children| ConjunctiveNode::Struct {
+                    label: label.clone(),
+                    children,
+                })
+                .collect(),
+        },
+        _ => unreachable!("separate_step is only called on name selectors"),
+    }
+}
+
+impl Query {
+    /// The separated representation: all conjunctive queries obtained by
+    /// choosing one alternative per `or` operator, in left-to-right order.
+    pub fn separate(&self) -> Vec<ConjunctiveQuery> {
+        separate_step(&self.root)
+            .into_iter()
+            .map(|root| ConjunctiveQuery { root })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_query;
+
+    #[test]
+    fn conjunctive_query_stays_single() {
+        let q = parse_query(r#"cd[title["piano" and "concerto"]]"#).unwrap();
+        let sep = q.separate();
+        assert_eq!(sep.len(), 1);
+        assert_eq!(sep[0].to_string(), r#"cd[title["piano" and "concerto"]]"#);
+        assert_eq!(sep[0].size(), 4);
+        assert_eq!(sep[0].leaf_count(), 2);
+    }
+
+    #[test]
+    fn paper_or_query_separates_into_four() {
+        // Section 3's example with two `or` operators -> 2^2 conjuncts.
+        let q = parse_query(
+            r#"cd[title["piano" and ("concerto" or "sonata")] and (composer["rachmaninov"] or performer["ashkenazy"])]"#,
+        )
+        .unwrap();
+        let sep: Vec<String> = q.separate().iter().map(|c| c.to_string()).collect();
+        assert_eq!(
+            sep,
+            vec![
+                r#"cd[title["piano" and "concerto"] and composer["rachmaninov"]]"#,
+                r#"cd[title["piano" and "concerto"] and performer["ashkenazy"]]"#,
+                r#"cd[title["piano" and "sonata"] and composer["rachmaninov"]]"#,
+                r#"cd[title["piano" and "sonata"] and performer["ashkenazy"]]"#,
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_or_multiplies() {
+        let q = parse_query(r#"a[(b or c) and (d or e or f)]"#).unwrap();
+        assert_eq!(q.separate().len(), 6);
+    }
+
+    #[test]
+    fn or_inside_step_distributes_through_parent() {
+        let q = parse_query(r#"a[b[c or d]]"#).unwrap();
+        let sep: Vec<String> = q.separate().iter().map(|c| c.to_string()).collect();
+        assert_eq!(sep, vec!["a[b[c]]", "a[b[d]]"]);
+    }
+
+    #[test]
+    fn bare_struct_leaf() {
+        let q = parse_query("cd[title and composer]").unwrap();
+        let sep = q.separate();
+        assert_eq!(sep.len(), 1);
+        assert_eq!(sep[0].leaf_count(), 2);
+        assert!(sep[0].root.children()[0].is_leaf());
+    }
+
+    #[test]
+    fn and_order_is_preserved() {
+        let q = parse_query(r#"a["x" and b and "y"]"#).unwrap();
+        let sep = q.separate();
+        let labels: Vec<&str> = sep[0].root.children().iter().map(|c| c.label()).collect();
+        assert_eq!(labels, vec!["x", "b", "y"]);
+    }
+}

@@ -1,0 +1,427 @@
+//! The expanded query representation (Section 6.1).
+//!
+//! The expanded representation encodes *all* semi-transformed queries — the
+//! queries derivable from the separated representation by deletions and
+//! renamings, but no insertions — in a DAG of linear size:
+//!
+//! * a **`node`** represents an inner name selector together with all its
+//!   allowed renamings,
+//! * a **`leaf`** represents a leaf selector (text, or a childless name
+//!   selector) with its renamings and its delete cost,
+//! * an **`and`** represents an `and` operator,
+//! * an **`or`** either represents a user-written `or` operator
+//!   (`edgecost = 0`), or encodes the *deletion* of an inner node: its left
+//!   edge leads to the deletable node, its right edge bridges the node and
+//!   is annotated with the node's delete cost.
+//!
+//! The bridged subtree is shared between the two branches of a deletion
+//! `or` — the structure is a DAG, which is what lets the evaluation
+//! algorithm (`approxql-core`) memoize shared subtree evaluations (the
+//! paper's dynamic-programming remark in Section 6.5).
+
+use crate::ast::{Query, QueryNode};
+use approxql_cost::{Cost, CostModel, NodeType};
+
+/// Representation types of Section 6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RepType {
+    /// Inner name selector.
+    Node,
+    /// Leaf selector.
+    Leaf,
+    /// `and` operator.
+    And,
+    /// `or` operator or encoded deletion.
+    Or,
+}
+
+/// A node of the expanded representation DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExpandedNode {
+    /// An inner name selector with its renaming alternatives.
+    Node {
+        /// Original label.
+        label: String,
+        /// Node type (always [`NodeType::Struct`] for inner nodes).
+        ty: NodeType,
+        /// Allowed renamings `(label, cost)`, sorted by label.
+        renamings: Vec<(String, Cost)>,
+        /// The child expression.
+        child: usize,
+    },
+    /// A leaf selector.
+    Leaf {
+        /// Original label (a word for text selectors, a name otherwise).
+        label: String,
+        /// Node type.
+        ty: NodeType,
+        /// Allowed renamings `(label, cost)`, sorted by label.
+        renamings: Vec<(String, Cost)>,
+        /// Cost of deleting this leaf ([`Cost::INFINITY`] if forbidden).
+        delcost: Cost,
+    },
+    /// Conjunction of two subexpressions.
+    And {
+        /// Left operand.
+        left: usize,
+        /// Right operand.
+        right: usize,
+    },
+    /// Disjunction; `edgecost` annotates the right edge (0 for user `or`s,
+    /// the delete cost for encoded deletions).
+    Or {
+        /// Left operand (for deletions: the deletable node).
+        left: usize,
+        /// Right operand (for deletions: the bridged child expression).
+        right: usize,
+        /// Cost added when the right branch is taken.
+        edgecost: Cost,
+    },
+}
+
+impl ExpandedNode {
+    /// The representation type of this node.
+    pub fn rep_type(&self) -> RepType {
+        match self {
+            ExpandedNode::Node { .. } => RepType::Node,
+            ExpandedNode::Leaf { .. } => RepType::Leaf,
+            ExpandedNode::And { .. } => RepType::And,
+            ExpandedNode::Or { .. } => RepType::Or,
+        }
+    }
+}
+
+/// The expanded representation of a query under a fixed cost model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpandedQuery {
+    /// Arena of DAG nodes; children refer to earlier indices.
+    pub nodes: Vec<ExpandedNode>,
+    /// Index of the root (always the last node, a `Node` or `Leaf`).
+    pub root: usize,
+    /// Arena indices of all `Leaf` nodes (the original query leaves).
+    pub leaves: Vec<usize>,
+}
+
+impl ExpandedQuery {
+    /// Builds the expanded representation of `query` with deletions and
+    /// renamings allowed by `costs`.
+    ///
+    /// Deletion `or` wrappers are only created for inner nodes whose delete
+    /// cost is finite (an infinite-cost branch can never contribute a
+    /// result, so eliding it is a pure optimization).
+    pub fn build(query: &Query, costs: &CostModel) -> ExpandedQuery {
+        let mut b = Builder {
+            costs,
+            nodes: Vec::new(),
+            leaves: Vec::new(),
+        };
+        let root = b.step(&query.root, true);
+        ExpandedQuery {
+            nodes: b.nodes,
+            root,
+            leaves: b.leaves,
+        }
+    }
+
+    /// Number of arena nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the arena is empty (never the case for built queries).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of original query leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// The number of *derivations* of semi-transformed queries encoded in
+    /// this representation: the number of distinct root-to-leaves path
+    /// combinations times label choices. This is an upper bound on the
+    /// number of distinct semi-transformed queries (different derivations
+    /// can yield syntactically equal queries).
+    pub fn derivation_count(&self) -> u128 {
+        let mut memo: Vec<Option<u128>> = vec![None; self.nodes.len()];
+        fn count(nodes: &[ExpandedNode], memo: &mut [Option<u128>], i: usize) -> u128 {
+            if let Some(c) = memo[i] {
+                return c;
+            }
+            let c = match &nodes[i] {
+                ExpandedNode::Leaf { renamings, delcost, .. } => {
+                    (1 + renamings.len() as u128)
+                        + if delcost.is_finite() { 1 } else { 0 }
+                }
+                ExpandedNode::Node { renamings, child, .. } => {
+                    (1 + renamings.len() as u128) * count(nodes, memo, *child)
+                }
+                ExpandedNode::And { left, right } => {
+                    count(nodes, memo, *left) * count(nodes, memo, *right)
+                }
+                ExpandedNode::Or { left, right, .. } => {
+                    count(nodes, memo, *left) + count(nodes, memo, *right)
+                }
+            };
+            memo[i] = Some(c);
+            c
+        }
+        count(&self.nodes, &mut memo, self.root)
+    }
+}
+
+struct Builder<'a> {
+    costs: &'a CostModel,
+    nodes: Vec<ExpandedNode>,
+    leaves: Vec<usize>,
+}
+
+impl Builder<'_> {
+    fn push(&mut self, n: ExpandedNode) -> usize {
+        self.nodes.push(n);
+        self.nodes.len() - 1
+    }
+
+    fn leaf(&mut self, label: &str, ty: NodeType, deletable: bool) -> usize {
+        let renamings = self.costs.renamings(ty, label).to_vec();
+        let delcost = if deletable {
+            self.costs.delete_cost(ty, label)
+        } else {
+            Cost::INFINITY
+        };
+        let idx = self.push(ExpandedNode::Leaf {
+            label: label.to_owned(),
+            ty,
+            renamings,
+            delcost,
+        });
+        self.leaves.push(idx);
+        idx
+    }
+
+    /// A name selector. `is_root` suppresses both the deletion wrapper
+    /// (Definition 3 excludes the root) and leaf deletability (Definition 4
+    /// requires sibling leaves, which a root leaf cannot have).
+    fn step(&mut self, q: &QueryNode, is_root: bool) -> usize {
+        match q {
+            QueryNode::Name { label, child: None } => {
+                self.leaf(label, NodeType::Struct, !is_root)
+            }
+            QueryNode::Name {
+                label,
+                child: Some(e),
+            } => {
+                let child = self.expr(e);
+                let renamings = self.costs.renamings(NodeType::Struct, label).to_vec();
+                let node = self.push(ExpandedNode::Node {
+                    label: label.clone(),
+                    ty: NodeType::Struct,
+                    renamings,
+                    child,
+                });
+                let delcost = self.costs.delete_cost(NodeType::Struct, label);
+                if !is_root && delcost.is_finite() {
+                    self.push(ExpandedNode::Or {
+                        left: node,
+                        right: child,
+                        edgecost: delcost,
+                    })
+                } else {
+                    node
+                }
+            }
+            QueryNode::Text { word } => self.leaf(word, NodeType::Text, !is_root),
+            QueryNode::And(..) | QueryNode::Or(..) => {
+                unreachable!("step is only called on selectors")
+            }
+        }
+    }
+
+    fn expr(&mut self, q: &QueryNode) -> usize {
+        match q {
+            QueryNode::Name { .. } | QueryNode::Text { .. } => self.step(q, false),
+            QueryNode::And(l, r) => {
+                let left = self.expr(l);
+                let right = self.expr(r);
+                self.push(ExpandedNode::And { left, right })
+            }
+            QueryNode::Or(l, r) => {
+                let left = self.expr(l);
+                let right = self.expr(r);
+                self.push(ExpandedNode::Or {
+                    left,
+                    right,
+                    edgecost: Cost::ZERO,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use approxql_cost::tables::paper_section6_costs;
+
+    /// The query of Figure 2.
+    fn figure2_query() -> Query {
+        parse_query(
+            r#"cd[track[title["piano" and "concerto"]] and composer["rachmaninov"]]"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure2_structure() {
+        let costs = paper_section6_costs();
+        let ex = ExpandedQuery::build(&figure2_query(), &costs);
+        // Root is the cd node with renamings dvd and mc.
+        match &ex.nodes[ex.root] {
+            ExpandedNode::Node { label, renamings, .. } => {
+                assert_eq!(label, "cd");
+                assert_eq!(
+                    renamings,
+                    &[
+                        ("dvd".to_owned(), Cost::finite(6)),
+                        ("mc".to_owned(), Cost::finite(4))
+                    ]
+                );
+            }
+            other => panic!("root should be a Node, got {other:?}"),
+        }
+        // 4 leaves: piano, concerto, rachmaninov... plus none others.
+        assert_eq!(ex.leaf_count(), 3);
+        // Every deletable inner node (track: 3, title: 5, composer: 7) got
+        // an `or` wrapper.
+        let or_deletions: Vec<Cost> = ex
+            .nodes
+            .iter()
+            .filter_map(|n| match n {
+                ExpandedNode::Or { edgecost, .. } if *edgecost != Cost::ZERO => Some(*edgecost),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            or_deletions,
+            vec![Cost::finite(5), Cost::finite(3), Cost::finite(7)]
+        );
+    }
+
+    #[test]
+    fn deletion_or_shares_the_bridged_subtree() {
+        let costs = paper_section6_costs();
+        let ex = ExpandedQuery::build(&figure2_query(), &costs);
+        for n in &ex.nodes {
+            if let ExpandedNode::Or { left, right, edgecost } = n {
+                if *edgecost != Cost::ZERO {
+                    // left is the deletable Node whose child is exactly the
+                    // bridged right branch.
+                    match &ex.nodes[*left] {
+                        ExpandedNode::Node { child, .. } => assert_eq!(child, right),
+                        other => panic!("deletion-or left must be a Node, got {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_delete_costs_come_from_the_model() {
+        let costs = paper_section6_costs();
+        let ex = ExpandedQuery::build(&figure2_query(), &costs);
+        let mut leaf_info: Vec<(String, Cost)> = ex
+            .leaves
+            .iter()
+            .map(|&i| match &ex.nodes[i] {
+                ExpandedNode::Leaf { label, delcost, .. } => (label.clone(), *delcost),
+                other => panic!("not a leaf: {other:?}"),
+            })
+            .collect();
+        leaf_info.sort();
+        assert_eq!(
+            leaf_info,
+            vec![
+                ("concerto".to_owned(), Cost::finite(6)),
+                ("piano".to_owned(), Cost::finite(8)),
+                ("rachmaninov".to_owned(), Cost::INFINITY),
+            ]
+        );
+    }
+
+    #[test]
+    fn non_deletable_inner_nodes_get_no_or_wrapper() {
+        // With an empty cost model nothing is deletable or renamable: the
+        // expansion contains no `or` nodes at all.
+        let costs = CostModel::new();
+        let ex = ExpandedQuery::build(&figure2_query(), &costs);
+        assert!(ex
+            .nodes
+            .iter()
+            .all(|n| n.rep_type() != RepType::Or));
+    }
+
+    #[test]
+    fn user_or_has_zero_edgecost() {
+        let q = parse_query(r#"a[b or c]"#).unwrap();
+        let ex = ExpandedQuery::build(&q, &CostModel::new());
+        let ors: Vec<_> = ex
+            .nodes
+            .iter()
+            .filter(|n| n.rep_type() == RepType::Or)
+            .collect();
+        assert_eq!(ors.len(), 1);
+        match ors[0] {
+            ExpandedNode::Or { edgecost, .. } => assert_eq!(*edgecost, Cost::ZERO),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn root_is_never_wrapped_for_deletion() {
+        let costs = CostModel::builder()
+            .delete(NodeType::Struct, "cd", Cost::finite(1))
+            .build();
+        let q = parse_query(r#"cd[title]"#).unwrap();
+        let ex = ExpandedQuery::build(&q, &costs);
+        assert_eq!(ex.nodes[ex.root].rep_type(), RepType::Node);
+    }
+
+    #[test]
+    fn bare_root_becomes_a_leaf() {
+        let q = parse_query("cd").unwrap();
+        let ex = ExpandedQuery::build(&q, &CostModel::new());
+        match &ex.nodes[ex.root] {
+            ExpandedNode::Leaf { label, ty, delcost, .. } => {
+                assert_eq!(label, "cd");
+                assert_eq!(*ty, NodeType::Struct);
+                // A root leaf is never deletable.
+                assert_eq!(*delcost, Cost::INFINITY);
+            }
+            other => panic!("expected leaf root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn derivation_count_matches_hand_computation() {
+        // See the module docs of approxql-core's reference evaluator: for
+        // the Figure 2 query under the Section 6 costs the choice structure
+        // yields 3 * ((1*18) + 18) * (2*1 + 1) = 324 derivations. (The
+        // paper states 84 *distinct* semi-transformed queries for the
+        // renamings shown in its Figure 2, which differ from the Section 6
+        // table; distinctness additionally collapses derivations.)
+        let costs = paper_section6_costs();
+        let ex = ExpandedQuery::build(&figure2_query(), &costs);
+        assert_eq!(ex.derivation_count(), 324);
+    }
+
+    #[test]
+    fn expansion_is_linear_in_query_size() {
+        let costs = paper_section6_costs();
+        let q = figure2_query();
+        let ex = ExpandedQuery::build(&q, &costs);
+        // 7 selectors -> 7 node/leaf entries + 2 and + 3 deletion-or = 12.
+        assert_eq!(ex.len(), 12);
+    }
+}

@@ -1,0 +1,32 @@
+//! The approXQL query language (Section 3 of the paper) and its
+//! representations.
+//!
+//! The syntactical subset used throughout the paper consists of
+//!
+//! 1. **name selectors** (`cd`, `title`, …),
+//! 2. **text selectors** (`"piano"`, `'concerto'`),
+//! 3. the **containment operator** `[…]`,
+//! 4. the **Boolean operators** `and` and `or` (with `and` binding tighter,
+//!    parentheses for grouping).
+//!
+//! Example: `cd[title["piano" and "concerto"] and composer["rachmaninov"]]`.
+//!
+//! Three representations are provided:
+//!
+//! * the parsed **AST** ([`Query`] / [`QueryNode`]),
+//! * the **separated representation** ([`ConjunctiveQuery`]): every `or`
+//!   expanded away, one labeled typed tree per conjunct (Section 3),
+//! * the **expanded representation** ([`expand::ExpandedQuery`]): a DAG of
+//!   `node` / `leaf` / `and` / `or` representation-type nodes that encodes
+//!   *all* semi-transformed queries — every combination of deletions and
+//!   renamings — in linear space (Section 6.1).
+
+mod ast;
+mod conjunctive;
+pub mod expand;
+mod lexer;
+mod parser;
+
+pub use ast::{Query, QueryNode};
+pub use conjunctive::{ConjunctiveNode, ConjunctiveQuery};
+pub use parser::{parse_query, ParseError};

@@ -1,0 +1,321 @@
+//! Recursive-descent parser for approXQL.
+//!
+//! Grammar (with `and` binding tighter than `or`):
+//!
+//! ```text
+//! query   := step
+//! step    := NAME [ '[' expr ']' ]
+//! expr    := andexpr ( 'or' andexpr )*
+//! andexpr := primary ( 'and' primary )*
+//! primary := '(' expr ')' | step | STRING
+//! ```
+//!
+//! String literals are normalized with the same word splitting as document
+//! text (Section 4); a multi-word literal like `"piano concerto"` becomes
+//! `"piano" and "concerto"`.
+
+use crate::ast::{Query, QueryNode};
+use crate::lexer::{tokenize, Spanned, Token};
+use approxql_tree::text::split_words;
+use std::fmt;
+
+/// A syntax error with the byte offset where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the query string.
+    pub offset: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query syntax error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|s| s.offset)
+            .unwrap_or(self.input_len)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.offset(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(self.err(format!("expected {want}, found {t}"))),
+            None => Err(self.err(format!("expected {want}, found end of query"))),
+        }
+    }
+
+    /// `step := NAME [ '[' expr ']' ]`
+    fn step(&mut self) -> Result<QueryNode, ParseError> {
+        let label = match self.bump() {
+            Some(Token::Name(n)) => n,
+            Some(t) => return Err(self.err(format!("expected a name selector, found {t}"))),
+            None => return Err(self.err("expected a name selector, found end of query")),
+        };
+        let child = if self.peek() == Some(&Token::LBracket) {
+            self.pos += 1;
+            let e = self.expr()?;
+            self.expect(&Token::RBracket)?;
+            Some(Box::new(e))
+        } else {
+            None
+        };
+        Ok(QueryNode::Name { label, child })
+    }
+
+    /// Converts a string literal into one or more `and`-connected text
+    /// selectors.
+    fn text_selector(&self, raw: &str) -> Result<QueryNode, ParseError> {
+        let words = split_words(raw);
+        let mut iter = words.into_iter();
+        let first = iter.next().ok_or_else(|| {
+            self.err(format!("text selector \"{raw}\" contains no word"))
+        })?;
+        let mut node = QueryNode::Text { word: first };
+        for w in iter {
+            node = QueryNode::And(Box::new(node), Box::new(QueryNode::Text { word: w }));
+        }
+        Ok(node)
+    }
+
+    /// `primary := '(' expr ')' | step | STRING`
+    fn primary(&mut self) -> Result<QueryNode, ParseError> {
+        match self.peek() {
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Str(_)) => {
+                let raw = match self.bump() {
+                    Some(Token::Str(s)) => s,
+                    _ => unreachable!(),
+                };
+                // Report errors at the literal's own position.
+                self.pos -= 1;
+                let node = self.text_selector(&raw);
+                self.pos += 1;
+                node
+            }
+            Some(Token::Name(_)) => self.step(),
+            Some(t) => {
+                let t = t.clone();
+                Err(self.err(format!("expected a selector, found {t}")))
+            }
+            None => Err(self.err("expected a selector, found end of query")),
+        }
+    }
+
+    /// `andexpr := primary ( 'and' primary )*`
+    fn andexpr(&mut self) -> Result<QueryNode, ParseError> {
+        let mut node = self.primary()?;
+        while self.peek() == Some(&Token::And) {
+            self.pos += 1;
+            let rhs = self.primary()?;
+            node = QueryNode::And(Box::new(node), Box::new(rhs));
+        }
+        Ok(node)
+    }
+
+    /// `expr := andexpr ( 'or' andexpr )*`
+    fn expr(&mut self) -> Result<QueryNode, ParseError> {
+        let mut node = self.andexpr()?;
+        while self.peek() == Some(&Token::Or) {
+            self.pos += 1;
+            let rhs = self.andexpr()?;
+            node = QueryNode::Or(Box::new(node), Box::new(rhs));
+        }
+        Ok(node)
+    }
+}
+
+/// Parses an approXQL query string.
+///
+/// ```
+/// use approxql_query::parse_query;
+/// let q = parse_query(r#"cd[title["piano" and "concerto"]]"#).unwrap();
+/// assert_eq!(q.root_label(), "cd");
+/// assert_eq!(q.selector_count(), 4);
+/// ```
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(input).map_err(|e| ParseError {
+        offset: e.offset,
+        message: e.message,
+    })?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        input_len: input.len(),
+    };
+    let root = p.step()?;
+    if p.peek().is_some() {
+        return Err(p.err("unexpected trailing input after the query"));
+    }
+    Ok(Query { root })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_query() {
+        let q = parse_query(
+            r#"cd[title["piano" and "concerto"] and composer["rachmaninov"]]"#,
+        )
+        .unwrap();
+        assert_eq!(q.root_label(), "cd");
+        assert_eq!(q.selector_count(), 6);
+        assert_eq!(q.or_count(), 0);
+    }
+
+    #[test]
+    fn parses_paper_or_query() {
+        let q = parse_query(
+            r#"cd[title["piano" and ("concerto" or "sonata")] and (composer["rachmaninov"] or performer["ashkenazy"])]"#,
+        )
+        .unwrap();
+        assert_eq!(q.or_count(), 2);
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let q = parse_query(r#"a["x" and "y" or "z"]"#).unwrap();
+        match &q.root {
+            QueryNode::Name { child: Some(c), .. } => match c.as_ref() {
+                QueryNode::Or(l, _) => assert!(matches!(l.as_ref(), QueryNode::And(_, _))),
+                other => panic!("expected Or at top, got {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let q = parse_query(r#"a["x" and ("y" or "z")]"#).unwrap();
+        match &q.root {
+            QueryNode::Name { child: Some(c), .. } => {
+                assert!(matches!(c.as_ref(), QueryNode::And(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_name_is_a_valid_query() {
+        let q = parse_query("cd").unwrap();
+        assert_eq!(q.selector_count(), 1);
+    }
+
+    #[test]
+    fn name_leaf_inside_query() {
+        // query pattern 3 ends with `… and name]`
+        let q = parse_query("cd[title and composer]").unwrap();
+        assert_eq!(q.selector_count(), 3);
+    }
+
+    #[test]
+    fn multiword_literal_splits_into_and() {
+        let q = parse_query(r#"cd[title["Piano Concerto No. 2"]]"#).unwrap();
+        // piano, concerto, no, 2 -> 4 text selectors
+        assert_eq!(q.selector_count(), 2 + 4);
+        assert_eq!(
+            format!("{q}"),
+            r#"cd[title["piano" and "concerto" and "no" and "2"]]"#
+        );
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for src in [
+            r#"cd[title["piano" and "concerto"] and composer["rachmaninov"]]"#,
+            r#"cd[title["piano" and ("concerto" or "sonata")]]"#,
+            r#"a[b or c and d]"#,
+            "cd",
+        ] {
+            let q = parse_query(src).unwrap();
+            let rendered = format!("{q}");
+            let q2 = parse_query(&rendered).unwrap();
+            assert_eq!(q, q2, "roundtrip failed for {src}: rendered {rendered}");
+        }
+    }
+
+    #[test]
+    fn rejects_text_rooted_query() {
+        assert!(parse_query(r#""piano""#).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_query() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("   ").is_err());
+    }
+
+    #[test]
+    fn rejects_unbalanced_brackets() {
+        assert!(parse_query("cd[title").is_err());
+        assert!(parse_query("cd]").is_err());
+        assert!(parse_query("cd[(a]").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_text_selector() {
+        let err = parse_query(r#"cd["--"]"#).unwrap_err();
+        assert!(err.message.contains("no word"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let err = parse_query("cd dvd").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn rejects_operators_without_operands() {
+        assert!(parse_query("cd[and]").is_err());
+        assert!(parse_query("cd[a and]").is_err());
+        assert!(parse_query("cd[or b]").is_err());
+    }
+
+    #[test]
+    fn error_offsets_point_at_problem() {
+        let err = parse_query("cd[a and ]").unwrap_err();
+        assert_eq!(err.offset, 9);
+    }
+}

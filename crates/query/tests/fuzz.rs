@@ -1,0 +1,88 @@
+//! Robustness properties of the approXQL parser: no panics on arbitrary
+//! input, display/parse round-trips, and separation-count consistency.
+
+use approxql_query::{parse_query, Query, QueryNode};
+use proptest::prelude::*;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9._-]{0,6}".prop_filter("keywords are not names", |s| s != "and" && s != "or")
+}
+
+fn word_strategy() -> impl Strategy<Value = String> {
+    "[a-z0-9]{1,8}"
+}
+
+fn expr_strategy() -> impl Strategy<Value = QueryNode> {
+    let leaf = prop_oneof![
+        word_strategy().prop_map(|word| QueryNode::Text { word }),
+        name_strategy().prop_map(|label| QueryNode::Name { label, child: None }),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (name_strategy(), inner.clone()).prop_map(|(label, child)| QueryNode::Name {
+                label,
+                child: Some(Box::new(child)),
+            }),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| QueryNode::And(Box::new(l), Box::new(r))),
+            (inner.clone(), inner)
+                .prop_map(|(l, r)| QueryNode::Or(Box::new(l), Box::new(r))),
+        ]
+    })
+}
+
+fn query_strategy() -> impl Strategy<Value = Query> {
+    (name_strategy(), proptest::option::of(expr_strategy()))
+        .prop_map(|(label, child)| Query {
+            root: QueryNode::Name {
+                label,
+                child: child.map(Box::new),
+            },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary input: `Ok` or `Err`, never a panic.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,100}") {
+        let _ = parse_query(&input);
+    }
+
+    /// Query-flavored soup must not panic either.
+    #[test]
+    fn parser_never_panics_on_queryish_input(
+        input in "[a-z\\[\\]()'\" ]{0,80}"
+    ) {
+        let _ = parse_query(&input);
+    }
+
+    /// Rendering a random AST and reparsing preserves the semantics: the
+    /// same separated representation and a stable canonical rendering.
+    /// (AST equality would be too strict — `a and b and c` reparses
+    /// left-associated regardless of the original tree shape, and `and`
+    /// is associative.)
+    #[test]
+    fn display_parse_roundtrip(q in query_strategy()) {
+        let rendered = q.to_string();
+        let reparsed = parse_query(&rendered)
+            .unwrap_or_else(|e| panic!("own rendering failed to parse: {e}\n{rendered}"));
+        prop_assert_eq!(reparsed.separate(), q.separate(), "semantics changed: {}", rendered);
+        prop_assert_eq!(reparsed.to_string(), rendered, "rendering is not stable");
+    }
+
+    /// The separated representation contains at most 2^#or conjuncts, at
+    /// least one, and each conjunct is or-free.
+    #[test]
+    fn separation_counts_are_consistent(q in query_strategy()) {
+        let sep = q.separate();
+        prop_assert!(!sep.is_empty());
+        prop_assert!(sep.len() <= 1usize << q.or_count().min(20));
+        // Selector multiset sizes: each conjunct has at most the original
+        // number of selectors.
+        for c in &sep {
+            prop_assert!(c.size() <= q.selector_count());
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! The schema (DataGuide-style structural summary) of a data tree
+//! (Section 7.1 of the paper).
+//!
+//! The schema is a tree that contains every **label-type path** of the data
+//! tree exactly once (Definitions 13/14). Every data node has exactly one
+//! **node class** — the schema node reachable by the same label-type path
+//! (Definition 15) — and node classes preserve labels, types, and
+//! parent-child relationships.
+//!
+//! We build *compacted* schemata: all text children of a schema node merge
+//! into a single text-class node (labeled with a reserved sentinel), and
+//! the words are kept in the indexes only — exactly as the paper describes
+//! ("sequences of text nodes are merged into a single node and the labels
+//! are not stored in the tree but only in the indexes").
+//!
+//! The schema is itself represented as a [`DataTree`], so it carries the
+//! same `pre`/`bound`/`pathcost`/`inscost` encoding as the data tree and
+//! the *same evaluation algorithm* can run against it (the key observation
+//! of Section 7.1: embeddings are transitive, and every included data tree
+//! has exactly one tree class). Because transformation costs are bound to
+//! labels, the insert-cost distance between two schema nodes equals the
+//! distance between any corresponding pair of instances — schema-estimated
+//! embedding costs are *exact*.
+//!
+//! Alongside the schema tree, [`Schema::build`] constructs
+//!
+//! * a [`LabelIndex`] over the schema (the `I_struct`/`I_text` the adapted
+//!   algorithm `primary` fetches from), keyed by the **data tree's** label
+//!   ids, with words resolving to their merged text-class nodes, and
+//! * the path-dependent [`SecondaryIndex`] `I_sec` (Section 7.3) mapping
+//!   `(schema node, label)` to the preorder-sorted instances.
+
+use approxql_cost::{CostModel, NodeType};
+use approxql_index::{InstancePosting, LabelIndex, Posting, SecondaryIndex};
+use approxql_tree::{DataTree, DataTreeBuilder, LabelId, NodeId};
+use std::collections::HashMap;
+
+/// Reserved label of merged text-class nodes in the schema tree.
+pub const TEXT_CLASS_LABEL: &str = "\u{0}text";
+
+/// Aggregate statistics of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaStats {
+    /// Nodes in the schema tree (including the root and text classes).
+    pub schema_nodes: usize,
+    /// Nodes in the underlying data tree.
+    pub data_nodes: usize,
+    /// Number of distinct `(schema node, label)` postings in `I_sec`.
+    pub secondary_postings: usize,
+    /// Largest number of instances of any node class (the paper's `s_d`).
+    pub max_instances: usize,
+}
+
+/// The compacted schema of a data tree, with its indexes.
+pub struct Schema {
+    tree: DataTree,
+    labels: LabelIndex,
+    secondary: SecondaryIndex,
+    /// `class_of[data_pre] = schema_pre`.
+    class_of: Vec<u32>,
+}
+
+impl Schema {
+    /// Builds the schema of `data`. `costs` supplies the insert costs for
+    /// the schema tree's encoding (use the same model as for the data tree
+    /// so that schema distances equal instance distances).
+    pub fn build(data: &DataTree, costs: &CostModel) -> Schema {
+        // ---- pass 1: discover the shape ---------------------------------
+        // shape node 0 is the virtual root; text classes get label None.
+        struct ShapeNode {
+            label: Option<LabelId>,
+            ty: NodeType,
+            children: Vec<usize>,
+            child_lookup: HashMap<(NodeType, Option<LabelId>), usize>,
+        }
+        let mut shape: Vec<ShapeNode> = vec![ShapeNode {
+            label: None,
+            ty: NodeType::Struct,
+            children: Vec::new(),
+            child_lookup: HashMap::new(),
+        }];
+        let n = data.len();
+        let mut node_shape: Vec<usize> = vec![0; n];
+        for i in 1..n {
+            let node = NodeId(i as u32);
+            let parent_shape = node_shape[data.parent(node).expect("non-root").index()];
+            let ty = data.node_type(node);
+            let key = match ty {
+                NodeType::Struct => (ty, Some(data.label_id(node))),
+                NodeType::Text => (ty, None), // all words merge into one class
+            };
+            let child = match shape[parent_shape].child_lookup.get(&key) {
+                Some(&c) => c,
+                None => {
+                    let c = shape.len();
+                    shape.push(ShapeNode {
+                        label: key.1,
+                        ty,
+                        children: Vec::new(),
+                        child_lookup: HashMap::new(),
+                    });
+                    shape[parent_shape].children.push(c);
+                    shape[parent_shape].child_lookup.insert(key, c);
+                    c
+                }
+            };
+            node_shape[i] = child;
+        }
+
+        // ---- linearize the shape into a schema DataTree -----------------
+        let mut builder = DataTreeBuilder::new();
+        let mut shape_pre: Vec<u32> = vec![0; shape.len()];
+        // Iterative preorder DFS; children in first-occurrence order.
+        let mut stack: Vec<(usize, bool)> = shape[0]
+            .children
+            .iter()
+            .rev()
+            .map(|&c| (c, false))
+            .collect();
+        while let Some((s, closing)) = stack.pop() {
+            if closing {
+                builder.end();
+                continue;
+            }
+            match shape[s].ty {
+                NodeType::Struct => {
+                    let label = data.resolve_label(shape[s].label.expect("struct has a label"));
+                    shape_pre[s] = builder.begin_struct(label).0;
+                    stack.push((s, true));
+                    for &c in shape[s].children.iter().rev() {
+                        stack.push((c, false));
+                    }
+                }
+                NodeType::Text => {
+                    debug_assert!(shape[s].children.is_empty());
+                    shape_pre[s] = builder.add_word(TEXT_CLASS_LABEL).0;
+                }
+            }
+        }
+        let tree = builder.build(costs);
+
+        // ---- pass 2: instances, I_sec, and the schema label index -------
+        let mut class_of: Vec<u32> = vec![0; n];
+        let mut secondary = SecondaryIndex::new();
+        for i in 1..n {
+            let node = NodeId(i as u32);
+            let class = shape_pre[node_shape[i]];
+            class_of[i] = class;
+            secondary.push(
+                class,
+                data.label_id(node),
+                InstancePosting {
+                    pre: node.0,
+                    bound: data.bound(node),
+                },
+            );
+        }
+        // Every (schema node, label) key of I_sec yields one posting entry
+        // for the schema-level label index: the query's `fetch` against the
+        // schema must find, for a word, all text classes under which the
+        // word occurs, and for a name, all schema nodes with that name.
+        let mut label_postings: HashMap<(NodeType, LabelId), Vec<Posting>> = HashMap::new();
+        for ((schema_pre, label), _) in secondary.iter() {
+            let schema_node = NodeId(schema_pre);
+            label_postings
+                .entry((tree.node_type(schema_node), label))
+                .or_default()
+                .push(Posting::from_node(&tree, schema_node));
+        }
+        let mut labels = LabelIndex::default();
+        for ((ty, label), mut postings) in label_postings {
+            postings.sort_by_key(|p| p.pre);
+            postings.dedup_by_key(|p| p.pre);
+            labels.insert_posting(ty, label, postings);
+        }
+
+        Schema {
+            tree,
+            labels,
+            secondary,
+            class_of,
+        }
+    }
+
+    /// The schema tree (encoded like a data tree).
+    pub fn tree(&self) -> &DataTree {
+        &self.tree
+    }
+
+    /// The schema-level label index (`I_struct`/`I_text` over the schema),
+    /// keyed by the *data tree's* label ids.
+    pub fn labels(&self) -> &LabelIndex {
+        &self.labels
+    }
+
+    /// The path-dependent secondary index `I_sec`.
+    pub fn secondary(&self) -> &SecondaryIndex {
+        &self.secondary
+    }
+
+    /// The node class of a data node (Definition 15).
+    pub fn class_of(&self, data_node: NodeId) -> NodeId {
+        NodeId(self.class_of[data_node.index()])
+    }
+
+    /// The instances of a schema node that carry `label`.
+    pub fn instances(&self, schema_node: NodeId, label: LabelId) -> &[InstancePosting] {
+        self.secondary.fetch(schema_node.0, label)
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> SchemaStats {
+        SchemaStats {
+            schema_nodes: self.tree.len(),
+            data_nodes: self.class_of.len(),
+            secondary_postings: self.secondary.len(),
+            max_instances: self
+                .secondary
+                .iter()
+                .map(|(_, p)| p.len())
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxql_cost::Cost;
+
+    /// Two CDs with the same structure plus one DVD.
+    fn data() -> DataTree {
+        let mut b = DataTreeBuilder::new();
+        for title in ["piano concerto", "cello suite"] {
+            b.begin_struct("cd");
+            b.begin_struct("title");
+            b.add_text(title);
+            b.end();
+            b.begin_struct("composer");
+            b.add_text("someone");
+            b.end();
+            b.end();
+        }
+        b.begin_struct("dvd");
+        b.begin_struct("title");
+        b.add_text("piano");
+        b.end();
+        b.end();
+        b.build(&CostModel::new())
+    }
+
+    #[test]
+    fn schema_is_much_smaller_than_data() {
+        let d = data();
+        let s = Schema::build(&d, &CostModel::new());
+        // root, cd, title, text, composer, text, dvd, title, text
+        assert_eq!(s.tree().len(), 9);
+        assert!(s.tree().len() < d.len());
+    }
+
+    #[test]
+    fn every_label_type_path_occurs_exactly_once() {
+        let d = data();
+        let s = Schema::build(&d, &CostModel::new());
+        let mut paths = std::collections::HashSet::new();
+        for n in s.tree().nodes() {
+            let path: Vec<_> = s
+                .tree()
+                .label_type_path(n)
+                .iter()
+                .map(|&(l, ty)| (s.tree().resolve_label(l).to_owned(), ty))
+                .collect();
+            assert!(paths.insert(path), "duplicate label-type path in schema");
+        }
+        for n in d.nodes() {
+            let class = s.class_of(n);
+            assert_eq!(d.depth(n), s.tree().depth(class));
+        }
+    }
+
+    #[test]
+    fn node_classes_preserve_labels_types_and_parents() {
+        let d = data();
+        let s = Schema::build(&d, &CostModel::new());
+        for n in d.nodes() {
+            let c = s.class_of(n);
+            assert_eq!(s.tree().node_type(c), d.node_type(n));
+            match d.node_type(n) {
+                NodeType::Struct => {
+                    if n.0 != 0 {
+                        assert_eq!(s.tree().label(c), d.label(n));
+                    }
+                }
+                NodeType::Text => {
+                    assert_eq!(s.tree().label(c), TEXT_CLASS_LABEL);
+                }
+            }
+            if let Some(p) = d.parent(n) {
+                assert_eq!(s.tree().parent(c), Some(s.class_of(p)));
+            }
+        }
+    }
+
+    #[test]
+    fn secondary_index_lists_all_instances_in_preorder() {
+        let d = data();
+        let s = Schema::build(&d, &CostModel::new());
+        let cd = d.lookup_label("cd").unwrap();
+        let cd_schema = s.labels().fetch(NodeType::Struct, cd);
+        assert_eq!(cd_schema.len(), 1);
+        let instances = s.instances(NodeId(cd_schema[0].pre), cd);
+        assert_eq!(instances.len(), 2);
+        assert!(instances[0].pre < instances[1].pre);
+        for inst in instances {
+            assert_eq!(d.label(NodeId(inst.pre)), "cd");
+        }
+    }
+
+    #[test]
+    fn words_resolve_to_their_text_classes() {
+        let d = data();
+        let s = Schema::build(&d, &CostModel::new());
+        let piano = d.lookup_label("piano").unwrap();
+        // "piano" occurs under cd/title and dvd/title: two classes.
+        let classes = s.labels().fetch(NodeType::Text, piano);
+        assert_eq!(classes.len(), 2);
+        for c in classes {
+            assert_eq!(s.tree().label(NodeId(c.pre)), TEXT_CLASS_LABEL);
+            let instances = s.instances(NodeId(c.pre), piano);
+            assert_eq!(instances.len(), 1);
+            assert_eq!(d.label(NodeId(instances[0].pre)), "piano");
+        }
+        // "cello" occurs only under cd/title: one class.
+        let cello = d.lookup_label("cello").unwrap();
+        assert_eq!(s.labels().fetch(NodeType::Text, cello).len(), 1);
+    }
+
+    #[test]
+    fn schema_distances_equal_instance_distances() {
+        let costs = CostModel::builder()
+            .insert(NodeType::Struct, "title", Cost::finite(3))
+            .insert(NodeType::Struct, "cd", Cost::finite(2))
+            .build();
+        let mut b = DataTreeBuilder::new();
+        b.begin_struct("cd");
+        b.begin_struct("title");
+        b.add_text("piano");
+        b.end();
+        b.end();
+        let d = b.build(&costs);
+        let s = Schema::build(&d, &costs);
+        let cd_data = NodeId(1);
+        let piano_data = NodeId(3);
+        let dist_data = d.distance(cd_data, piano_data);
+        let dist_schema = s
+            .tree()
+            .distance(s.class_of(cd_data), s.class_of(piano_data));
+        assert_eq!(dist_data, dist_schema);
+        assert_eq!(dist_data, Cost::finite(3)); // title sits in between
+    }
+
+    #[test]
+    fn empty_data_tree_yields_root_only_schema() {
+        let d = DataTreeBuilder::new().build(&CostModel::new());
+        let s = Schema::build(&d, &CostModel::new());
+        assert_eq!(s.tree().len(), 1);
+        assert!(s.secondary().is_empty());
+        assert_eq!(s.stats().max_instances, 0);
+    }
+
+    #[test]
+    fn stats_report_counts() {
+        let d = data();
+        let s = Schema::build(&d, &CostModel::new());
+        let st = s.stats();
+        assert_eq!(st.schema_nodes, 9);
+        assert_eq!(st.data_nodes, d.len());
+        assert_eq!(st.max_instances, 2); // the two cd instances
+    }
+
+    #[test]
+    fn recursive_structures_fold_per_path() {
+        // part > part > part: each nesting level is its own label-type
+        // path, so the schema keeps one node per depth.
+        let mut b = DataTreeBuilder::new();
+        b.begin_struct("part");
+        b.begin_struct("part");
+        b.begin_struct("part");
+        b.end();
+        b.end();
+        b.end();
+        b.begin_struct("part");
+        b.begin_struct("part");
+        b.end();
+        b.end();
+        let d = b.build(&CostModel::new());
+        let s = Schema::build(&d, &CostModel::new());
+        // root + part@1 + part@2 + part@3
+        assert_eq!(s.tree().len(), 4);
+        let part = d.lookup_label("part").unwrap();
+        // Three schema nodes carry the label `part`.
+        assert_eq!(s.labels().fetch(NodeType::Struct, part).len(), 3);
+    }
+}

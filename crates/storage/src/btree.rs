@@ -1,0 +1,549 @@
+//! The B+-tree over pages: variable-length keys, values out of line.
+//!
+//! Leaves are chained left-to-right for range scans. Deletion removes the
+//! entry from its leaf without rebalancing (empty leaves simply stay in the
+//! chain) — adequate for the reproduction's bulk-build-then-read workload
+//! and documented in the crate docs.
+
+use crate::heap::ValueRef;
+use crate::pager::{PageId, Pager, PAGE_SIZE};
+use crate::{Result, StorageError, MAX_KEY_LEN};
+
+const TAG_INTERNAL: u8 = 1;
+const TAG_LEAF: u8 = 2;
+/// Sentinel "no next leaf".
+const NO_PAGE: u32 = u32::MAX;
+
+/// Parsed form of a tree page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Routing node: `children.len() == keys.len() + 1`; keys separate the
+    /// children (`< key` goes left of it, `>= key` right).
+    Internal {
+        keys: Vec<Vec<u8>>,
+        children: Vec<PageId>,
+    },
+    /// Data node: sorted `(key, value)` entries plus a right-sibling link.
+    Leaf {
+        entries: Vec<(Vec<u8>, ValueRef)>,
+        next: Option<PageId>,
+    },
+}
+
+impl Node {
+    fn serialized_size(&self) -> usize {
+        match self {
+            Node::Internal { keys, .. } => {
+                1 + 2 + 4 + keys.iter().map(|k| 2 + k.len() + 4).sum::<usize>()
+            }
+            Node::Leaf { entries, .. } => {
+                1 + 2 + 4 + entries.iter().map(|(k, _)| 2 + k.len() + 8).sum::<usize>()
+            }
+        }
+    }
+
+    fn write_page(&self, buf: &mut [u8; PAGE_SIZE]) {
+        debug_assert!(self.serialized_size() <= PAGE_SIZE);
+        buf.fill(0);
+        let mut pos = 0;
+        let mut put = |bytes: &[u8], pos: &mut usize| {
+            buf[*pos..*pos + bytes.len()].copy_from_slice(bytes);
+            *pos += bytes.len();
+        };
+        match self {
+            Node::Internal { keys, children } => {
+                put(&[TAG_INTERNAL], &mut pos);
+                put(&(keys.len() as u16).to_le_bytes(), &mut pos);
+                put(&children[0].0.to_le_bytes(), &mut pos);
+                for (k, c) in keys.iter().zip(&children[1..]) {
+                    put(&(k.len() as u16).to_le_bytes(), &mut pos);
+                    put(k, &mut pos);
+                    put(&c.0.to_le_bytes(), &mut pos);
+                }
+            }
+            Node::Leaf { entries, next } => {
+                put(&[TAG_LEAF], &mut pos);
+                put(&(entries.len() as u16).to_le_bytes(), &mut pos);
+                put(&next.map(|p| p.0).unwrap_or(NO_PAGE).to_le_bytes(), &mut pos);
+                for (k, v) in entries {
+                    put(&(k.len() as u16).to_le_bytes(), &mut pos);
+                    put(k, &mut pos);
+                    put(&v.first_page.0.to_le_bytes(), &mut pos);
+                    put(&v.len.to_le_bytes(), &mut pos);
+                }
+            }
+        }
+    }
+
+    fn parse(id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<Node> {
+        let corrupt = |what| StorageError::CorruptPage(id, what);
+        let mut pos = 0usize;
+        let take = |n: usize, pos: &mut usize| -> Result<&[u8]> {
+            if *pos + n > PAGE_SIZE {
+                return Err(StorageError::CorruptPage(id, "page overrun"));
+            }
+            let s = &buf[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let tag = take(1, &mut pos)?[0];
+        let n = u16::from_le_bytes(take(2, &mut pos)?.try_into().unwrap()) as usize;
+        match tag {
+            TAG_INTERNAL => {
+                let mut children =
+                    vec![PageId(u32::from_le_bytes(take(4, &mut pos)?.try_into().unwrap()))];
+                let mut keys = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let klen =
+                        u16::from_le_bytes(take(2, &mut pos)?.try_into().unwrap()) as usize;
+                    if klen > MAX_KEY_LEN {
+                        return Err(corrupt("key too long"));
+                    }
+                    keys.push(take(klen, &mut pos)?.to_vec());
+                    children.push(PageId(u32::from_le_bytes(
+                        take(4, &mut pos)?.try_into().unwrap(),
+                    )));
+                }
+                Ok(Node::Internal { keys, children })
+            }
+            TAG_LEAF => {
+                let next_raw = u32::from_le_bytes(take(4, &mut pos)?.try_into().unwrap());
+                let next = (next_raw != NO_PAGE).then_some(PageId(next_raw));
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let klen =
+                        u16::from_le_bytes(take(2, &mut pos)?.try_into().unwrap()) as usize;
+                    if klen > MAX_KEY_LEN {
+                        return Err(corrupt("key too long"));
+                    }
+                    let key = take(klen, &mut pos)?.to_vec();
+                    let first = u32::from_le_bytes(take(4, &mut pos)?.try_into().unwrap());
+                    let len = u32::from_le_bytes(take(4, &mut pos)?.try_into().unwrap());
+                    entries.push((
+                        key,
+                        ValueRef {
+                            first_page: PageId(first),
+                            len,
+                        },
+                    ));
+                }
+                Ok(Node::Leaf { entries, next })
+            }
+            _ => Err(corrupt("unknown node tag")),
+        }
+    }
+}
+
+fn read_node(pager: &mut Pager, id: PageId) -> Result<Node> {
+    Node::parse(id, pager.read(id)?)
+}
+
+fn write_node(pager: &mut Pager, id: PageId, node: &Node) -> Result<()> {
+    node.write_page(pager.write(id)?);
+    Ok(())
+}
+
+/// The B+-tree handle; the root page id lives in the store header.
+pub struct BTree {
+    /// Current root page.
+    pub root: PageId,
+}
+
+enum InsertResult {
+    Done,
+    /// The child split: `sep` separates it from the new right sibling.
+    Split { sep: Vec<u8>, right: PageId },
+}
+
+impl BTree {
+    /// Creates an empty tree (a single empty leaf).
+    pub fn create(pager: &mut Pager) -> Result<BTree> {
+        let root = pager.allocate();
+        write_node(
+            pager,
+            root,
+            &Node::Leaf {
+                entries: Vec::new(),
+                next: None,
+            },
+        )?;
+        Ok(BTree { root })
+    }
+
+    /// Opens a tree whose root is `root`.
+    pub fn open(root: PageId) -> BTree {
+        BTree { root }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, pager: &mut Pager, key: &[u8]) -> Result<Option<ValueRef>> {
+        let mut page = self.root;
+        loop {
+            match read_node(pager, page)? {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k.as_slice() <= key);
+                    page = children[idx];
+                }
+                Node::Leaf { entries, .. } => {
+                    return Ok(entries
+                        .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+                        .ok()
+                        .map(|i| entries[i].1));
+                }
+            }
+        }
+    }
+
+    /// Inserts or replaces `key`.
+    pub fn insert(&mut self, pager: &mut Pager, key: &[u8], value: ValueRef) -> Result<()> {
+        if key.len() > MAX_KEY_LEN {
+            return Err(StorageError::KeyTooLong(key.len()));
+        }
+        match self.insert_rec(pager, self.root, key, value)? {
+            InsertResult::Done => Ok(()),
+            InsertResult::Split { sep, right } => {
+                let old_root = self.root;
+                let new_root = pager.allocate();
+                write_node(
+                    pager,
+                    new_root,
+                    &Node::Internal {
+                        keys: vec![sep],
+                        children: vec![old_root, right],
+                    },
+                )?;
+                self.root = new_root;
+                Ok(())
+            }
+        }
+    }
+
+    fn insert_rec(
+        &mut self,
+        pager: &mut Pager,
+        page: PageId,
+        key: &[u8],
+        value: ValueRef,
+    ) -> Result<InsertResult> {
+        match read_node(pager, page)? {
+            Node::Leaf { mut entries, next } => {
+                match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => entries[i].1 = value,
+                    Err(i) => entries.insert(i, (key.to_vec(), value)),
+                }
+                let node = Node::Leaf { entries, next };
+                if node.serialized_size() <= PAGE_SIZE {
+                    write_node(pager, page, &node)?;
+                    return Ok(InsertResult::Done);
+                }
+                // Split: move the upper half to a fresh right sibling.
+                let (mut entries, next) = match node {
+                    Node::Leaf { entries, next } => (entries, next),
+                    _ => unreachable!(),
+                };
+                let mid = entries.len() / 2;
+                let right_entries = entries.split_off(mid);
+                let sep = right_entries[0].0.clone();
+                let right_page = pager.allocate();
+                write_node(
+                    pager,
+                    right_page,
+                    &Node::Leaf {
+                        entries: right_entries,
+                        next,
+                    },
+                )?;
+                write_node(
+                    pager,
+                    page,
+                    &Node::Leaf {
+                        entries,
+                        next: Some(right_page),
+                    },
+                )?;
+                Ok(InsertResult::Split {
+                    sep,
+                    right: right_page,
+                })
+            }
+            Node::Internal {
+                mut keys,
+                mut children,
+            } => {
+                let idx = keys.partition_point(|k| k.as_slice() <= key);
+                match self.insert_rec(pager, children[idx], key, value)? {
+                    InsertResult::Done => Ok(InsertResult::Done),
+                    InsertResult::Split { sep, right } => {
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        let node = Node::Internal { keys, children };
+                        if node.serialized_size() <= PAGE_SIZE {
+                            write_node(pager, page, &node)?;
+                            return Ok(InsertResult::Done);
+                        }
+                        let (mut keys, mut children) = match node {
+                            Node::Internal { keys, children } => (keys, children),
+                            _ => unreachable!(),
+                        };
+                        // Push up the middle key; right sibling takes the
+                        // upper halves.
+                        let mid = keys.len() / 2;
+                        let up = keys[mid].clone();
+                        let right_keys = keys.split_off(mid + 1);
+                        keys.pop(); // `up` moves to the parent
+                        let right_children = children.split_off(mid + 1);
+                        let right_page = pager.allocate();
+                        write_node(
+                            pager,
+                            right_page,
+                            &Node::Internal {
+                                keys: right_keys,
+                                children: right_children,
+                            },
+                        )?;
+                        write_node(pager, page, &Node::Internal { keys, children })?;
+                        Ok(InsertResult::Split {
+                            sep: up,
+                            right: right_page,
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes `key`, returning whether it was present. Leaves are not
+    /// rebalanced.
+    pub fn delete(&mut self, pager: &mut Pager, key: &[u8]) -> Result<bool> {
+        let mut page = self.root;
+        loop {
+            match read_node(pager, page)? {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k.as_slice() <= key);
+                    page = children[idx];
+                }
+                Node::Leaf { mut entries, next } => {
+                    match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                        Ok(i) => {
+                            entries.remove(i);
+                            write_node(pager, page, &Node::Leaf { entries, next })?;
+                            return Ok(true);
+                        }
+                        Err(_) => return Ok(false),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Positions a cursor at the first entry with key `>= start`.
+    pub fn seek(&self, pager: &mut Pager, start: &[u8]) -> Result<Cursor> {
+        let mut page = self.root;
+        loop {
+            match read_node(pager, page)? {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k.as_slice() <= start);
+                    page = children[idx];
+                }
+                Node::Leaf { entries, .. } => {
+                    let idx = entries.partition_point(|(k, _)| k.as_slice() < start);
+                    return Ok(Cursor { leaf: page, idx });
+                }
+            }
+        }
+    }
+}
+
+/// A forward cursor over leaf entries.
+pub struct Cursor {
+    leaf: PageId,
+    idx: usize,
+}
+
+impl Cursor {
+    /// Returns the next entry, advancing the cursor.
+    pub fn next(&mut self, pager: &mut Pager) -> Result<Option<(Vec<u8>, ValueRef)>> {
+        loop {
+            let node = read_node(pager, self.leaf)?;
+            match node {
+                Node::Leaf { entries, next } => {
+                    if self.idx < entries.len() {
+                        let out = entries[self.idx].clone();
+                        self.idx += 1;
+                        return Ok(Some(out));
+                    }
+                    match next {
+                        Some(n) => {
+                            self.leaf = n;
+                            self.idx = 0;
+                        }
+                        None => return Ok(None),
+                    }
+                }
+                Node::Internal { .. } => {
+                    return Err(StorageError::CorruptPage(self.leaf, "cursor on internal page"))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::MemBackend;
+
+    fn setup() -> (Pager, BTree) {
+        let mut pager = Pager::new(Box::new(MemBackend::new()));
+        pager.allocate(); // fake header page
+        let tree = BTree::create(&mut pager).unwrap();
+        (pager, tree)
+    }
+
+    fn vr(n: u32) -> ValueRef {
+        ValueRef {
+            first_page: PageId(n),
+            len: n,
+        }
+    }
+
+    #[test]
+    fn empty_tree_has_no_entries() {
+        let (mut p, t) = setup();
+        assert_eq!(t.get(&mut p, b"x").unwrap(), None);
+        let mut c = t.seek(&mut p, b"").unwrap();
+        assert_eq!(c.next(&mut p).unwrap(), None);
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let (mut p, mut t) = setup();
+        t.insert(&mut p, b"beta", vr(2)).unwrap();
+        t.insert(&mut p, b"alpha", vr(1)).unwrap();
+        assert_eq!(t.get(&mut p, b"alpha").unwrap(), Some(vr(1)));
+        assert_eq!(t.get(&mut p, b"beta").unwrap(), Some(vr(2)));
+        assert_eq!(t.get(&mut p, b"gamma").unwrap(), None);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let (mut p, mut t) = setup();
+        t.insert(&mut p, b"k", vr(1)).unwrap();
+        t.insert(&mut p, b"k", vr(9)).unwrap();
+        assert_eq!(t.get(&mut p, b"k").unwrap(), Some(vr(9)));
+    }
+
+    #[test]
+    fn delete_removes() {
+        let (mut p, mut t) = setup();
+        t.insert(&mut p, b"k", vr(1)).unwrap();
+        assert!(t.delete(&mut p, b"k").unwrap());
+        assert!(!t.delete(&mut p, b"k").unwrap());
+        assert_eq!(t.get(&mut p, b"k").unwrap(), None);
+    }
+
+    #[test]
+    fn many_inserts_force_splits_and_stay_sorted() {
+        let (mut p, mut t) = setup();
+        let n = 5000u32;
+        for i in 0..n {
+            // interleaved order
+            let k = format!("key{:06}", (i.wrapping_mul(2654435761_u32)) % n);
+            t.insert(&mut p, k.as_bytes(), vr(i)).unwrap();
+        }
+        // The root must have split at least once.
+        assert_ne!(t.root, PageId(1));
+        // All keys retrievable.
+        for i in 0..n {
+            let k = format!("key{:06}", (i.wrapping_mul(2654435761_u32)) % n);
+            assert!(t.get(&mut p, k.as_bytes()).unwrap().is_some(), "lost {k}");
+        }
+        // Full scan yields sorted unique keys.
+        let mut c = t.seek(&mut p, b"").unwrap();
+        let mut prev: Option<Vec<u8>> = None;
+        let mut count = 0;
+        while let Some((k, _)) = c.next(&mut p).unwrap() {
+            if let Some(pv) = &prev {
+                assert!(pv < &k, "scan out of order");
+            }
+            prev = Some(k);
+            count += 1;
+        }
+        // The multiplier is odd and n divides 2^32, so i -> i*m % n is a
+        // bijection for n a power of two; it is not here, so dedupe happens.
+        let distinct: std::collections::HashSet<u32> =
+            (0..n).map(|i| (i.wrapping_mul(2654435761_u32)) % n).collect();
+        assert_eq!(count, distinct.len());
+    }
+
+    #[test]
+    fn seek_starts_mid_range() {
+        let (mut p, mut t) = setup();
+        for i in 0..100u32 {
+            t.insert(&mut p, format!("k{i:03}").as_bytes(), vr(i)).unwrap();
+        }
+        let mut c = t.seek(&mut p, b"k050").unwrap();
+        let (k, v) = c.next(&mut p).unwrap().unwrap();
+        assert_eq!(k, b"k050");
+        assert_eq!(v, vr(50));
+        let (k, _) = c.next(&mut p).unwrap().unwrap();
+        assert_eq!(k, b"k051");
+    }
+
+    #[test]
+    fn seek_between_keys_lands_on_next() {
+        let (mut p, mut t) = setup();
+        t.insert(&mut p, b"a", vr(1)).unwrap();
+        t.insert(&mut p, b"c", vr(3)).unwrap();
+        let mut cur = t.seek(&mut p, b"b").unwrap();
+        assert_eq!(cur.next(&mut p).unwrap().unwrap().0, b"c");
+    }
+
+    #[test]
+    fn rejects_oversized_keys() {
+        let (mut p, mut t) = setup();
+        let k = vec![b'x'; MAX_KEY_LEN + 1];
+        assert!(matches!(
+            t.insert(&mut p, &k, vr(0)),
+            Err(StorageError::KeyTooLong(_))
+        ));
+    }
+
+    #[test]
+    fn max_len_keys_work() {
+        let (mut p, mut t) = setup();
+        for i in 0..50u8 {
+            let mut k = vec![i; MAX_KEY_LEN];
+            k[0] = i;
+            t.insert(&mut p, &k, vr(i as u32)).unwrap();
+        }
+        for i in 0..50u8 {
+            let k = vec![i; MAX_KEY_LEN];
+            assert_eq!(t.get(&mut p, &k).unwrap(), Some(vr(i as u32)));
+        }
+    }
+
+    #[test]
+    fn node_page_roundtrip() {
+        let internal = Node::Internal {
+            keys: vec![b"m".to_vec()],
+            children: vec![PageId(3), PageId(4)],
+        };
+        let mut buf = [0u8; PAGE_SIZE];
+        internal.write_page(&mut buf);
+        assert_eq!(Node::parse(PageId(9), &buf).unwrap(), internal);
+
+        let leaf = Node::Leaf {
+            entries: vec![(b"a".to_vec(), vr(7))],
+            next: Some(PageId(11)),
+        };
+        leaf.write_page(&mut buf);
+        assert_eq!(Node::parse(PageId(9), &buf).unwrap(), leaf);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_tag() {
+        let buf = [9u8; PAGE_SIZE];
+        assert!(Node::parse(PageId(0), &buf).is_err());
+    }
+}

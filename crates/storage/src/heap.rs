@@ -1,0 +1,107 @@
+//! Out-of-line value storage in contiguous page runs.
+//!
+//! A value of `len` bytes is stored as `ceil(len / PAGE_SIZE)` consecutive
+//! pages; the B+-tree leaf remembers `(first_page, len)`. Values are
+//! immutable once written — overwriting a key writes a fresh run.
+
+use crate::pager::{PageId, Pager, PAGE_SIZE};
+use crate::Result;
+
+/// Location of a stored value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ValueRef {
+    /// First page of the run; meaningless when `len == 0`.
+    pub first_page: PageId,
+    /// Value length in bytes.
+    pub len: u32,
+}
+
+/// Writes `value` into freshly allocated pages.
+pub fn write_value(pager: &mut Pager, value: &[u8]) -> Result<ValueRef> {
+    let len = u32::try_from(value.len()).expect("values larger than 4 GiB are unsupported");
+    if value.is_empty() {
+        return Ok(ValueRef {
+            first_page: PageId(0),
+            len: 0,
+        });
+    }
+    let npages = value.len().div_ceil(PAGE_SIZE) as u32;
+    let first = pager.allocate_run(npages);
+    for (i, chunk) in value.chunks(PAGE_SIZE).enumerate() {
+        let page = pager.write(PageId(first.0 + i as u32))?;
+        page[..chunk.len()].copy_from_slice(chunk);
+    }
+    Ok(ValueRef {
+        first_page: first,
+        len,
+    })
+}
+
+/// Reads a value previously written with [`write_value`].
+pub fn read_value(pager: &mut Pager, vref: ValueRef) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(vref.len as usize);
+    let mut remaining = vref.len as usize;
+    let mut page = vref.first_page;
+    while remaining > 0 {
+        let data = pager.read(page)?;
+        let take = remaining.min(PAGE_SIZE);
+        out.extend_from_slice(&data[..take]);
+        remaining -= take;
+        page = PageId(page.0 + 1);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::MemBackend;
+
+    fn pager() -> Pager {
+        let mut p = Pager::new(Box::new(MemBackend::new()));
+        p.allocate(); // reserve page 0 like the store header does
+        p
+    }
+
+    #[test]
+    fn empty_value() {
+        let mut p = pager();
+        let r = write_value(&mut p, b"").unwrap();
+        assert_eq!(r.len, 0);
+        assert_eq!(read_value(&mut p, r).unwrap(), b"");
+    }
+
+    #[test]
+    fn small_value_roundtrip() {
+        let mut p = pager();
+        let r = write_value(&mut p, b"hello world").unwrap();
+        assert_eq!(read_value(&mut p, r).unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn exactly_one_page() {
+        let mut p = pager();
+        let v = [0xAB; PAGE_SIZE].to_vec();
+        let r = write_value(&mut p, &v).unwrap();
+        assert_eq!(read_value(&mut p, r).unwrap(), v);
+        assert_eq!(p.page_count(), 2); // header + 1 value page
+    }
+
+    #[test]
+    fn multi_page_value_roundtrip() {
+        let mut p = pager();
+        let v: Vec<u8> = (0..PAGE_SIZE * 3 + 17).map(|i| (i % 251) as u8).collect();
+        let r = write_value(&mut p, &v).unwrap();
+        assert_eq!(read_value(&mut p, r).unwrap(), v);
+        assert_eq!(p.page_count(), 1 + 4);
+    }
+
+    #[test]
+    fn values_do_not_clobber_each_other() {
+        let mut p = pager();
+        let a = write_value(&mut p, &vec![1u8; PAGE_SIZE + 1]).unwrap();
+        let b = write_value(&mut p, &[2u8; 10]).unwrap();
+        assert_eq!(read_value(&mut p, a).unwrap(), vec![1u8; PAGE_SIZE + 1]);
+        assert_eq!(read_value(&mut p, b).unwrap(), vec![2u8; 10]);
+    }
+}

@@ -1,0 +1,93 @@
+//! A small single-file key/value store with ordered range scans.
+//!
+//! The paper's system was "implemented in C++ on top of the Berkeley DB"
+//! (Section 8.1), which it used as a persistent store for its index
+//! postings. This crate is the reproduction's stand-in substrate: a
+//! page-based **B+-tree** over a single file, with
+//!
+//! * arbitrary byte-string keys (≤ [`MAX_KEY_LEN`] bytes) mapping to
+//!   arbitrary byte-string values,
+//! * ordered iteration (`scan_prefix`, `scan_range`) — the operation the
+//!   indexes actually need,
+//! * values stored out-of-line in contiguous page runs, so multi-megabyte
+//!   posting lists are fine,
+//! * a pluggable [`Backend`]: a real file or an in-memory page vector
+//!   (useful for tests and ephemeral databases).
+//!
+//! ## Durability model
+//!
+//! [`Store::commit`] flushes all dirty pages and then rewrites the header
+//! page (which points at the B+-tree root). A crash *between* commits can
+//! lose uncommitted work; a torn header write is detected by a checksum.
+//! Full write-ahead logging is out of scope — the reproduction only needs
+//! a persistent, ordered store, not transactional recovery.
+//!
+//! ## Space model
+//!
+//! Pages are never reclaimed (there is no free list); deleting or
+//! overwriting keys leaks the old value pages until the file is rewritten
+//! with [`Store::compact_into`]. This matches the access pattern of the
+//! reproduction: indexes are bulk-built once and then read.
+
+mod btree;
+mod heap;
+mod pager;
+mod store;
+
+pub use pager::{Backend, FileBackend, MemBackend, PageId, PAGE_SIZE};
+pub use store::{Store, StoreIter};
+
+use std::fmt;
+
+/// Maximum key length in bytes (keys must fit several times into a page).
+pub const MAX_KEY_LEN: usize = 512;
+
+/// Errors raised by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying I/O error.
+    Io(std::io::Error),
+    /// The file is not a store created by this crate.
+    NotAStore,
+    /// Unsupported on-disk format version.
+    BadVersion(u32),
+    /// The header checksum does not match (torn write or corruption).
+    CorruptHeader,
+    /// A page contains inconsistent data.
+    CorruptPage(PageId, &'static str),
+    /// The key exceeds [`MAX_KEY_LEN`].
+    KeyTooLong(usize),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::NotAStore => write!(f, "not an approxql store file"),
+            StorageError::BadVersion(v) => write!(f, "unsupported store version {v}"),
+            StorageError::CorruptHeader => write!(f, "store header is corrupt"),
+            StorageError::CorruptPage(p, what) => write!(f, "page {p} is corrupt: {what}"),
+            StorageError::KeyTooLong(n) => {
+                write!(f, "key of {n} bytes exceeds the {MAX_KEY_LEN}-byte limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Shorthand result type.
+pub type Result<T> = std::result::Result<T, StorageError>;

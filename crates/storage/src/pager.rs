@@ -1,0 +1,324 @@
+//! Page-granular I/O with a write-back cache and pluggable backends.
+
+use crate::{Result, StorageError};
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// The fixed page size of the store.
+pub const PAGE_SIZE: usize = 4096;
+
+/// A page number within the store file. Page 0 is the header.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PageId(pub u32);
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Raw page storage: a file or an in-memory vector.
+pub trait Backend {
+    /// Reads page `id` into `buf` (the page must exist).
+    fn read_page(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()>;
+    /// Writes `buf` to page `id`, growing the backend if needed.
+    fn write_page(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()>;
+    /// Number of pages currently stored.
+    fn page_count(&self) -> u32;
+    /// Flushes any buffered writes to durable storage.
+    fn sync(&mut self) -> Result<()>;
+}
+
+/// A backend over a real file.
+pub struct FileBackend {
+    file: File,
+    pages: u32,
+}
+
+impl FileBackend {
+    /// Creates a new (truncated) store file.
+    pub fn create(path: &Path) -> Result<FileBackend> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileBackend { file, pages: 0 })
+    }
+
+    /// Opens an existing store file.
+    pub fn open(path: &Path) -> Result<FileBackend> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(StorageError::NotAStore);
+        }
+        Ok(FileBackend {
+            file,
+            pages: (len / PAGE_SIZE as u64) as u32,
+        })
+    }
+}
+
+impl Backend for FileBackend {
+    fn read_page(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        self.file
+            .seek(SeekFrom::Start(id.0 as u64 * PAGE_SIZE as u64))?;
+        self.file.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn write_page(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
+        self.file
+            .seek(SeekFrom::Start(id.0 as u64 * PAGE_SIZE as u64))?;
+        self.file.write_all(buf)?;
+        if id.0 >= self.pages {
+            self.pages = id.0 + 1;
+        }
+        Ok(())
+    }
+
+    fn page_count(&self) -> u32 {
+        self.pages
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// An in-memory backend (tests, ephemeral stores).
+#[derive(Default)]
+pub struct MemBackend {
+    pages: Vec<Box<[u8; PAGE_SIZE]>>,
+}
+
+impl MemBackend {
+    /// Creates an empty in-memory backend.
+    pub fn new() -> MemBackend {
+        MemBackend::default()
+    }
+}
+
+impl Backend for MemBackend {
+    fn read_page(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        match self.pages.get(id.0 as usize) {
+            Some(p) => {
+                buf.copy_from_slice(&p[..]);
+                Ok(())
+            }
+            None => Err(StorageError::CorruptPage(id, "page does not exist")),
+        }
+    }
+
+    fn write_page(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
+        let idx = id.0 as usize;
+        while self.pages.len() <= idx {
+            self.pages.push(Box::new([0u8; PAGE_SIZE]));
+        }
+        self.pages[idx].copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn page_count(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// A write-back page cache in front of a [`Backend`].
+///
+/// All reads and writes go through the cache; [`Pager::flush`] writes every
+/// dirty page back. The cache is unbounded — the store's working sets
+/// (index postings being built) are expected to fit in memory, and the
+/// backend exists for *persistence*, not for out-of-core operation.
+pub struct Pager {
+    backend: Box<dyn Backend>,
+    cache: HashMap<PageId, (Box<[u8; PAGE_SIZE]>, bool)>,
+    next_page: u32,
+}
+
+impl Pager {
+    /// Creates a pager over `backend`.
+    pub fn new(backend: Box<dyn Backend>) -> Pager {
+        let next_page = backend.page_count();
+        Pager {
+            backend,
+            cache: HashMap::new(),
+            next_page,
+        }
+    }
+
+    /// Allocates a fresh page (zero-filled) and returns its id.
+    pub fn allocate(&mut self) -> PageId {
+        let id = PageId(self.next_page);
+        self.next_page += 1;
+        self.cache.insert(id, (Box::new([0u8; PAGE_SIZE]), true));
+        id
+    }
+
+    /// Allocates `n` consecutive pages, returning the first id.
+    pub fn allocate_run(&mut self, n: u32) -> PageId {
+        let first = PageId(self.next_page);
+        for _ in 0..n {
+            self.allocate();
+        }
+        first
+    }
+
+    /// Total pages (allocated or on the backend).
+    pub fn page_count(&self) -> u32 {
+        self.next_page
+    }
+
+    /// Reads page `id` (through the cache).
+    pub fn read(&mut self, id: PageId) -> Result<&[u8; PAGE_SIZE]> {
+        if !self.cache.contains_key(&id) {
+            let mut buf = Box::new([0u8; PAGE_SIZE]);
+            self.backend.read_page(id, &mut buf)?;
+            self.cache.insert(id, (buf, false));
+        }
+        Ok(&self.cache[&id].0)
+    }
+
+    /// Returns a mutable view of page `id`, marking it dirty.
+    pub fn write(&mut self, id: PageId) -> Result<&mut [u8; PAGE_SIZE]> {
+        if !self.cache.contains_key(&id) {
+            let mut buf = Box::new([0u8; PAGE_SIZE]);
+            if id.0 < self.backend.page_count() {
+                self.backend.read_page(id, &mut buf)?;
+            }
+            self.cache.insert(id, (buf, false));
+        }
+        let entry = self.cache.get_mut(&id).unwrap();
+        entry.1 = true;
+        Ok(&mut entry.0)
+    }
+
+    /// Writes all dirty pages back and syncs the backend.
+    pub fn flush(&mut self) -> Result<()> {
+        let mut dirty: Vec<PageId> = self
+            .cache
+            .iter()
+            .filter(|(_, (_, d))| *d)
+            .map(|(&id, _)| id)
+            .collect();
+        dirty.sort();
+        for id in dirty {
+            let (buf, d) = self.cache.get_mut(&id).unwrap();
+            self.backend.write_page(id, buf)?;
+            *d = false;
+        }
+        self.backend.sync()
+    }
+
+    /// Drops the clean cache contents (testing aid to force re-reads).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn evict_clean(&mut self) {
+        self.cache.retain(|_, (_, dirty)| *dirty);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_backend_read_write() {
+        let mut b = MemBackend::new();
+        let page = [7u8; PAGE_SIZE];
+        b.write_page(PageId(2), &page).unwrap();
+        assert_eq!(b.page_count(), 3);
+        let mut out = [0u8; PAGE_SIZE];
+        b.read_page(PageId(2), &mut out).unwrap();
+        assert_eq!(out[100], 7);
+        // Intermediate pages exist and are zeroed.
+        b.read_page(PageId(1), &mut out).unwrap();
+        assert_eq!(out[0], 0);
+    }
+
+    #[test]
+    fn mem_backend_missing_page_errors() {
+        let mut b = MemBackend::new();
+        let mut out = [0u8; PAGE_SIZE];
+        assert!(b.read_page(PageId(0), &mut out).is_err());
+    }
+
+    #[test]
+    fn pager_allocate_and_rw() {
+        let mut p = Pager::new(Box::new(MemBackend::new()));
+        let a = p.allocate();
+        let b = p.allocate();
+        assert_eq!(a, PageId(0));
+        assert_eq!(b, PageId(1));
+        p.write(a).unwrap()[0] = 42;
+        p.write(b).unwrap()[0] = 43;
+        assert_eq!(p.read(a).unwrap()[0], 42);
+        assert_eq!(p.read(b).unwrap()[0], 43);
+    }
+
+    #[test]
+    fn pager_flush_persists_to_backend() {
+        let mut p = Pager::new(Box::new(MemBackend::new()));
+        let a = p.allocate();
+        p.write(a).unwrap()[10] = 9;
+        p.flush().unwrap();
+        p.evict_clean();
+        assert_eq!(p.read(a).unwrap()[10], 9);
+    }
+
+    #[test]
+    fn allocate_run_is_contiguous() {
+        let mut p = Pager::new(Box::new(MemBackend::new()));
+        let first = p.allocate_run(3);
+        assert_eq!(first, PageId(0));
+        assert_eq!(p.page_count(), 3);
+        let next = p.allocate();
+        assert_eq!(next, PageId(3));
+    }
+
+    #[test]
+    fn file_backend_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("axql-pager-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.db");
+        {
+            let mut b = FileBackend::create(&path).unwrap();
+            let mut page = [0u8; PAGE_SIZE];
+            page[0] = 1;
+            b.write_page(PageId(0), &page).unwrap();
+            page[0] = 2;
+            b.write_page(PageId(1), &page).unwrap();
+            b.sync().unwrap();
+        }
+        {
+            let mut b = FileBackend::open(&path).unwrap();
+            assert_eq!(b.page_count(), 2);
+            let mut out = [0u8; PAGE_SIZE];
+            b.read_page(PageId(1), &mut out).unwrap();
+            assert_eq!(out[0], 2);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_backend_rejects_non_page_aligned_files() {
+        let dir = std::env::temp_dir().join(format!("axql-pager2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.db");
+        std::fs::write(&path, b"not pages").unwrap();
+        assert!(matches!(
+            FileBackend::open(&path),
+            Err(StorageError::NotAStore)
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,93 @@
+//! Model-based property test: the store must behave exactly like a
+//! `BTreeMap<Vec<u8>, Vec<u8>>` under arbitrary operation sequences.
+
+use approxql_storage::Store;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(Vec<u8>, Vec<u8>),
+    Get(Vec<u8>),
+    Delete(Vec<u8>),
+    ScanPrefix(Vec<u8>),
+    ScanRange(Vec<u8>, Vec<u8>),
+}
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    // Small alphabet so operations collide often.
+    proptest::collection::vec(proptest::sample::select(vec![b'a', b'b', b'c', 0u8, 0xFF]), 0..6)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (key_strategy(), proptest::collection::vec(any::<u8>(), 0..40))
+            .prop_map(|(k, v)| Op::Put(k, v)),
+        key_strategy().prop_map(Op::Get),
+        key_strategy().prop_map(Op::Delete),
+        key_strategy().prop_map(Op::ScanPrefix),
+        (key_strategy(), key_strategy()).prop_map(|(a, b)| Op::ScanRange(a, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn store_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut store = Store::in_memory().unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    store.put(&k, &v).unwrap();
+                    model.insert(k, v);
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(store.get(&k).unwrap(), model.get(&k).cloned());
+                }
+                Op::Delete(k) => {
+                    let existed = store.delete(&k).unwrap();
+                    prop_assert_eq!(existed, model.remove(&k).is_some());
+                }
+                Op::ScanPrefix(p) => {
+                    let got = store.scan_prefix(&p).unwrap().collect_all().unwrap();
+                    let want: Vec<(Vec<u8>, Vec<u8>)> = model
+                        .iter()
+                        .filter(|(k, _)| k.starts_with(&p))
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+                Op::ScanRange(a, b) => {
+                    let got = store.scan_range(&a, Some(&b)).unwrap().collect_all().unwrap();
+                    let want: Vec<(Vec<u8>, Vec<u8>)> = model
+                        .range(a.clone()..)
+                        .take_while(|(k, _)| k.as_slice() < b.as_slice())
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        // Final full scan agrees.
+        let got = store.iter_all().unwrap().collect_all().unwrap();
+        let want: Vec<(Vec<u8>, Vec<u8>)> =
+            model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bulk_sorted_and_reverse_loads(n in 1usize..800) {
+        let mut store = Store::in_memory().unwrap();
+        for i in (0..n).rev() {
+            store.put(format!("{i:08}").as_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        let all = store.iter_all().unwrap().collect_all().unwrap();
+        prop_assert_eq!(all.len(), n);
+        for (i, (k, v)) in all.into_iter().enumerate() {
+            prop_assert_eq!(k, format!("{i:08}").into_bytes());
+            prop_assert_eq!(v, i.to_le_bytes().to_vec());
+        }
+    }
+}

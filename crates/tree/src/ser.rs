@@ -1,0 +1,264 @@
+//! Binary (de)serialization of [`DataTree`], used by the storage layer to
+//! persist a database image.
+//!
+//! The format is a straightforward little-endian dump:
+//! magic, version, interner strings, then the per-node column arrays.
+
+use crate::interner::{Interner, LabelId};
+use crate::tree::DataTree;
+use approxql_cost::{Cost, NodeType};
+use std::fmt;
+
+const MAGIC: &[u8; 8] = b"AXQLTREE";
+const VERSION: u32 = 1;
+
+/// Errors raised while decoding a serialized tree.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TreeDecodeError {
+    /// The byte stream does not start with the tree magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The stream ended prematurely or contains inconsistent lengths.
+    Truncated,
+    /// A string is not valid UTF-8.
+    BadString,
+    /// A structural invariant does not hold (e.g. a parent id out of range).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for TreeDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeDecodeError::BadMagic => write!(f, "not a serialized data tree (bad magic)"),
+            TreeDecodeError::BadVersion(v) => write!(f, "unsupported tree format version {v}"),
+            TreeDecodeError::Truncated => write!(f, "serialized tree is truncated"),
+            TreeDecodeError::BadString => write!(f, "serialized tree contains invalid UTF-8"),
+            TreeDecodeError::Corrupt(what) => write!(f, "serialized tree is corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeDecodeError {}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TreeDecodeError> {
+        if self.pos + n > self.data.len() {
+            return Err(TreeDecodeError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, TreeDecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, TreeDecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+impl DataTree {
+    /// Serializes the tree to a byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.labels.len();
+        let mut out = Vec::with_capacity(32 + n * 25);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.interner.len() as u32).to_le_bytes());
+        for (_, s) in self.interner.iter() {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        out.extend_from_slice(&(n as u64).to_le_bytes());
+        for &l in &self.labels {
+            out.extend_from_slice(&l.0.to_le_bytes());
+        }
+        for &t in &self.types {
+            out.push(match t {
+                NodeType::Struct => 0,
+                NodeType::Text => 1,
+            });
+        }
+        for &p in &self.parents {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        for &b in &self.bounds {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        for &c in &self.inscosts {
+            out.extend_from_slice(&c.raw().to_le_bytes());
+        }
+        for &c in &self.pathcosts {
+            out.extend_from_slice(&c.raw().to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a tree serialized by [`DataTree::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Result<DataTree, TreeDecodeError> {
+        let mut cur = Cursor { data, pos: 0 };
+        if cur.take(8)? != MAGIC {
+            return Err(TreeDecodeError::BadMagic);
+        }
+        let version = cur.u32()?;
+        if version != VERSION {
+            return Err(TreeDecodeError::BadVersion(version));
+        }
+        let nstrings = cur.u32()? as usize;
+        let mut interner = Interner::new();
+        for i in 0..nstrings {
+            let len = cur.u32()? as usize;
+            let s = std::str::from_utf8(cur.take(len)?)
+                .map_err(|_| TreeDecodeError::BadString)?;
+            let id = interner.intern(s);
+            if id != LabelId(i as u32) {
+                return Err(TreeDecodeError::Corrupt("duplicate interned string"));
+            }
+        }
+        let n = cur.u64()? as usize;
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let l = cur.u32()?;
+            if l as usize >= nstrings {
+                return Err(TreeDecodeError::Corrupt("label id out of range"));
+            }
+            labels.push(LabelId(l));
+        }
+        let mut types = Vec::with_capacity(n);
+        for _ in 0..n {
+            types.push(match cur.take(1)?[0] {
+                0 => NodeType::Struct,
+                1 => NodeType::Text,
+                _ => return Err(TreeDecodeError::Corrupt("invalid node type")),
+            });
+        }
+        let mut parents = Vec::with_capacity(n);
+        for i in 0..n {
+            let p = cur.u32()?;
+            if i == 0 {
+                if p != u32::MAX {
+                    return Err(TreeDecodeError::Corrupt("root must have no parent"));
+                }
+            } else if p as usize >= i {
+                return Err(TreeDecodeError::Corrupt("parent must precede child"));
+            }
+            parents.push(p);
+        }
+        let mut bounds = Vec::with_capacity(n);
+        for i in 0..n {
+            let b = cur.u32()?;
+            if (b as usize) < i || b as usize >= n {
+                return Err(TreeDecodeError::Corrupt("bound out of range"));
+            }
+            bounds.push(b);
+        }
+        let mut inscosts = Vec::with_capacity(n);
+        for _ in 0..n {
+            inscosts.push(Cost::from_raw(cur.u64()?));
+        }
+        let mut pathcosts = Vec::with_capacity(n);
+        for _ in 0..n {
+            pathcosts.push(Cost::from_raw(cur.u64()?));
+        }
+        if cur.pos != data.len() {
+            return Err(TreeDecodeError::Corrupt("trailing bytes"));
+        }
+        Ok(DataTree {
+            labels,
+            types,
+            parents,
+            bounds,
+            inscosts,
+            pathcosts,
+            interner,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DataTreeBuilder;
+    use crate::tree::NodeId;
+    use approxql_cost::CostModel;
+
+    fn sample() -> DataTree {
+        let mut b = DataTreeBuilder::new();
+        b.begin_struct("cd");
+        b.begin_struct("title");
+        b.add_text("piano concerto");
+        b.end();
+        b.end();
+        b.build(&CostModel::new())
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let bytes = t.to_bytes();
+        let t2 = DataTree::from_bytes(&bytes).unwrap();
+        assert_eq!(t2.len(), t.len());
+        for n in t.nodes() {
+            assert_eq!(t2.label(n), t.label(n));
+            assert_eq!(t2.node_type(n), t.node_type(n));
+            assert_eq!(t2.parent(n), t.parent(n));
+            assert_eq!(t2.bound(n), t.bound(n));
+            assert_eq!(t2.inscost(n), t.inscost(n));
+            assert_eq!(t2.pathcost(n), t.pathcost(n));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert_eq!(
+            DataTree::from_bytes(b"NOTATREE????").unwrap_err(),
+            TreeDecodeError::BadMagic
+        );
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                DataTree::from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            DataTree::from_bytes(&bytes).unwrap_err(),
+            TreeDecodeError::Corrupt("trailing bytes")
+        );
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = sample().to_bytes();
+        bytes[8] = 99;
+        assert_eq!(
+            DataTree::from_bytes(&bytes).unwrap_err(),
+            TreeDecodeError::BadVersion(99)
+        );
+    }
+
+    #[test]
+    fn decoded_tree_answers_queries() {
+        let t = DataTree::from_bytes(&sample().to_bytes()).unwrap();
+        assert!(t.is_ancestor(NodeId(1), NodeId(3)));
+        assert_eq!(t.distance(NodeId(1), NodeId(3)), Cost::finite(1));
+    }
+}

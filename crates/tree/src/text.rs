@@ -1,0 +1,71 @@
+//! Word normalization shared by document loading and query parsing.
+//!
+//! Section 4: "Text sequences are splitted into words. For each word, a
+//! leaf node of the document tree is created and labeled with the word."
+//! Both sides of a match — document words and query text selectors — must
+//! be normalized identically, so this module is the single source of truth:
+//! words are maximal runs of alphanumeric characters, lowercased.
+
+/// Normalizes a single token (lowercases it). Returns `None` for tokens
+/// that contain no alphanumeric character.
+pub fn normalize_word(token: &str) -> Option<String> {
+    let w: String = token
+        .chars()
+        .filter(|c| c.is_alphanumeric())
+        .flat_map(char::to_lowercase)
+        .collect();
+    if w.is_empty() {
+        None
+    } else {
+        Some(w)
+    }
+}
+
+/// Splits a text sequence into normalized words.
+///
+/// ```
+/// use approxql_tree::text::split_words;
+/// assert_eq!(split_words("Piano Concerto No. 2"), ["piano", "concerto", "no", "2"]);
+/// ```
+pub fn split_words(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.chars().flat_map(char::to_lowercase).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(
+            split_words("Rachmaninov: Piano-Concerto (no. 2)"),
+            ["rachmaninov", "piano", "concerto", "no", "2"]
+        );
+    }
+
+    #[test]
+    fn empty_and_symbol_only_texts_yield_nothing() {
+        assert!(split_words("").is_empty());
+        assert!(split_words("  --- !!! ").is_empty());
+    }
+
+    #[test]
+    fn lowercases_unicode() {
+        assert_eq!(split_words("DVOŘÁK"), ["dvořák"]);
+    }
+
+    #[test]
+    fn digits_are_words() {
+        assert_eq!(split_words("op. 18"), ["op", "18"]);
+    }
+
+    #[test]
+    fn normalize_word_strips_symbols() {
+        assert_eq!(normalize_word("\"Piano\""), Some("piano".to_owned()));
+        assert_eq!(normalize_word("--"), None);
+        assert_eq!(normalize_word(""), None);
+    }
+}

@@ -1,0 +1,262 @@
+//! A minimal DOM built on top of the event reader, plus a serializer.
+
+use crate::escape::{escape_attribute, escape_text};
+use crate::reader::{XmlEvent, XmlReader};
+use crate::XmlError;
+use std::fmt;
+
+/// A parsed XML document: exactly one root element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// The root element.
+    pub root: Element,
+}
+
+/// An element node: name, attributes, ordered children.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Element name as written in the document.
+    pub name: String,
+    /// Attributes in document order as `(name, value)` pairs.
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<XmlNode>,
+}
+
+/// A child of an [`Element`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlNode {
+    /// A nested element.
+    Element(Element),
+    /// A run of character data (entities already resolved).
+    Text(String),
+}
+
+impl Element {
+    /// Creates an element with the given name and no content.
+    pub fn new(name: impl Into<String>) -> Element {
+        Element {
+            name: name.into(),
+            ..Element::default()
+        }
+    }
+
+    /// Adds an attribute (builder style).
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Element {
+        self.attributes.push((name.into(), value.into()));
+        self
+    }
+
+    /// Adds a child element (builder style).
+    pub fn with_child(mut self, child: Element) -> Element {
+        self.children.push(XmlNode::Element(child));
+        self
+    }
+
+    /// Adds a text child (builder style).
+    pub fn with_text(mut self, text: impl Into<String>) -> Element {
+        self.children.push(XmlNode::Text(text.into()));
+        self
+    }
+
+    /// The concatenation of all descendant text, in document order.
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        fn walk(e: &Element, out: &mut String) {
+            for c in &e.children {
+                match c {
+                    XmlNode::Text(t) => out.push_str(t),
+                    XmlNode::Element(child) => walk(child, out),
+                }
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Child elements (skipping text nodes).
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|c| match c {
+            XmlNode::Element(e) => Some(e),
+            XmlNode::Text(_) => None,
+        })
+    }
+
+    /// The first child element with the given name, if any.
+    pub fn find_child(&self, name: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.name == name)
+    }
+
+    /// Total number of elements in this subtree (including `self`).
+    pub fn element_count(&self) -> usize {
+        1 + self.child_elements().map(Element::element_count).sum::<usize>()
+    }
+
+    fn write_into(&self, out: &mut String) {
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attributes {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape_attribute(v));
+            out.push('"');
+        }
+        if self.children.is_empty() {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+        for c in &self.children {
+            match c {
+                XmlNode::Text(t) => out.push_str(&escape_text(t)),
+                XmlNode::Element(e) => e.write_into(out),
+            }
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push('>');
+    }
+}
+
+impl Document {
+    /// Serializes the document (no XML declaration, no pretty-printing).
+    /// Parsing the output reproduces the document exactly.
+    pub fn to_xml_string(&self) -> String {
+        let mut out = String::new();
+        self.root.write_into(&mut out);
+        out
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_xml_string())
+    }
+}
+
+/// Parses a complete document into a DOM.
+///
+/// Comments and processing instructions are discarded; adjacent text runs
+/// (e.g. text + CDATA) are merged into a single [`XmlNode::Text`].
+pub fn parse_document(input: &str) -> Result<Document, XmlError> {
+    let mut reader = XmlReader::new(input);
+    let mut stack: Vec<Element> = Vec::new();
+    let mut root: Option<Element> = None;
+    loop {
+        match reader.next_event()? {
+            XmlEvent::StartElement { name, attributes } => {
+                stack.push(Element {
+                    name,
+                    attributes: attributes.into_iter().map(|a| (a.name, a.value)).collect(),
+                    children: Vec::new(),
+                });
+            }
+            XmlEvent::EndElement { .. } => {
+                let done = stack.pop().expect("reader guarantees balance");
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(XmlNode::Element(done)),
+                    None => root = Some(done),
+                }
+            }
+            XmlEvent::Text(t) => {
+                if let Some(parent) = stack.last_mut() {
+                    if let Some(XmlNode::Text(prev)) = parent.children.last_mut() {
+                        prev.push_str(&t);
+                    } else {
+                        parent.children.push(XmlNode::Text(t));
+                    }
+                }
+            }
+            XmlEvent::Comment(_) | XmlEvent::ProcessingInstruction(_) => {}
+            XmlEvent::Eof => break,
+        }
+    }
+    Ok(Document {
+        root: root.expect("reader guarantees a root element"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_builds_tree() {
+        let doc = parse_document(r#"<cd id="7"><title>piano concerto</title><track/></cd>"#)
+            .unwrap();
+        assert_eq!(doc.root.name, "cd");
+        assert_eq!(doc.root.attributes, vec![("id".into(), "7".into())]);
+        assert_eq!(doc.root.children.len(), 2);
+        assert_eq!(
+            doc.root.find_child("title").unwrap().text_content(),
+            "piano concerto"
+        );
+        assert!(doc.root.find_child("missing").is_none());
+    }
+
+    #[test]
+    fn adjacent_text_runs_merge() {
+        let doc = parse_document("<a>one <![CDATA[two]]> three</a>").unwrap();
+        assert_eq!(doc.root.children.len(), 1);
+        assert_eq!(doc.root.text_content(), "one two three");
+    }
+
+    #[test]
+    fn comments_are_dropped() {
+        let doc = parse_document("<a><!-- gone --><b/></a>").unwrap();
+        assert_eq!(doc.root.children.len(), 1);
+    }
+
+    #[test]
+    fn element_count_counts_subtree() {
+        let doc = parse_document("<a><b><c/></b><d/></a>").unwrap();
+        assert_eq!(doc.root.element_count(), 4);
+    }
+
+    #[test]
+    fn builder_api() {
+        let e = Element::new("cd")
+            .with_attr("id", "1")
+            .with_child(Element::new("title").with_text("piano"))
+            .with_text("tail");
+        assert_eq!(e.child_elements().count(), 1);
+        assert_eq!(e.text_content(), "pianotail");
+    }
+
+    #[test]
+    fn serializer_escapes() {
+        let doc = Document {
+            root: Element::new("a")
+                .with_attr("q", "say \"hi\" & bye")
+                .with_text("1 < 2 & 3 > 2"),
+        };
+        let s = doc.to_xml_string();
+        assert_eq!(
+            s,
+            r#"<a q="say &quot;hi&quot; &amp; bye">1 &lt; 2 &amp; 3 &gt; 2</a>"#
+        );
+    }
+
+    #[test]
+    fn roundtrip_parse_write_parse() {
+        let src = r#"<catalog><cd year="1901"><title>piano &amp; forte</title><tracks><track>vivace</track></tracks></cd></catalog>"#;
+        let doc = parse_document(src).unwrap();
+        let out = doc.to_xml_string();
+        let doc2 = parse_document(&out).unwrap();
+        assert_eq!(doc, doc2);
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn empty_elements_serialize_self_closing() {
+        let doc = parse_document("<a><b></b></a>").unwrap();
+        assert_eq!(doc.to_xml_string(), "<a><b/></a>");
+    }
+
+    #[test]
+    fn display_matches_to_xml_string() {
+        let doc = parse_document("<a/>").unwrap();
+        assert_eq!(format!("{doc}"), doc.to_xml_string());
+    }
+}

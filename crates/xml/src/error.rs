@@ -1,0 +1,44 @@
+//! Parse errors with positional information.
+
+use std::fmt;
+
+/// An XML parse error, carrying the 1-based line and column where the
+/// problem was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// 1-based line of the error.
+    pub line: usize,
+    /// 1-based column of the error (in characters).
+    pub column: usize,
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl XmlError {
+    pub(crate) fn new(line: usize, column: usize, message: impl Into<String>) -> XmlError {
+        XmlError {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = XmlError::new(3, 14, "unexpected `<`");
+        assert_eq!(e.to_string(), "XML error at 3:14: unexpected `<`");
+    }
+}

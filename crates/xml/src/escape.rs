@@ -1,0 +1,139 @@
+//! Entity escaping and unescaping.
+
+use crate::XmlError;
+
+/// Escapes character data for use as element text: `&`, `<`, `>`.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Escapes character data for use inside a double-quoted attribute value.
+pub fn escape_attribute(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Resolves the five predefined entities and numeric character references.
+///
+/// `line`/`column` are used for error reporting only.
+pub fn unescape(s: &str, line: usize, column: usize) -> Result<String, XmlError> {
+    if !s.contains('&') {
+        return Ok(s.to_owned());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        let end = rest.find(';').ok_or_else(|| {
+            XmlError::new(line, column, "unterminated entity reference (missing `;`)")
+        })?;
+        let name = &rest[1..end];
+        match name {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                let code = u32::from_str_radix(&name[2..], 16).map_err(|_| {
+                    XmlError::new(line, column, format!("invalid character reference `&{name};`"))
+                })?;
+                out.push(char::from_u32(code).ok_or_else(|| {
+                    XmlError::new(line, column, format!("invalid code point in `&{name};`"))
+                })?);
+            }
+            _ if name.starts_with('#') => {
+                let code = name[1..].parse::<u32>().map_err(|_| {
+                    XmlError::new(line, column, format!("invalid character reference `&{name};`"))
+                })?;
+                out.push(char::from_u32(code).ok_or_else(|| {
+                    XmlError::new(line, column, format!("invalid code point in `&{name};`"))
+                })?);
+            }
+            _ => {
+                return Err(XmlError::new(
+                    line,
+                    column,
+                    format!("unknown entity `&{name};` (custom entities are not supported)"),
+                ))
+            }
+        }
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_text_basic() {
+        assert_eq!(escape_text("a < b && c > d"), "a &lt; b &amp;&amp; c &gt; d");
+        assert_eq!(escape_text("plain"), "plain");
+    }
+
+    #[test]
+    fn escape_attribute_quotes() {
+        assert_eq!(escape_attribute(r#"say "hi" & 'bye'"#), "say &quot;hi&quot; &amp; &apos;bye&apos;");
+    }
+
+    #[test]
+    fn unescape_predefined() {
+        assert_eq!(unescape("&amp;&lt;&gt;&quot;&apos;", 1, 1).unwrap(), "&<>\"'");
+    }
+
+    #[test]
+    fn unescape_numeric() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;", 1, 1).unwrap(), "ABc");
+    }
+
+    #[test]
+    fn unescape_no_entities_is_borrow_equivalent() {
+        assert_eq!(unescape("nothing here", 1, 1).unwrap(), "nothing here");
+    }
+
+    #[test]
+    fn unescape_rejects_unknown_entity() {
+        assert!(unescape("&nbsp;", 1, 1).is_err());
+    }
+
+    #[test]
+    fn unescape_rejects_unterminated() {
+        assert!(unescape("a &amp b", 1, 1).is_err());
+    }
+
+    #[test]
+    fn unescape_rejects_bad_codepoint() {
+        assert!(unescape("&#xD800;", 1, 1).is_err()); // lone surrogate
+        assert!(unescape("&#xZZ;", 1, 1).is_err());
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        let raw = "tricky <text> & \"friends\"";
+        assert_eq!(unescape(&escape_text(raw), 1, 1).unwrap(), raw);
+        assert_eq!(unescape(&escape_attribute(raw), 1, 1).unwrap(), raw);
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: load XML, pick transformation costs, run an approximate
+//! query, inspect ranked results.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use approxql::{Cost, CostModel, Database, NodeType};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A tiny catalog of sound storage media (the paper's running domain).
+    let xml = r#"<catalog>
+        <cd>
+            <title>Piano Concerto No. 2</title>
+            <composer>Rachmaninov</composer>
+        </cd>
+        <cd>
+            <title>Preludes</title>
+            <tracks>
+                <track><title>Prelude in C sharp minor</title></track>
+                <track><title>Piano concerto arrangement</title></track>
+            </tracks>
+        </cd>
+        <mc>
+            <title>Piano Concerto No. 3</title>
+            <composer>Rachmaninov</composer>
+        </mc>
+    </catalog>"#;
+
+    // Costs say *how* the query may be relaxed (Definition 6): renaming the
+    // scope cd -> mc costs 4, deleting the word "concerto" costs 6, and
+    // every implicit insertion (e.g. descending into tracks/track) costs 1.
+    let costs = CostModel::builder()
+        .insert_default(1)
+        .rename(NodeType::Struct, "cd", "mc", Cost::finite(4))
+        .delete(NodeType::Text, "concerto", Cost::finite(6))
+        .build();
+
+    let db = Database::from_xml_str(xml, costs)?;
+
+    let query = r#"cd[title["piano" and "concerto"]]"#;
+    println!("query: {query}\n");
+
+    // Direct evaluation: computes *all* approximate results, ranks them.
+    let hits = db.query_direct(query, Some(10))?;
+    for (rank, hit) in hits.iter().enumerate() {
+        let el = db.result_element(*hit)?;
+        println!(
+            "#{rank} cost={} -> <{}> titled {:?}",
+            hit.cost,
+            el.name,
+            el.find_child("title").map(|t| t.text_content()).unwrap_or_default()
+        );
+    }
+
+    // The same best-3 via the schema-driven evaluation — identical answers,
+    // different algorithm (Section 7 of the paper).
+    let via_schema = db.query_schema(query, 3)?;
+    assert_eq!(&hits[..via_schema.len()], &via_schema[..]);
+    println!("\nschema-driven evaluation returned the same top-{}", via_schema.len());
+
+    Ok(())
+}
