@@ -13,7 +13,8 @@
 //! (default 10 queries, like the paper).
 
 use approxql_bench::{
-    build_collection, make_queries, time_direct, time_schema, Measurement, PATTERNS, RENAMINGS,
+    build_collection, make_queries, time_direct, time_schema, Measurement, WorkCounts, PATTERNS,
+    RENAMINGS,
 };
 
 struct Args {
@@ -115,18 +116,21 @@ fn main() {
         sstats.max_instances
     );
 
-    println!("pattern\trenamings\tn\talgorithm\tmean_ms\tmean_results");
+    println!(
+        "pattern\trenamings\tn\talgorithm\tmean_ms\tmean_results\t{}",
+        WorkCounts::tsv_header()
+    );
     let mut rows: Vec<Measurement> = Vec::new();
     for &p in &args.patterns {
         let (pattern_name, pattern) = PATTERNS[p];
         for &r in &args.renamings {
             let queries = make_queries(&col, pattern, r, args.queries, args.seed + r as u64);
             for &n in &args.ns {
-                let (direct_ms, direct_res) = time_direct(&col, &queries, n);
-                let (schema_ms, schema_res) = time_schema(&col, &queries, n);
-                for (alg, ms, res) in [
-                    ("direct", direct_ms, direct_res),
-                    ("schema", schema_ms, schema_res),
+                let (direct_ms, direct_res, direct_work) = time_direct(&col, &queries, n);
+                let (schema_ms, schema_res, schema_work) = time_schema(&col, &queries, n);
+                for (alg, ms, res, work) in [
+                    ("direct", direct_ms, direct_res, direct_work),
+                    ("schema", schema_ms, schema_res, schema_work),
                 ] {
                     let m = Measurement {
                         pattern: pattern_name,
@@ -135,15 +139,17 @@ fn main() {
                         algorithm: alg,
                         mean_ms: ms,
                         mean_results: res,
+                        work,
                     };
                     println!(
-                        "{}\t{}\t{}\t{}\t{:.3}\t{:.1}",
+                        "{}\t{}\t{}\t{}\t{:.3}\t{:.1}\t{}",
                         m.pattern,
                         m.renamings,
                         fmt_n(m.n),
                         m.algorithm,
                         m.mean_ms,
-                        m.mean_results
+                        m.mean_results,
+                        m.work.to_tsv_fields()
                     );
                     rows.push(m);
                 }
@@ -175,7 +181,11 @@ fn main() {
                     Some(format!(
                         "n={}: {}",
                         fmt_n(n),
-                        if s.mean_ms < d.mean_ms { "schema" } else { "direct" }
+                        if s.mean_ms < d.mean_ms {
+                            "schema"
+                        } else {
+                            "direct"
+                        }
                     ))
                 })
                 .collect();

@@ -17,10 +17,11 @@ use approxql_core::schema_eval::{self, SchemaEvalConfig};
 use approxql_core::EvalOptions;
 use approxql_cost::CostModel;
 use approxql_gen::{
-    DataGenConfig, DataGenerator, QueryGenConfig, QueryGenerator, GeneratedQuery, PATTERN_1,
+    DataGenConfig, DataGenerator, GeneratedQuery, QueryGenConfig, QueryGenerator, PATTERN_1,
     PATTERN_2, PATTERN_3,
 };
 use approxql_index::LabelIndex;
+use approxql_metrics::{Layer, Metric, MetricsSnapshot};
 use approxql_query::expand::ExpandedQuery;
 use approxql_query::parse_query;
 use approxql_schema::Schema;
@@ -79,6 +80,77 @@ pub struct Measurement {
     pub mean_ms: f64,
     /// Mean number of results actually returned.
     pub mean_results: f64,
+    /// Mean per-layer operation counts per query.
+    pub work: WorkCounts,
+}
+
+/// Per-layer operation counts averaged over one measured query set —
+/// Figure 7's *work* comparison alongside the wall-clock comparison.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkCounts {
+    /// Label-index fetches.
+    pub index_fetches: f64,
+    /// Posting entries retrieved from the label index.
+    pub postings_fetched: f64,
+    /// Direct list-algebra operations executed.
+    pub list_ops: f64,
+    /// Entries produced by the direct list operations.
+    pub list_entries: f64,
+    /// Top-k (schema-side) list operations executed.
+    pub topk_ops: f64,
+    /// Entries produced by the top-k operations.
+    pub topk_entries: f64,
+    /// Incremental-driver rounds (schema only).
+    pub rounds: f64,
+    /// Second-level queries executed against the data (schema only).
+    pub second_level_queries: f64,
+    /// Instances retrieved by the `secondary` executions (schema only).
+    pub secondary_rows: f64,
+}
+
+impl WorkCounts {
+    /// Derives per-query means from a metrics diff over `queries` runs.
+    pub fn from_diff(d: &MetricsSnapshot, queries: usize) -> WorkCounts {
+        let per = |v: u64| v as f64 / queries.max(1) as f64;
+        let layer_ops = |layer: Layer, exclude: Metric| {
+            d.counters()
+                .filter(|&(m, _)| m.layer() == layer && m != exclude)
+                .map(|(_, v)| v)
+                .sum::<u64>()
+        };
+        WorkCounts {
+            index_fetches: per(d.get(Metric::IndexLabelFetches)),
+            postings_fetched: per(d.get(Metric::IndexPostingsFetched)),
+            list_ops: per(layer_ops(Layer::List, Metric::ListEntriesProduced)),
+            list_entries: per(d.get(Metric::ListEntriesProduced)),
+            topk_ops: per(d.get(Metric::TopkOps)),
+            topk_entries: per(d.get(Metric::TopkEntriesProduced)),
+            rounds: per(d.get(Metric::EvalSchemaRounds)),
+            second_level_queries: per(d.get(Metric::EvalSecondLevelQueries)),
+            secondary_rows: per(d.get(Metric::EvalSecondaryRows)),
+        }
+    }
+
+    /// TSV column names, matching [`WorkCounts::to_tsv_fields`].
+    pub fn tsv_header() -> &'static str {
+        "index_fetches\tpostings\tlist_ops\tlist_entries\ttopk_ops\ttopk_entries\trounds\tsecond_level\tsecondary_rows"
+    }
+
+    /// TSV column values (one decimal: the counts are per-query means).
+    pub fn to_tsv_fields(&self) -> String {
+        format!(
+            "{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
+            self.index_fetches,
+            self.postings_fetched,
+            self.list_ops,
+            self.list_entries,
+            self.topk_ops,
+            self.topk_entries,
+            self.rounds,
+            self.second_level_queries,
+            self.secondary_rows,
+        )
+    }
 }
 
 /// Compiles a generated query against its own cost table.
@@ -92,12 +164,13 @@ pub fn time_direct(
     col: &Collection,
     queries: &[(GeneratedQuery, ExpandedQuery)],
     n: Option<usize>,
-) -> (f64, f64) {
+) -> (f64, f64, WorkCounts) {
     let opts = EvalOptions::default();
     // Warm up caches so the first query is not measured cold.
     if let Some((_, ex)) = queries.first() {
         let _ = direct::best_n(ex, &col.labels, col.tree.interner(), n, opts);
     }
+    let baseline = approxql_metrics::snapshot();
     let mut total_ms = 0.0;
     let mut total_results = 0usize;
     for (_, ex) in queries {
@@ -106,9 +179,11 @@ pub fn time_direct(
         total_ms += start.elapsed().as_secs_f64() * 1e3;
         total_results += hits.len();
     }
+    let work = approxql_metrics::snapshot().diff(&baseline);
     (
         total_ms / queries.len() as f64,
         total_results as f64 / queries.len() as f64,
+        WorkCounts::from_diff(&work, queries.len()),
     )
 }
 
@@ -121,13 +196,19 @@ pub fn time_schema(
     col: &Collection,
     queries: &[(GeneratedQuery, ExpandedQuery)],
     n: Option<usize>,
-) -> (f64, f64) {
+) -> (f64, f64, WorkCounts) {
     let totals: Vec<usize> = queries
         .iter()
         .map(|(_, ex)| {
-            direct::best_n(ex, &col.labels, col.tree.interner(), None, EvalOptions::default())
-                .0
-                .len()
+            direct::best_n(
+                ex,
+                &col.labels,
+                col.tree.interner(),
+                None,
+                EvalOptions::default(),
+            )
+            .0
+            .len()
         })
         .collect();
     let opts = EvalOptions::default();
@@ -142,6 +223,7 @@ pub fn time_schema(
             SchemaEvalConfig::default(),
         );
     }
+    let baseline = approxql_metrics::snapshot();
     let mut total_ms = 0.0;
     let mut total_results = 0usize;
     for (i, (_, ex)) in queries.iter().enumerate() {
@@ -158,20 +240,16 @@ pub fn time_schema(
             ),
         };
         let start = Instant::now();
-        let (hits, _) = schema_eval::best_n_schema(
-            ex,
-            &col.schema,
-            col.tree.interner(),
-            want,
-            opts,
-            cfg,
-        );
+        let (hits, _) =
+            schema_eval::best_n_schema(ex, &col.schema, col.tree.interner(), want, opts, cfg);
         total_ms += start.elapsed().as_secs_f64() * 1e3;
         total_results += hits.len();
     }
+    let work = approxql_metrics::snapshot().diff(&baseline);
     (
         total_ms / queries.len() as f64,
         total_results as f64 / queries.len() as f64,
+        WorkCounts::from_diff(&work, queries.len()),
     )
 }
 
@@ -206,11 +284,18 @@ mod tests {
     fn harness_runs_one_cell() {
         let col = build_collection(1000, 1); // 1,000 elements
         let queries = make_queries(&col, PATTERN_1, 0, 2, 7);
-        let (direct_ms, direct_results) = time_direct(&col, &queries, Some(10));
-        let (schema_ms, schema_results) = time_schema(&col, &queries, Some(10));
+        let (direct_ms, direct_results, direct_work) = time_direct(&col, &queries, Some(10));
+        let (schema_ms, schema_results, schema_work) = time_schema(&col, &queries, Some(10));
         assert!(direct_ms >= 0.0 && schema_ms >= 0.0);
         // Both algorithms agree on the number of results for small n.
         assert_eq!(direct_results, schema_results);
+        // Work counters land in the right columns: the direct run does
+        // list-algebra work and no second-level queries; the schema run
+        // does top-k work and executes second-level queries.
+        assert!(direct_work.list_ops > 0.0 && direct_work.index_fetches > 0.0);
+        assert_eq!(direct_work.second_level_queries, 0.0);
+        assert!(schema_work.topk_ops > 0.0 && schema_work.second_level_queries > 0.0);
+        assert!(schema_work.rounds >= 1.0);
     }
 
     #[test]

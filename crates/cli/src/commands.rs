@@ -15,8 +15,10 @@ usage:
       parse XML documents into a persistent approXQL database
 
   approxql query   <db.axql> <QUERY> [-n N] [--direct|--schema]
-                   [--costs FILE] [--xml] [--stats]
+                   [--costs FILE] [--xml] [--stats] [--stats-json]
       run an approximate query; results are ranked by transformation cost
+      (--stats prints per-layer operation counters to stderr,
+       --stats-json the same as one JSON object)
 
   approxql stats   <db.axql>
       print collection, index, and schema statistics
@@ -77,7 +79,15 @@ struct Flags {
 }
 
 const VALUE_OPTIONS: &[&str] = &[
-    "-n", "-k", "--costs", "--elements", "--names", "--terms", "--words", "--seed", "--docs",
+    "-n",
+    "-k",
+    "--costs",
+    "--elements",
+    "--names",
+    "--terms",
+    "--words",
+    "--seed",
+    "--docs",
 ];
 
 fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
@@ -157,7 +167,9 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_build(flags: &Flags) -> Result<(), CliError> {
     let [out, docs @ ..] = flags.positional.as_slice() else {
-        return Err(usage("build needs an output path and at least one document"));
+        return Err(usage(
+            "build needs an output path and at least one document",
+        ));
     };
     if docs.is_empty() {
         return Err(usage("build needs at least one XML document"));
@@ -188,7 +200,10 @@ fn print_hit(db: &Database, rank: usize, hit: QueryHit, as_xml: bool) -> Result<
         );
     } else {
         let el = db.result_element(hit)?;
-        println!("#{rank}\tcost={}\tnode={}\t<{}>", hit.cost, hit.root, el.name);
+        println!(
+            "#{rank}\tcost={}\tnode={}\t<{}>",
+            hit.cost, hit.root, el.name
+        );
     }
     Ok(())
 }
@@ -200,6 +215,7 @@ fn cmd_query(flags: &Flags) -> Result<(), CliError> {
     let n: usize = flags.option_parsed("-n")?.unwrap_or(10);
     let as_xml = flags.switch("--xml");
     let show_stats = flags.switch("--stats");
+    let stats_json = flags.switch("--stats-json");
     if flags.switch("--direct") && flags.switch("--schema") {
         return Err(usage("--direct and --schema are mutually exclusive"));
     }
@@ -213,6 +229,9 @@ fn cmd_query(flags: &Flags) -> Result<(), CliError> {
         db = Database::from_tree(db.tree().clone(), costs);
     }
 
+    // The registry is process-wide; diff against a baseline so the report
+    // covers exactly this query's evaluation.
+    let before = approxql_metrics::snapshot();
     if use_direct {
         let (hits, stats) = db.query_direct_with(query, Some(n), EvalOptions::default())?;
         for (rank, hit) in hits.iter().enumerate() {
@@ -239,6 +258,14 @@ fn cmd_query(flags: &Flags) -> Result<(), CliError> {
                 "schema: {} rounds (k={}), {} second-level queries, {} rows",
                 stats.rounds, stats.k_final, stats.second_level_queries, stats.secondary_rows
             );
+        }
+    }
+    if show_stats || stats_json {
+        let delta = approxql_metrics::snapshot().diff(&before);
+        if stats_json {
+            eprintln!("{}", delta.to_json());
+        } else {
+            eprint!("{}", delta.render_table());
         }
     }
     Ok(())
@@ -282,12 +309,17 @@ fn cmd_explain(flags: &Flags) -> Result<(), CliError> {
         let costs = parse_cost_file(&text).map_err(CliError::Costs)?;
         db = Database::from_tree(db.tree().clone(), costs);
     }
+    let metrics_before = approxql_metrics::snapshot();
     let (parsed, expanded) = db.compile(query)?;
     println!("query (canonical): {parsed}");
     println!(
         "separated representation: {} conjunctive quer{}",
         parsed.separate().len(),
-        if parsed.separate().len() == 1 { "y" } else { "ies" }
+        if parsed.separate().len() == 1 {
+            "y"
+        } else {
+            "ies"
+        }
     );
     println!(
         "expanded representation: {} nodes, {} leaves, {} derivations",
@@ -315,6 +347,14 @@ fn cmd_explain(flags: &Flags) -> Result<(), CliError> {
             entry.cost,
             render_skeleton(&db, &skel)
         );
+    }
+    println!("work counters:");
+    for line in approxql_metrics::snapshot()
+        .diff(&metrics_before)
+        .render_table()
+        .lines()
+    {
+        println!("  {line}");
     }
     Ok(())
 }
@@ -416,7 +456,13 @@ mod tests {
             "--direct",
         ])
         .unwrap();
-        run_words(&["query", db.to_str().unwrap(), r#"cd[title["piano"]]"#, "--schema"]).unwrap();
+        run_words(&[
+            "query",
+            db.to_str().unwrap(),
+            r#"cd[title["piano"]]"#,
+            "--schema",
+        ])
+        .unwrap();
         run_words(&["explain", db.to_str().unwrap(), r#"cd[title["piano"]]"#]).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -189,7 +189,12 @@ impl Database {
     /// generating and executing second-level queries incrementally.
     pub fn query_schema(&self, query: &str, n: usize) -> Result<Vec<QueryHit>, DatabaseError> {
         Ok(self
-            .query_schema_with(query, n, EvalOptions::default(), SchemaEvalConfig::default())?
+            .query_schema_with(
+                query,
+                n,
+                EvalOptions::default(),
+                SchemaEvalConfig::default(),
+            )?
             .0)
     }
 
@@ -298,7 +303,10 @@ mod tests {
         assert_eq!(hits[0].cost, Cost::ZERO);
         let el = db.result_element(hits[0]).unwrap();
         assert_eq!(el.name, "cd");
-        assert_eq!(el.find_child("title").unwrap().text_content(), "piano concerto");
+        assert_eq!(
+            el.find_child("title").unwrap().text_content(),
+            "piano concerto"
+        );
     }
 
     #[test]
@@ -349,11 +357,24 @@ mod tests {
     #[test]
     fn multiple_documents_form_one_collection() {
         let db = Database::from_xml_strs(
-            &["<cd><title>piano</title></cd>", "<mc><title>piano</title></mc>"],
+            &[
+                "<cd><title>piano</title></cd>",
+                "<mc><title>piano</title></mc>",
+            ],
             CostModel::new(),
         )
         .unwrap();
-        assert_eq!(db.query_direct(r#"cd[title["piano"]]"#, None).unwrap().len(), 1);
-        assert_eq!(db.query_direct(r#"mc[title["piano"]]"#, None).unwrap().len(), 1);
+        assert_eq!(
+            db.query_direct(r#"cd[title["piano"]]"#, None)
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            db.query_direct(r#"mc[title["piano"]]"#, None)
+                .unwrap()
+                .len(),
+            1
+        );
     }
 }

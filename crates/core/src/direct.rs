@@ -14,6 +14,7 @@
 
 use crate::list::{self, List};
 use approxql_index::LabelIndex;
+use approxql_metrics::{time, Metric, TimerMetric};
 use approxql_query::expand::{ExpandedNode, ExpandedQuery};
 use approxql_tree::{Cost, Interner, LabelId, NodeType};
 use std::collections::HashMap;
@@ -93,6 +94,7 @@ impl<'a> Evaluator<'a> {
 
     fn fetch(&mut self, label: &str, ty: NodeType, is_leaf: bool) -> List {
         self.stats.fetches += 1;
+        Metric::EvalDirectFetches.incr();
         match self.lookup(label) {
             Some(id) => list::fetch(self.index, ty, id, is_leaf),
             None => Vec::new(),
@@ -153,6 +155,7 @@ impl<'a> Evaluator<'a> {
         if self.opts.use_memo {
             if let Some(hit) = self.memo.get(&(u, anc.id)) {
                 self.stats.memo_hits += 1;
+                Metric::EvalMemoHits.incr();
                 return Rc::clone(hit);
             }
         }
@@ -250,6 +253,8 @@ pub fn evaluate(
     interner: &Interner,
     opts: EvalOptions,
 ) -> (List, DirectStats) {
+    Metric::EvalDirectRuns.incr();
+    let _timer = time(TimerMetric::EvalDirect);
     let mut ev = Evaluator {
         ex: expanded,
         index,
@@ -275,10 +280,7 @@ pub fn best_n(
     opts: EvalOptions,
 ) -> (Vec<(u32, Cost)>, DirectStats) {
     let (result, stats) = evaluate(expanded, index, interner, opts);
-    (
-        list::sort_best(n, &result, opts.enforce_leaf_match),
-        stats,
-    )
+    (list::sort_best(n, &result, opts.enforce_leaf_match), stats)
 }
 
 #[cfg(test)]
@@ -414,7 +416,12 @@ mod tests {
         // context does not exist.
         let costs = paper_section6_costs();
         let tree = catalog(&costs);
-        let hits = run(r#"cd[track[title["piano" and "concerto"]]]"#, &costs, &tree, None);
+        let hits = run(
+            r#"cd[track[title["piano" and "concerto"]]]"#,
+            &costs,
+            &tree,
+            None,
+        );
         // cd#1: track deleted (3), then title["piano" and "concerto"]
         // matches exactly below cd#1: total 3.
         assert_eq!(hits[0], (1, Cost::finite(3)));
@@ -505,10 +512,9 @@ mod tests {
     fn paper_joins_agree_with_fast_joins() {
         let costs = paper_section6_costs();
         let tree = catalog(&costs);
-        let q = parse_query(
-            r#"cd[track[title["piano" and "concerto"]] and composer["rachmaninov"]]"#,
-        )
-        .unwrap();
+        let q =
+            parse_query(r#"cd[track[title["piano" and "concerto"]] and composer["rachmaninov"]]"#)
+                .unwrap();
         let ex = ExpandedQuery::build(&q, &costs);
         let index = LabelIndex::build(&tree);
         let fast = best_n(&ex, &index, tree.interner(), None, EvalOptions::default()).0;

@@ -16,6 +16,7 @@
 //! [`join_paper`]/[`outerjoin_paper`] for the ablation benchmark).
 
 use approxql_index::{LabelIndex, Posting};
+use approxql_metrics::Metric;
 use approxql_tree::{Cost, LabelId, NodeType};
 
 /// A list entry (Section 6.3): the four node numbers plus the two
@@ -52,12 +53,23 @@ fn debug_check_sorted(_: &List) {}
 
 /// `fetch` (Section 6.4): initializes a list from an index posting.
 ///
+/// Counts one invocation of `op` plus the entries its output carries.
+fn record_op(op: Metric, out: List) -> List {
+    op.incr();
+    record_entries(out)
+}
+
+fn record_entries(out: List) -> List {
+    Metric::ListEntriesProduced.add(out.len() as u64);
+    out
+}
+
 /// For leaf selectors the matched node *is* an original query leaf, so
 /// both cost channels start at zero; for inner selectors the entries serve
 /// as ancestor candidates whose costs are computed by the child evaluation,
 /// and the leaf channel starts at infinity.
 pub fn fetch(index: &LabelIndex, ty: NodeType, label: LabelId, is_leaf: bool) -> List {
-    index
+    let out: List = index
         .fetch(ty, label)
         .iter()
         .map(|p: &Posting| Entry {
@@ -68,11 +80,13 @@ pub fn fetch(index: &LabelIndex, ty: NodeType, label: LabelId, is_leaf: bool) ->
             cost_any: Cost::ZERO,
             cost_leaf: if is_leaf { Cost::ZERO } else { Cost::INFINITY },
         })
-        .collect()
+        .collect();
+    record_op(Metric::ListFetchOps, out)
 }
 
 /// Adds `c` to both cost channels of every entry (the deferred `c_edge`).
 pub fn shift(mut l: List, c: Cost) -> List {
+    Metric::ListShiftOps.incr();
     if c != Cost::ZERO {
         for e in &mut l {
             e.cost_any += c;
@@ -123,7 +137,7 @@ pub fn merge(left: &List, right: &List, c_ren: Cost) -> List {
             out.push(b);
         }
     }
-    out
+    record_op(Metric::ListMergeOps, out)
 }
 
 /// Shared machinery of `join` and `outerjoin`: for every ancestor in
@@ -204,6 +218,7 @@ fn finish_costs(a: &Entry, key: Cost) -> Cost {
 /// `descendants`, with cost `min(distance + cost(d)) + c_edge` per channel.
 /// Ancestors without any (finite-cost) descendant are dropped.
 pub fn join(ancestors: &List, descendants: &List, c_edge: Cost) -> List {
+    Metric::ListJoinOps.incr();
     let minima = interval_minima(ancestors, descendants);
     let mut out = Vec::new();
     for (a, (min_any, min_leaf)) in ancestors.iter().zip(minima) {
@@ -217,7 +232,7 @@ pub fn join(ancestors: &List, descendants: &List, c_edge: Cost) -> List {
             ..*a
         });
     }
-    out
+    record_entries(out)
 }
 
 /// `outerjoin` (Section 6.4): like `join`, but every ancestor survives —
@@ -225,6 +240,7 @@ pub fn join(ancestors: &List, descendants: &List, c_edge: Cost) -> List {
 /// ancestor is deleted at cost `c_del`. The deletion path contributes no
 /// leaf match, so only `cost_any` can take it.
 pub fn outerjoin(ancestors: &List, descendants: &List, c_edge: Cost, c_del: Cost) -> List {
+    Metric::ListOuterjoinOps.incr();
     let minima = interval_minima(ancestors, descendants);
     let mut out = Vec::new();
     for (a, (min_any, min_leaf)) in ancestors.iter().zip(minima) {
@@ -238,7 +254,7 @@ pub fn outerjoin(ancestors: &List, descendants: &List, c_edge: Cost, c_del: Cost
             ..*a
         });
     }
-    out
+    record_entries(out)
 }
 
 /// Literal-complexity variant of [`join`] that, for every ancestor,
@@ -246,6 +262,7 @@ pub fn outerjoin(ancestors: &List, descendants: &List, c_edge: Cost, c_del: Cost
 /// O(s·l)-style formulation closest to the paper's description. Kept for
 /// the ablation benchmark; results are identical to [`join`].
 pub fn join_paper(ancestors: &List, descendants: &List, c_edge: Cost) -> List {
+    Metric::ListJoinOps.incr();
     let mut out = Vec::new();
     for a in ancestors {
         let start = descendants.partition_point(|d| d.pre <= a.pre);
@@ -268,11 +285,12 @@ pub fn join_paper(ancestors: &List, descendants: &List, c_edge: Cost) -> List {
             ..*a
         });
     }
-    out
+    record_entries(out)
 }
 
 /// Literal-complexity variant of [`outerjoin`]; see [`join_paper`].
 pub fn outerjoin_paper(ancestors: &List, descendants: &List, c_edge: Cost, c_del: Cost) -> List {
+    Metric::ListOuterjoinOps.incr();
     let mut out = Vec::new();
     for a in ancestors {
         let start = descendants.partition_point(|d| d.pre <= a.pre);
@@ -295,7 +313,7 @@ pub fn outerjoin_paper(ancestors: &List, descendants: &List, c_edge: Cost, c_del
             ..*a
         });
     }
-    out
+    record_entries(out)
 }
 
 /// `intersect` (Section 6.4): keeps nodes present in both lists; costs are
@@ -318,8 +336,7 @@ pub fn intersect(left: &List, right: &List, c_edge: Cost) -> List {
                 if !cost_any.is_finite() {
                     continue;
                 }
-                let cost_leaf =
-                    (a.cost_leaf + b.cost_any).min(a.cost_any + b.cost_leaf) + c_edge;
+                let cost_leaf = (a.cost_leaf + b.cost_any).min(a.cost_any + b.cost_leaf) + c_edge;
                 out.push(Entry {
                     cost_any,
                     cost_leaf,
@@ -328,7 +345,7 @@ pub fn intersect(left: &List, right: &List, c_edge: Cost) -> List {
             }
         }
     }
-    out
+    record_op(Metric::ListIntersectOps, out)
 }
 
 /// `union` (Section 6.4): keeps nodes of either list; shared nodes take the
@@ -387,7 +404,7 @@ pub fn union(left: &List, right: &List, c_edge: Cost) -> List {
             out.push(entry);
         }
     }
-    out
+    record_op(Metric::ListUnionOps, out)
 }
 
 /// `sort` (Section 6.4): the best `n` root–cost pairs, ranked by the
@@ -412,6 +429,8 @@ pub fn sort_best(n: Option<usize>, list: &List, use_leaf_channel: bool) -> Vec<(
     if let Some(n) = n {
         pairs.truncate(n);
     }
+    Metric::ListSortOps.incr();
+    Metric::ListEntriesProduced.add(pairs.len() as u64);
     pairs
 }
 

@@ -139,8 +139,7 @@ impl<'a> ReferenceEvaluator<'a> {
             return out;
         }
         // Inner node: combine the child splices first.
-        let mut assembled: Vec<(Vec<VNode>, Cost, usize)> =
-            vec![(Vec::new(), Cost::ZERO, 0)];
+        let mut assembled: Vec<(Vec<VNode>, Cost, usize)> = vec![(Vec::new(), Cost::ZERO, 0)];
         for child in node.children() {
             let child_splices = self.enumerate_splices(child, false);
             let mut next = Vec::with_capacity(assembled.len() * child_splices.len());

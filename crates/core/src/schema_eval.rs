@@ -16,6 +16,7 @@ use crate::direct::EvalOptions;
 use crate::secondary;
 use crate::topk::{self, KEntry, KList};
 use approxql_index::LabelIndex;
+use approxql_metrics::{time, Metric, TimerMetric};
 use approxql_query::expand::{ExpandedNode, ExpandedQuery};
 use approxql_schema::Schema;
 use approxql_tree::{Cost, Interner, NodeType};
@@ -251,6 +252,8 @@ pub fn best_k_second_level(
     k: usize,
     opts: EvalOptions,
 ) -> SecondLevelRun {
+    Metric::EvalSchemaRuns.incr();
+    let _timer = time(TimerMetric::EvalSchema);
     let mut ev = KEvaluator {
         ex: expanded,
         index: schema.labels(),
@@ -300,10 +303,16 @@ fn entry_key(e: &KEntry) -> Vec<u32> {
 fn possible_roots(expanded: &ExpandedQuery, schema: &Schema, interner: &Interner) -> usize {
     let (label, ty, renamings) = match &expanded.nodes[expanded.root] {
         ExpandedNode::Leaf {
-            label, ty, renamings, ..
+            label,
+            ty,
+            renamings,
+            ..
         }
         | ExpandedNode::Node {
-            label, ty, renamings, ..
+            label,
+            ty,
+            renamings,
+            ..
         } => (label, *ty, renamings),
         _ => return usize::MAX,
     };
@@ -388,8 +397,15 @@ impl<'a> ResultStream<'a> {
     /// Runs (or re-runs) the adapted primary at the current `k`.
     fn refill(&mut self) {
         self.stats.rounds += 1;
+        Metric::EvalSchemaRounds.incr();
         self.stats.k_final = self.k;
-        let run = best_k_second_level(&self.expanded, self.schema, self.interner, self.k, self.opts);
+        let run = best_k_second_level(
+            &self.expanded,
+            self.schema,
+            self.interner,
+            self.k,
+            self.opts,
+        );
         self.stats.primary_entries += run.entries;
         self.stats.fetches += run.fetches;
         self.queries = run.queries;
@@ -446,9 +462,14 @@ impl Iterator for ResultStream<'_> {
                 continue; // evaluated in an earlier round
             }
             self.stats.second_level_queries += 1;
+            Metric::EvalSecondLevelQueries.incr();
             let skel = entry.skeleton();
-            let instances = secondary::execute(&skel, self.schema.secondary());
+            let instances = {
+                let _timer = time(TimerMetric::SecondLevel);
+                secondary::execute(&skel, self.schema.secondary())
+            };
             self.stats.secondary_rows += instances.len();
+            Metric::EvalSecondaryRows.add(instances.len() as u64);
             for inst in instances {
                 if self.seen_roots.insert(inst.pre) {
                     self.pending.push_back((inst.pre, entry.cost));
@@ -482,10 +503,7 @@ pub fn best_n_schema(
         return (Vec::new(), EvalStats::default());
     }
     let cfg = SchemaEvalConfig {
-        initial_k: Some(
-            cfg.initial_k
-                .unwrap_or_else(|| (2 * n.min(1 << 20)).max(8)),
-        ),
+        initial_k: Some(cfg.initial_k.unwrap_or_else(|| (2 * n.min(1 << 20)).max(8))),
         ..cfg
     };
     let mut stream = ResultStream::new(expanded.clone(), schema, interner, opts, cfg);
@@ -576,13 +594,8 @@ mod tests {
         ] {
             let q = parse_query(query).unwrap();
             let ex = approxql_query::expand::ExpandedQuery::build(&q, &costs);
-            let (direct, _) = crate::direct::best_n(
-                &ex,
-                &index,
-                tree.interner(),
-                None,
-                EvalOptions::default(),
-            );
+            let (direct, _) =
+                crate::direct::best_n(&ex, &index, tree.interner(), None, EvalOptions::default());
             let schema = Schema::build(&tree, &costs);
             let (via_schema, _) = best_n_schema(
                 &ex,
@@ -671,7 +684,11 @@ mod stream_tests {
     fn stream_yields_results_in_cost_order_and_matches_batch() {
         let costs = paper_section6_costs();
         let mut b = DataTreeBuilder::new();
-        for (title, extra) in [("piano concerto", true), ("kinderszenen", false), ("piano sonata", false)] {
+        for (title, extra) in [
+            ("piano concerto", true),
+            ("kinderszenen", false),
+            ("piano sonata", false),
+        ] {
             b.begin_struct("cd");
             b.begin_struct("title");
             b.add_text(title);

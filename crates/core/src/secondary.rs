@@ -16,7 +16,10 @@ use approxql_index::{InstancePosting, SecondaryIndex};
 /// Both lists are instance postings of schema nodes: preorder-sorted, and
 /// non-nesting within each list (all instances of one schema node sit at
 /// the same depth), so a single forward scan suffices.
-fn semijoin(ancestors: Vec<InstancePosting>, descendants: &[InstancePosting]) -> Vec<InstancePosting> {
+fn semijoin(
+    ancestors: Vec<InstancePosting>,
+    descendants: &[InstancePosting],
+) -> Vec<InstancePosting> {
     let mut out = Vec::with_capacity(ancestors.len());
     let mut j = 0;
     for a in ancestors {

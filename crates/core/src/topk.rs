@@ -15,6 +15,7 @@
 //! concrete embedding, so the leaf rule reduces to a boolean flag.
 
 use approxql_index::LabelIndex;
+use approxql_metrics::Metric;
 use approxql_tree::{Cost, LabelId, NodeType};
 use std::rc::Rc;
 
@@ -100,6 +101,13 @@ impl<'a> Iterator for SegmentIter<'a> {
     }
 }
 
+/// Counts one top-k list operation plus the entries its output carries.
+fn record_k(out: KList) -> KList {
+    Metric::TopkOps.incr();
+    Metric::TopkEntriesProduced.add(out.len() as u64);
+    out
+}
+
 fn push_segment(out: &mut KList, mut seg: Vec<KEntry>, k: usize) {
     seg.sort_by_key(|e| e.cost); // stable: creation order breaks ties
     seg.truncate(k);
@@ -109,7 +117,7 @@ fn push_segment(out: &mut KList, mut seg: Vec<KEntry>, k: usize) {
 /// `fetch` for the schema run: one zero-cost entry per schema node, tagged
 /// with the fetched label.
 pub fn fetch_k(index: &LabelIndex, ty: NodeType, label: LabelId, is_leaf: bool) -> KList {
-    index
+    let out = index
         .fetch(ty, label)
         .iter()
         .map(|p| KEntry {
@@ -122,11 +130,13 @@ pub fn fetch_k(index: &LabelIndex, ty: NodeType, label: LabelId, is_leaf: bool) 
             label,
             children: Vec::new(),
         })
-        .collect()
+        .collect();
+    record_k(out)
 }
 
 /// Adds `c` to every entry's cost.
 pub fn shift_k(mut l: KList, c: Cost) -> KList {
+    Metric::TopkOps.incr(); // pass-through: entries counted where produced
     if c != Cost::ZERO {
         for e in &mut l {
             e.cost += c;
@@ -185,7 +195,7 @@ pub fn merge_k(left: &KList, right: &KList, c_ren: Cost, k: usize) -> KList {
             }
         }
     }
-    out
+    record_k(out)
 }
 
 /// Candidate collected while scanning an ancestor's descendant interval.
@@ -310,7 +320,7 @@ pub fn join_k(ancestors: &KList, descendants: &KList, c_edge: Cost, k: usize) ->
             out.push(emit_descendant(a, &descendants[c.seq], c.key, c_edge));
         }
     }
-    out
+    record_k(out)
 }
 
 /// `outerjoin` (Section 7.2): like `join`, plus the deletion alternative
@@ -340,7 +350,7 @@ pub fn outerjoin_k(
         }
         push_segment(&mut out, seg, k);
     }
-    out
+    record_k(out)
 }
 
 /// `intersect` (Section 7.2): for segments on the same schema node, the
@@ -376,7 +386,7 @@ pub fn intersect_k(left: &KList, right: &KList, c_edge: Cost, k: usize) -> KList
             push_segment(&mut out, seg, k);
         }
     }
-    out
+    record_k(out)
 }
 
 /// `union` (Section 7.2): merges segments on the same schema node, keeping
@@ -416,7 +426,7 @@ pub fn union_k(left: &KList, right: &KList, c_edge: Cost, k: usize) -> KList {
             .collect();
         push_segment(&mut out, seg, k);
     }
-    out
+    record_k(out)
 }
 
 /// Final `sort` for the schema run: flattens the root list into the best
@@ -428,7 +438,12 @@ pub fn sort_k_best(k: usize, list: &KList, require_leaf: bool) -> Vec<KEntry> {
         .filter(|(_, e)| e.cost.is_finite() && (!require_leaf || e.has_leaf))
         .collect();
     indexed.sort_by_key(|(i, e)| (e.cost, e.pre, *i));
-    indexed.into_iter().take(k).map(|(_, e)| e.clone()).collect()
+    let out: Vec<KEntry> = indexed
+        .into_iter()
+        .take(k)
+        .map(|(_, e)| e.clone())
+        .collect();
+    record_k(out)
 }
 
 #[cfg(test)]

@@ -42,7 +42,10 @@ impl Cost {
     /// Creates a finite cost. Panics if `v` equals the infinity sentinel.
     #[inline]
     pub fn finite(v: u64) -> Cost {
-        assert!(v != u64::MAX, "Cost::finite called with the infinity sentinel");
+        assert!(
+            v != u64::MAX,
+            "Cost::finite called with the infinity sentinel"
+        );
         Cost(v)
     }
 

@@ -123,11 +123,7 @@ impl CostModel {
         }
         self.rename
             .get(&(ty, from.to_owned()))
-            .and_then(|v| {
-                v.iter()
-                    .find(|(t, _)| t == to)
-                    .map(|&(_, c)| c)
-            })
+            .and_then(|v| v.iter().find(|(t, _)| t == to).map(|&(_, c)| c))
             .unwrap_or(Cost::INFINITY)
     }
 
@@ -152,7 +148,8 @@ impl CostModel {
     /// Iterates over all explicitly listed renamings.
     pub fn listed_renames(&self) -> impl Iterator<Item = (NodeType, &str, &str, Cost)> {
         self.rename.iter().flat_map(|((ty, from), v)| {
-            v.iter().map(move |(to, c)| (*ty, from.as_str(), to.as_str(), *c))
+            v.iter()
+                .map(move |(to, c)| (*ty, from.as_str(), to.as_str(), *c))
         })
     }
 
@@ -199,11 +196,7 @@ impl CostModelBuilder {
     /// Lists an explicit rename cost. Self-renames are rejected.
     pub fn rename(mut self, ty: NodeType, from: &str, to: &str, cost: Cost) -> Self {
         assert!(from != to, "rename of `{from}` to itself is not allowed");
-        let entry = self
-            .model
-            .rename
-            .entry((ty, from.to_owned()))
-            .or_default();
+        let entry = self.model.rename.entry((ty, from.to_owned())).or_default();
         match entry.iter_mut().find(|(t, _)| t == to) {
             Some(slot) => slot.1 = cost,
             None => {
@@ -265,10 +258,7 @@ mod tests {
             m.rename_cost(NodeType::Struct, "cd", "dvd"),
             Cost::finite(6)
         );
-        assert_eq!(
-            m.rename_cost(NodeType::Struct, "cd", "vhs"),
-            Cost::INFINITY
-        );
+        assert_eq!(m.rename_cost(NodeType::Struct, "cd", "vhs"), Cost::INFINITY);
     }
 
     #[test]

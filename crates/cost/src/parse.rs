@@ -113,10 +113,7 @@ pub fn parse_cost_file(text: &str) -> Result<CostModel, CostFileError> {
 /// reproduces the model.
 pub fn write_cost_file(model: &CostModel) -> String {
     let mut out = String::new();
-    out.push_str(&format!(
-        "default insert {}\n",
-        model.insert_default()
-    ));
+    out.push_str(&format!("default insert {}\n", model.insert_default()));
     let mut inserts: Vec<_> = model.listed_inserts().collect();
     inserts.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
     for (ty, label, cost) in inserts {
@@ -163,10 +160,7 @@ rename term concerto sonata 3
         assert_eq!(m.insert_cost(NodeType::Struct, "title"), Cost::finite(3));
         assert_eq!(m.insert_cost(NodeType::Struct, "other"), Cost::finite(1));
         assert_eq!(m.delete_cost(NodeType::Struct, "track"), Cost::finite(3));
-        assert_eq!(
-            m.rename_cost(NodeType::Struct, "cd", "mc"),
-            Cost::finite(4)
-        );
+        assert_eq!(m.rename_cost(NodeType::Struct, "cd", "mc"), Cost::finite(4));
         assert_eq!(
             m.rename_cost(NodeType::Text, "concerto", "sonata"),
             Cost::finite(3)

@@ -49,7 +49,10 @@ mod tests {
         assert_eq!(m.delete_cost(NodeType::Struct, "track"), Cost::finite(3));
         assert_eq!(m.delete_cost(NodeType::Text, "piano"), Cost::finite(8));
         assert_eq!(m.delete_cost(NodeType::Struct, "cd"), Cost::INFINITY);
-        assert_eq!(m.rename_cost(NodeType::Struct, "cd", "dvd"), Cost::finite(6));
+        assert_eq!(
+            m.rename_cost(NodeType::Struct, "cd", "dvd"),
+            Cost::finite(6)
+        );
         assert_eq!(
             m.rename_cost(NodeType::Struct, "title", "category"),
             Cost::finite(4)

@@ -275,8 +275,7 @@ mod tests {
         let mut cfg = small_cfg();
         cfg.seed += 1;
         let b = DataGenerator::new(cfg).generate_tree(&CostModel::new());
-        let differs = a.len() != b.len()
-            || a.nodes().any(|n| a.label(n) != b.label(n));
+        let differs = a.len() != b.len() || a.nodes().any(|n| a.label(n) != b.label(n));
         assert!(differs);
     }
 

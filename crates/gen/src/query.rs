@@ -164,21 +164,17 @@ impl QueryGenerator {
                     };
                     QueryNode::Name {
                         label: new_label,
-                        child: child
-                            .as_ref()
-                            .map(|c| Box::new(self.instantiate(c))),
+                        child: child.as_ref().map(|c| Box::new(self.instantiate(c))),
                     }
                 }
             }
             QueryNode::Text { .. } => node.clone(),
-            QueryNode::And(l, r) => QueryNode::And(
-                Box::new(self.instantiate(l)),
-                Box::new(self.instantiate(r)),
-            ),
-            QueryNode::Or(l, r) => QueryNode::Or(
-                Box::new(self.instantiate(l)),
-                Box::new(self.instantiate(r)),
-            ),
+            QueryNode::And(l, r) => {
+                QueryNode::And(Box::new(self.instantiate(l)), Box::new(self.instantiate(r)))
+            }
+            QueryNode::Or(l, r) => {
+                QueryNode::Or(Box::new(self.instantiate(l)), Box::new(self.instantiate(r)))
+            }
         }
     }
 
@@ -229,7 +225,10 @@ impl QueryGenerator {
                 NodeType::Struct => self.names.len(),
                 NodeType::Text => self.terms.len(),
             };
-            let want = self.cfg.renamings_per_label.min(pool_size.saturating_sub(1));
+            let want = self
+                .cfg
+                .renamings_per_label
+                .min(pool_size.saturating_sub(1));
             let mut attempts = 0;
             while used.len() - 1 < want && attempts < 20 * want.max(1) {
                 attempts += 1;
@@ -346,8 +345,16 @@ mod tests {
         let (tree, index) = small_db();
         let mut g1 = QueryGenerator::new(&tree, &index, QueryGenConfig::default());
         let mut g2 = QueryGenerator::new(&tree, &index, QueryGenConfig::default());
-        let b1: Vec<String> = g1.generate_batch(PATTERN_3, 10).into_iter().map(|q| q.query).collect();
-        let b2: Vec<String> = g2.generate_batch(PATTERN_3, 10).into_iter().map(|q| q.query).collect();
+        let b1: Vec<String> = g1
+            .generate_batch(PATTERN_3, 10)
+            .into_iter()
+            .map(|q| q.query)
+            .collect();
+        let b2: Vec<String> = g2
+            .generate_batch(PATTERN_3, 10)
+            .into_iter()
+            .map(|q| q.query)
+            .collect();
         assert_eq!(b1, b2);
         // And the batch is not 10 copies of one query.
         let distinct: std::collections::HashSet<&String> = b1.iter().collect();

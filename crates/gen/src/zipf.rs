@@ -19,7 +19,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is negative/not finite.
     pub fn new(n: usize, s: f64) -> Zipf {
         assert!(n > 0, "Zipf needs a non-empty vocabulary");
-        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and >= 0");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "Zipf exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for i in 0..n {

@@ -1,6 +1,7 @@
 //! Byte encodings of posting lists (for the storage layer).
 
 use crate::{InstancePosting, Posting};
+use approxql_metrics::Metric;
 use approxql_tree::Cost;
 use std::fmt;
 
@@ -34,6 +35,7 @@ pub fn decode_postings(data: &[u8]) -> Result<Vec<Posting>, PostingDecodeError> 
     if !data.len().is_multiple_of(24) {
         return Err(PostingDecodeError("length is not a multiple of 24"));
     }
+    Metric::IndexBytesDecoded.add(data.len() as u64);
     let mut out = Vec::with_capacity(data.len() / 24);
     for chunk in data.chunks_exact(24) {
         out.push(Posting {
@@ -61,6 +63,7 @@ pub fn decode_instances(data: &[u8]) -> Result<Vec<InstancePosting>, PostingDeco
     if !data.len().is_multiple_of(8) {
         return Err(PostingDecodeError("length is not a multiple of 8"));
     }
+    Metric::IndexBytesDecoded.add(data.len() as u64);
     let mut out = Vec::with_capacity(data.len() / 8);
     for chunk in data.chunks_exact(8) {
         out.push(InstancePosting {

@@ -1,6 +1,7 @@
 //! The label indexes `I_struct` and `I_text` (Section 6.2, Figure 3).
 
 use crate::Posting;
+use approxql_metrics::{time, Metric, TimerMetric};
 use approxql_tree::{DataTree, LabelId, NodeType};
 use std::collections::HashMap;
 
@@ -16,6 +17,7 @@ impl LabelIndex {
     /// Builds the index with one pass over the tree. Postings come out
     /// preorder-sorted because nodes are visited in preorder.
     pub fn build(tree: &DataTree) -> LabelIndex {
+        let _timer = time(TimerMetric::IndexBuild);
         let mut map: HashMap<(NodeType, LabelId), Vec<Posting>> = HashMap::new();
         for n in tree.nodes() {
             map.entry((tree.node_type(n), tree.label_id(n)))
@@ -28,7 +30,10 @@ impl LabelIndex {
     /// The posting for `(ty, label)`; empty if the label never occurs with
     /// that type. This is the `fetch` primitive of Section 6.4.
     pub fn fetch(&self, ty: NodeType, label: LabelId) -> &[Posting] {
-        self.map.get(&(ty, label)).map(Vec::as_slice).unwrap_or(&[])
+        let posting = self.map.get(&(ty, label)).map(Vec::as_slice).unwrap_or(&[]);
+        Metric::IndexLabelFetches.incr();
+        Metric::IndexPostingsFetched.add(posting.len() as u64);
+        posting
     }
 
     /// Number of `(type, label)` postings.

@@ -112,7 +112,10 @@ pub fn load_label_index(
     interner: &Interner,
 ) -> Result<LabelIndex, PersistError> {
     let mut index = LabelIndex::default();
-    for (prefix, ty) in [(&b"ls#"[..], NodeType::Struct), (&b"lt#"[..], NodeType::Text)] {
+    for (prefix, ty) in [
+        (&b"ls#"[..], NodeType::Struct),
+        (&b"lt#"[..], NodeType::Text),
+    ] {
         let entries = store.scan_prefix(prefix)?.collect_all()?;
         for (key, value) in entries {
             let label_bytes = &key[prefix.len()..];
@@ -263,6 +266,9 @@ mod tests {
         let mut store = Store::in_memory().unwrap();
         save_label_index(&mut store, &idx, t.interner()).unwrap();
         let loaded = load_label_index(&mut store, t.interner()).unwrap();
-        assert_eq!(loaded.fetch(NodeType::Struct, cd)[0].pathcost, Cost::INFINITY);
+        assert_eq!(
+            loaded.fetch(NodeType::Struct, cd)[0].pathcost,
+            Cost::INFINITY
+        );
     }
 }

@@ -1,5 +1,6 @@
 //! Path-dependent postings: the secondary index `I_sec` of Section 7.3.
 
+use approxql_metrics::Metric;
 use approxql_tree::LabelId;
 use std::collections::HashMap;
 
@@ -45,10 +46,14 @@ impl SecondaryIndex {
 
     /// The instances of `(schema_pre, label)`, preorder-sorted.
     pub fn fetch(&self, schema_pre: u32, label: LabelId) -> &[InstancePosting] {
-        self.map
+        let posting = self
+            .map
             .get(&(schema_pre, label))
             .map(Vec::as_slice)
-            .unwrap_or(&[])
+            .unwrap_or(&[]);
+        Metric::IndexSecondaryFetches.incr();
+        Metric::IndexSecondaryRows.add(posting.len() as u64);
+        posting
     }
 
     /// Number of `(schema node, label)` postings.

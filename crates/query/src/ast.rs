@@ -30,13 +30,9 @@ impl QueryNode {
     /// Number of selectors (name + text) in this subexpression.
     pub fn selector_count(&self) -> usize {
         match self {
-            QueryNode::Name { child, .. } => {
-                1 + child.as_ref().map_or(0, |c| c.selector_count())
-            }
+            QueryNode::Name { child, .. } => 1 + child.as_ref().map_or(0, |c| c.selector_count()),
             QueryNode::Text { .. } => 1,
-            QueryNode::And(l, r) | QueryNode::Or(l, r) => {
-                l.selector_count() + r.selector_count()
-            }
+            QueryNode::And(l, r) | QueryNode::Or(l, r) => l.selector_count() + r.selector_count(),
         }
     }
 

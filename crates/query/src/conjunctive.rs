@@ -57,7 +57,11 @@ impl ConjunctiveNode {
 
     /// Total number of nodes in this subtree.
     pub fn size(&self) -> usize {
-        1 + self.children().iter().map(ConjunctiveNode::size).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(ConjunctiveNode::size)
+            .sum::<usize>()
     }
 
     fn fmt_node(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -117,10 +121,7 @@ impl fmt::Display for ConjunctiveQuery {
 fn separate_expr(node: &QueryNode) -> Vec<Vec<ConjunctiveNode>> {
     match node {
         QueryNode::Text { word } => vec![vec![ConjunctiveNode::Text { word: word.clone() }]],
-        QueryNode::Name { .. } => separate_step(node)
-            .into_iter()
-            .map(|n| vec![n])
-            .collect(),
+        QueryNode::Name { .. } => separate_step(node).into_iter().map(|n| vec![n]).collect(),
         QueryNode::And(l, r) => {
             let ls = separate_expr(l);
             let rs = separate_expr(r);

@@ -150,13 +150,12 @@ impl ExpandedQuery {
                 return c;
             }
             let c = match &nodes[i] {
-                ExpandedNode::Leaf { renamings, delcost, .. } => {
-                    (1 + renamings.len() as u128)
-                        + if delcost.is_finite() { 1 } else { 0 }
-                }
-                ExpandedNode::Node { renamings, child, .. } => {
-                    (1 + renamings.len() as u128) * count(nodes, memo, *child)
-                }
+                ExpandedNode::Leaf {
+                    renamings, delcost, ..
+                } => (1 + renamings.len() as u128) + if delcost.is_finite() { 1 } else { 0 },
+                ExpandedNode::Node {
+                    renamings, child, ..
+                } => (1 + renamings.len() as u128) * count(nodes, memo, *child),
                 ExpandedNode::And { left, right } => {
                     count(nodes, memo, *left) * count(nodes, memo, *right)
                 }
@@ -205,9 +204,7 @@ impl Builder<'_> {
     /// requires sibling leaves, which a root leaf cannot have).
     fn step(&mut self, q: &QueryNode, is_root: bool) -> usize {
         match q {
-            QueryNode::Name { label, child: None } => {
-                self.leaf(label, NodeType::Struct, !is_root)
-            }
+            QueryNode::Name { label, child: None } => self.leaf(label, NodeType::Struct, !is_root),
             QueryNode::Name {
                 label,
                 child: Some(e),
@@ -267,10 +264,8 @@ mod tests {
 
     /// The query of Figure 2.
     fn figure2_query() -> Query {
-        parse_query(
-            r#"cd[track[title["piano" and "concerto"]] and composer["rachmaninov"]]"#,
-        )
-        .unwrap()
+        parse_query(r#"cd[track[title["piano" and "concerto"]] and composer["rachmaninov"]]"#)
+            .unwrap()
     }
 
     #[test]
@@ -279,7 +274,9 @@ mod tests {
         let ex = ExpandedQuery::build(&figure2_query(), &costs);
         // Root is the cd node with renamings dvd and mc.
         match &ex.nodes[ex.root] {
-            ExpandedNode::Node { label, renamings, .. } => {
+            ExpandedNode::Node {
+                label, renamings, ..
+            } => {
                 assert_eq!(label, "cd");
                 assert_eq!(
                     renamings,
@@ -314,7 +311,12 @@ mod tests {
         let costs = paper_section6_costs();
         let ex = ExpandedQuery::build(&figure2_query(), &costs);
         for n in &ex.nodes {
-            if let ExpandedNode::Or { left, right, edgecost } = n {
+            if let ExpandedNode::Or {
+                left,
+                right,
+                edgecost,
+            } = n
+            {
                 if *edgecost != Cost::ZERO {
                     // left is the deletable Node whose child is exactly the
                     // bridged right branch.
@@ -356,10 +358,7 @@ mod tests {
         // expansion contains no `or` nodes at all.
         let costs = CostModel::new();
         let ex = ExpandedQuery::build(&figure2_query(), &costs);
-        assert!(ex
-            .nodes
-            .iter()
-            .all(|n| n.rep_type() != RepType::Or));
+        assert!(ex.nodes.iter().all(|n| n.rep_type() != RepType::Or));
     }
 
     #[test]
@@ -393,7 +392,9 @@ mod tests {
         let q = parse_query("cd").unwrap();
         let ex = ExpandedQuery::build(&q, &CostModel::new());
         match &ex.nodes[ex.root] {
-            ExpandedNode::Leaf { label, ty, delcost, .. } => {
+            ExpandedNode::Leaf {
+                label, ty, delcost, ..
+            } => {
                 assert_eq!(label, "cd");
                 assert_eq!(*ty, NodeType::Struct);
                 // A root leaf is never deletable.

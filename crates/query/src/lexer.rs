@@ -71,19 +71,31 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, LexError> {
             }
             '[' => {
                 iter.next();
-                tokens.push(Spanned { token: Token::LBracket, offset });
+                tokens.push(Spanned {
+                    token: Token::LBracket,
+                    offset,
+                });
             }
             ']' => {
                 iter.next();
-                tokens.push(Spanned { token: Token::RBracket, offset });
+                tokens.push(Spanned {
+                    token: Token::RBracket,
+                    offset,
+                });
             }
             '(' => {
                 iter.next();
-                tokens.push(Spanned { token: Token::LParen, offset });
+                tokens.push(Spanned {
+                    token: Token::LParen,
+                    offset,
+                });
             }
             ')' => {
                 iter.next();
-                tokens.push(Spanned { token: Token::RParen, offset });
+                tokens.push(Spanned {
+                    token: Token::RParen,
+                    offset,
+                });
             }
             quote @ ('"' | '\'') => {
                 iter.next();
@@ -102,7 +114,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, LexError> {
                         message: "unterminated string literal".to_owned(),
                     });
                 }
-                tokens.push(Spanned { token: Token::Str(s), offset });
+                tokens.push(Spanned {
+                    token: Token::Str(s),
+                    offset,
+                });
             }
             c if is_name_start(c) => {
                 let mut name = String::new();
@@ -171,11 +186,10 @@ mod tests {
 
     #[test]
     fn keywords_are_not_names() {
-        assert_eq!(toks("and or android"), vec![
-            Token::And,
-            Token::Or,
-            Token::Name("android".into())
-        ]);
+        assert_eq!(
+            toks("and or android"),
+            vec![Token::And, Token::Or, Token::Name("android".into())]
+        );
     }
 
     #[test]

@@ -30,7 +30,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "query syntax error at offset {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "query syntax error at offset {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -103,9 +107,9 @@ impl Parser {
     fn text_selector(&self, raw: &str) -> Result<QueryNode, ParseError> {
         let words = split_words(raw);
         let mut iter = words.into_iter();
-        let first = iter.next().ok_or_else(|| {
-            self.err(format!("text selector \"{raw}\" contains no word"))
-        })?;
+        let first = iter
+            .next()
+            .ok_or_else(|| self.err(format!("text selector \"{raw}\" contains no word")))?;
         let mut node = QueryNode::Text { word: first };
         for w in iter {
             node = QueryNode::And(Box::new(node), Box::new(QueryNode::Text { word: w }));
@@ -196,10 +200,8 @@ mod tests {
 
     #[test]
     fn parses_paper_query() {
-        let q = parse_query(
-            r#"cd[title["piano" and "concerto"] and composer["rachmaninov"]]"#,
-        )
-        .unwrap();
+        let q = parse_query(r#"cd[title["piano" and "concerto"] and composer["rachmaninov"]]"#)
+            .unwrap();
         assert_eq!(q.root_label(), "cd");
         assert_eq!(q.selector_count(), 6);
         assert_eq!(q.or_count(), 0);

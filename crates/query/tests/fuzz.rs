@@ -25,20 +25,18 @@ fn expr_strategy() -> impl Strategy<Value = QueryNode> {
             }),
             (inner.clone(), inner.clone())
                 .prop_map(|(l, r)| QueryNode::And(Box::new(l), Box::new(r))),
-            (inner.clone(), inner)
-                .prop_map(|(l, r)| QueryNode::Or(Box::new(l), Box::new(r))),
+            (inner.clone(), inner).prop_map(|(l, r)| QueryNode::Or(Box::new(l), Box::new(r))),
         ]
     })
 }
 
 fn query_strategy() -> impl Strategy<Value = Query> {
-    (name_strategy(), proptest::option::of(expr_strategy()))
-        .prop_map(|(label, child)| Query {
-            root: QueryNode::Name {
-                label,
-                child: child.map(Box::new),
-            },
-        })
+    (name_strategy(), proptest::option::of(expr_strategy())).prop_map(|(label, child)| Query {
+        root: QueryNode::Name {
+            label,
+            child: child.map(Box::new),
+        },
+    })
 }
 
 proptest! {

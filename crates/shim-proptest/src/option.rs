@@ -1,0 +1,27 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy for `Option<T>`, biased 3:1 toward `Some` (interesting
+/// structure) like upstream's default.
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_bool(0.75) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// `proptest::option::of(strategy)`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

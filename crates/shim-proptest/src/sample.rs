@@ -1,0 +1,24 @@
+//! Sampling strategies (`proptest::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt;
+
+/// Strategy picking uniformly from a fixed list.
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}
+
+/// `proptest::sample::select(options)`.
+pub fn select<T: Clone + fmt::Debug>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select from an empty list");
+    Select { options }
+}

@@ -1,0 +1,228 @@
+//! String generation from the regex subset the workspace's tests use:
+//! literal characters, character classes with ranges and escapes
+//! (`[a-z0-9._-]`, `[ -~éüλ☂]`), `\PC` (any non-control character), and
+//! `{m,n}` / `{n}` repetition of the preceding atom.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::iter::Peekable;
+use std::str::Chars;
+
+/// Non-ASCII code points mixed into `\PC` output to stress UTF-8
+/// handling (1–4 byte encodings).
+const UNICODE_POOL: [char; 6] = ['é', 'ü', 'λ', '☂', '中', '🦀'];
+
+enum Atom {
+    /// Inclusive character ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+    /// `\PC` — any printable (non-control) character.
+    AnyPrintable,
+}
+
+pub(crate) struct Pattern {
+    atoms: Vec<(Atom, usize, usize)>,
+}
+
+impl Pattern {
+    pub(crate) fn parse(pattern: &str) -> Pattern {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms: Vec<(Atom, usize, usize)> = Vec::new();
+        while let Some(c) = chars.next() {
+            match c {
+                '[' => atoms.push((parse_class(&mut chars), 1, 1)),
+                '\\' => {
+                    let e = chars.next().expect("regex pattern ends in '\\'");
+                    if e == 'P' {
+                        let class = chars.next().expect("'\\P' needs a category letter");
+                        assert!(class == 'C', "only \\PC is supported, got \\P{class}");
+                        atoms.push((Atom::AnyPrintable, 1, 1));
+                    } else {
+                        atoms.push((Atom::Class(vec![(e, e)]), 1, 1));
+                    }
+                }
+                '{' => {
+                    let (min, max) = parse_repeat(&mut chars);
+                    let last = atoms
+                        .last_mut()
+                        .expect("repetition '{…}' without a preceding atom");
+                    last.1 = min;
+                    last.2 = max;
+                }
+                other => atoms.push((Atom::Class(vec![(other, other)]), 1, 1)),
+            }
+        }
+        Pattern { atoms }
+    }
+
+    pub(crate) fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, min, max) in &self.atoms {
+            let n = rng.gen_range(*min..=*max);
+            for _ in 0..n {
+                out.push(atom.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+impl Atom {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::AnyPrintable => {
+                if rng.gen_bool(0.9) {
+                    char::from_u32(rng.gen_range(0x20u32..0x7F)).unwrap()
+                } else {
+                    UNICODE_POOL[rng.gen_range(0..UNICODE_POOL.len())]
+                }
+            }
+            Atom::Class(ranges) => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                    .sum();
+                let mut off = rng.gen_range(0..total);
+                for &(lo, hi) in ranges {
+                    let size = hi as u32 - lo as u32 + 1;
+                    if off < size {
+                        return char::from_u32(lo as u32 + off)
+                            .expect("class range spans invalid code points");
+                    }
+                    off -= size;
+                }
+                unreachable!("offset exceeded class size")
+            }
+        }
+    }
+}
+
+fn parse_class(chars: &mut Peekable<Chars>) -> Atom {
+    let mut ranges = Vec::new();
+    loop {
+        let mut c = chars.next().expect("unterminated character class");
+        if c == ']' {
+            break;
+        }
+        if c == '\\' {
+            c = chars.next().expect("class ends in '\\'");
+        }
+        // `a-z` is a range unless the '-' is last in the class (literal).
+        let is_range = chars.peek() == Some(&'-') && {
+            let mut ahead = chars.clone();
+            ahead.next();
+            !matches!(ahead.peek(), Some(&']') | None)
+        };
+        if is_range {
+            chars.next(); // the '-'
+            let mut hi = chars.next().expect("class range missing upper bound");
+            if hi == '\\' {
+                hi = chars.next().expect("class ends in '\\'");
+            }
+            assert!(c <= hi, "descending class range {c}-{hi}");
+            ranges.push((c, hi));
+        } else {
+            ranges.push((c, c));
+        }
+    }
+    assert!(!ranges.is_empty(), "empty character class");
+    Atom::Class(ranges)
+}
+
+fn parse_repeat(chars: &mut Peekable<Chars>) -> (usize, usize) {
+    let mut body = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            let (min, max) = match body.split_once(',') {
+                Some((a, b)) => (a.parse().unwrap(), b.parse().unwrap()),
+                None => {
+                    let n = body.parse().unwrap();
+                    (n, n)
+                }
+            };
+            assert!(min <= max, "descending repetition {{{body}}}");
+            return (min, max);
+        }
+        body.push(c);
+    }
+    panic!("unterminated repetition '{{{body}'");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn class_with_trailing_dash_is_literal() {
+        let p = Pattern::parse("[a-z0-9._-]{1,1}");
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = p.generate(&mut r);
+            let c = s.chars().next().unwrap();
+            assert!(
+                c.is_ascii_lowercase() || c.is_ascii_digit() || ".-_".contains(c),
+                "unexpected char {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_range() {
+        let p = Pattern::parse("[ -~éüλ☂]{0,20}");
+        let mut r = rng();
+        for _ in 0..200 {
+            for c in p.generate(&mut r).chars() {
+                assert!((' '..='~').contains(&c) || "éüλ☂".contains(c));
+            }
+        }
+    }
+
+    #[test]
+    fn escaped_metachars_in_class() {
+        let p = Pattern::parse("[<>&'\"=a-z/! \\-\\[\\]?]{1,1}");
+        let mut r = rng();
+        let mut saw_bracket = false;
+        for _ in 0..2000 {
+            let c = p.generate(&mut r).chars().next().unwrap();
+            assert!("<>&'\"=/! -[]?".contains(c) || c.is_ascii_lowercase());
+            saw_bracket |= c == '[' || c == ']';
+        }
+        assert!(saw_bracket, "escaped brackets never generated");
+    }
+
+    #[test]
+    fn any_printable_never_emits_controls() {
+        let p = Pattern::parse("\\PC{0,100}");
+        let mut r = rng();
+        for _ in 0..100 {
+            for c in p.generate(&mut r).chars() {
+                assert!(!c.is_control(), "control char {c:?} from \\PC");
+            }
+        }
+    }
+
+    #[test]
+    fn repetition_bounds_hold() {
+        let p = Pattern::parse("[ab]{2,5}");
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = p.generate(&mut r);
+            assert!(
+                (2..=5).contains(&s.chars().count()),
+                "len {} out of bounds",
+                s.len()
+            );
+        }
+    }
+
+    #[test]
+    fn literal_atoms_and_exact_counts() {
+        let p = Pattern::parse("ab{3}c");
+        let mut r = rng();
+        assert_eq!(p.generate(&mut r), "abbbc");
+    }
+}

@@ -1,0 +1,74 @@
+//! Deterministic test driving: config, per-test seeding, case errors.
+
+use rand::SeedableRng;
+use std::fmt;
+
+/// The RNG handed to strategies (the vendored seeded generator).
+pub type TestRng = rand::rngs::StdRng;
+
+/// Subset of proptest's run configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Drives one property: derives a stable seed from the test name so every
+/// run (and every machine) explores the same inputs.
+pub struct TestRunner {
+    seed: u64,
+    case: u64,
+}
+
+impl TestRunner {
+    pub fn new(_config: &ProptestConfig, name: &str) -> TestRunner {
+        TestRunner {
+            seed: fnv64(name.as_bytes()),
+            case: 0,
+        }
+    }
+
+    /// A fresh generator for the next case (distinct but deterministic).
+    pub fn next_rng(&mut self) -> TestRng {
+        self.case += 1;
+        TestRng::seed_from_u64(self.seed ^ self.case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A failed property case (`prop_assert!` produces these).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}

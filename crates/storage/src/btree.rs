@@ -8,6 +8,7 @@
 use crate::heap::ValueRef;
 use crate::pager::{PageId, Pager, PAGE_SIZE};
 use crate::{Result, StorageError, MAX_KEY_LEN};
+use approxql_metrics::Metric;
 
 const TAG_INTERNAL: u8 = 1;
 const TAG_LEAF: u8 = 2;
@@ -64,7 +65,10 @@ impl Node {
             Node::Leaf { entries, next } => {
                 put(&[TAG_LEAF], &mut pos);
                 put(&(entries.len() as u16).to_le_bytes(), &mut pos);
-                put(&next.map(|p| p.0).unwrap_or(NO_PAGE).to_le_bytes(), &mut pos);
+                put(
+                    &next.map(|p| p.0).unwrap_or(NO_PAGE).to_le_bytes(),
+                    &mut pos,
+                );
                 for (k, v) in entries {
                     put(&(k.len() as u16).to_le_bytes(), &mut pos);
                     put(k, &mut pos);
@@ -90,12 +94,12 @@ impl Node {
         let n = u16::from_le_bytes(take(2, &mut pos)?.try_into().unwrap()) as usize;
         match tag {
             TAG_INTERNAL => {
-                let mut children =
-                    vec![PageId(u32::from_le_bytes(take(4, &mut pos)?.try_into().unwrap()))];
+                let mut children = vec![PageId(u32::from_le_bytes(
+                    take(4, &mut pos)?.try_into().unwrap(),
+                ))];
                 let mut keys = Vec::with_capacity(n);
                 for _ in 0..n {
-                    let klen =
-                        u16::from_le_bytes(take(2, &mut pos)?.try_into().unwrap()) as usize;
+                    let klen = u16::from_le_bytes(take(2, &mut pos)?.try_into().unwrap()) as usize;
                     if klen > MAX_KEY_LEN {
                         return Err(corrupt("key too long"));
                     }
@@ -111,8 +115,7 @@ impl Node {
                 let next = (next_raw != NO_PAGE).then_some(PageId(next_raw));
                 let mut entries = Vec::with_capacity(n);
                 for _ in 0..n {
-                    let klen =
-                        u16::from_le_bytes(take(2, &mut pos)?.try_into().unwrap()) as usize;
+                    let klen = u16::from_le_bytes(take(2, &mut pos)?.try_into().unwrap()) as usize;
                     if klen > MAX_KEY_LEN {
                         return Err(corrupt("key too long"));
                     }
@@ -135,6 +138,7 @@ impl Node {
 }
 
 fn read_node(pager: &mut Pager, id: PageId) -> Result<Node> {
+    Metric::BtreeNodeReads.incr();
     Node::parse(id, pager.read(id)?)
 }
 
@@ -152,7 +156,10 @@ pub struct BTree {
 enum InsertResult {
     Done,
     /// The child split: `sep` separates it from the new right sibling.
-    Split { sep: Vec<u8>, right: PageId },
+    Split {
+        sep: Vec<u8>,
+        right: PageId,
+    },
 }
 
 impl BTree {
@@ -177,6 +184,7 @@ impl BTree {
 
     /// Looks up `key`.
     pub fn get(&self, pager: &mut Pager, key: &[u8]) -> Result<Option<ValueRef>> {
+        Metric::BtreeGets.incr();
         let mut page = self.root;
         loop {
             match read_node(pager, page)? {
@@ -199,6 +207,7 @@ impl BTree {
         if key.len() > MAX_KEY_LEN {
             return Err(StorageError::KeyTooLong(key.len()));
         }
+        Metric::BtreeInserts.incr();
         match self.insert_rec(pager, self.root, key, value)? {
             InsertResult::Done => Ok(()),
             InsertResult::Split { sep, right } => {
@@ -237,6 +246,7 @@ impl BTree {
                     return Ok(InsertResult::Done);
                 }
                 // Split: move the upper half to a fresh right sibling.
+                Metric::BtreeNodeSplits.incr();
                 let (mut entries, next) = match node {
                     Node::Leaf { entries, next } => (entries, next),
                     _ => unreachable!(),
@@ -281,6 +291,7 @@ impl BTree {
                             write_node(pager, page, &node)?;
                             return Ok(InsertResult::Done);
                         }
+                        Metric::BtreeNodeSplits.incr();
                         let (mut keys, mut children) = match node {
                             Node::Internal { keys, children } => (keys, children),
                             _ => unreachable!(),
@@ -315,6 +326,7 @@ impl BTree {
     /// Removes `key`, returning whether it was present. Leaves are not
     /// rebalanced.
     pub fn delete(&mut self, pager: &mut Pager, key: &[u8]) -> Result<bool> {
+        Metric::BtreeDeletes.incr();
         let mut page = self.root;
         loop {
             match read_node(pager, page)? {
@@ -368,6 +380,7 @@ impl Cursor {
             match node {
                 Node::Leaf { entries, next } => {
                     if self.idx < entries.len() {
+                        Metric::BtreeScanSteps.incr();
                         let out = entries[self.idx].clone();
                         self.idx += 1;
                         return Ok(Some(out));
@@ -381,7 +394,10 @@ impl Cursor {
                     }
                 }
                 Node::Internal { .. } => {
-                    return Err(StorageError::CorruptPage(self.leaf, "cursor on internal page"))
+                    return Err(StorageError::CorruptPage(
+                        self.leaf,
+                        "cursor on internal page",
+                    ))
                 }
             }
         }
@@ -471,8 +487,9 @@ mod tests {
         }
         // The multiplier is odd and n divides 2^32, so i -> i*m % n is a
         // bijection for n a power of two; it is not here, so dedupe happens.
-        let distinct: std::collections::HashSet<u32> =
-            (0..n).map(|i| (i.wrapping_mul(2654435761_u32)) % n).collect();
+        let distinct: std::collections::HashSet<u32> = (0..n)
+            .map(|i| (i.wrapping_mul(2654435761_u32)) % n)
+            .collect();
         assert_eq!(count, distinct.len());
     }
 
@@ -480,7 +497,8 @@ mod tests {
     fn seek_starts_mid_range() {
         let (mut p, mut t) = setup();
         for i in 0..100u32 {
-            t.insert(&mut p, format!("k{i:03}").as_bytes(), vr(i)).unwrap();
+            t.insert(&mut p, format!("k{i:03}").as_bytes(), vr(i))
+                .unwrap();
         }
         let mut c = t.seek(&mut p, b"k050").unwrap();
         let (k, v) = c.next(&mut p).unwrap().unwrap();

@@ -1,6 +1,7 @@
 //! Page-granular I/O with a write-back cache and pluggable backends.
 
 use crate::{Result, StorageError};
+use approxql_metrics::Metric;
 use std::collections::HashMap;
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -159,6 +160,7 @@ impl Pager {
 
     /// Allocates a fresh page (zero-filled) and returns its id.
     pub fn allocate(&mut self) -> PageId {
+        Metric::PagerPageAllocs.incr();
         let id = PageId(self.next_page);
         self.next_page += 1;
         self.cache.insert(id, (Box::new([0u8; PAGE_SIZE]), true));
@@ -181,7 +183,9 @@ impl Pager {
 
     /// Reads page `id` (through the cache).
     pub fn read(&mut self, id: PageId) -> Result<&[u8; PAGE_SIZE]> {
+        Metric::PagerPageReads.incr();
         if !self.cache.contains_key(&id) {
+            Metric::PagerCacheMisses.incr();
             let mut buf = Box::new([0u8; PAGE_SIZE]);
             self.backend.read_page(id, &mut buf)?;
             self.cache.insert(id, (buf, false));
@@ -191,7 +195,9 @@ impl Pager {
 
     /// Returns a mutable view of page `id`, marking it dirty.
     pub fn write(&mut self, id: PageId) -> Result<&mut [u8; PAGE_SIZE]> {
+        Metric::PagerPageWrites.incr();
         if !self.cache.contains_key(&id) {
+            Metric::PagerCacheMisses.incr();
             let mut buf = Box::new([0u8; PAGE_SIZE]);
             if id.0 < self.backend.page_count() {
                 self.backend.read_page(id, &mut buf)?;
@@ -212,6 +218,8 @@ impl Pager {
             .map(|(&id, _)| id)
             .collect();
         dirty.sort();
+        Metric::PagerFlushes.incr();
+        Metric::PagerBackendWrites.add(dirty.len() as u64);
         for id in dirty {
             let (buf, d) = self.cache.get_mut(&id).unwrap();
             self.backend.write_page(id, buf)?;

@@ -4,6 +4,7 @@ use crate::btree::{BTree, Cursor};
 use crate::heap::{read_value, write_value};
 use crate::pager::{Backend, FileBackend, MemBackend, PageId, Pager, PAGE_SIZE};
 use crate::{Result, StorageError};
+use approxql_metrics::{time, TimerMetric};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"AXQLSTOR";
@@ -156,6 +157,7 @@ impl Store {
 
     /// Flushes dirty pages and durably records the current tree root.
     pub fn commit(&mut self) -> Result<()> {
+        let _timer = time(TimerMetric::StoreCommit);
         self.write_header()?;
         self.pager.flush()
     }
@@ -297,7 +299,8 @@ mod tests {
         {
             let mut s = Store::create_file(&path).unwrap();
             for i in 0..2000u32 {
-                s.put(format!("key{i:05}").as_bytes(), &i.to_le_bytes()).unwrap();
+                s.put(format!("key{i:05}").as_bytes(), &i.to_le_bytes())
+                    .unwrap();
             }
             s.commit().unwrap();
         }

@@ -59,7 +59,9 @@ fn operations_fail_gracefully_once_the_backend_dies() {
     let (backend, fuse) = flaky(i64::MAX);
     let mut store = Store::create(backend).unwrap();
     for i in 0..200u32 {
-        store.put(format!("key{i:04}").as_bytes(), &i.to_le_bytes()).unwrap();
+        store
+            .put(format!("key{i:04}").as_bytes(), &i.to_le_bytes())
+            .unwrap();
     }
     store.commit().unwrap();
 

@@ -16,12 +16,18 @@ enum Op {
 
 fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
     // Small alphabet so operations collide often.
-    proptest::collection::vec(proptest::sample::select(vec![b'a', b'b', b'c', 0u8, 0xFF]), 0..6)
+    proptest::collection::vec(
+        proptest::sample::select(vec![b'a', b'b', b'c', 0u8, 0xFF]),
+        0..6,
+    )
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (key_strategy(), proptest::collection::vec(any::<u8>(), 0..40))
+        (
+            key_strategy(),
+            proptest::collection::vec(any::<u8>(), 0..40)
+        )
             .prop_map(|(k, v)| Op::Put(k, v)),
         key_strategy().prop_map(Op::Get),
         key_strategy().prop_map(Op::Delete),

@@ -203,10 +203,7 @@ mod tests {
 
     #[test]
     fn from_xml_document() {
-        let doc = parse_document(
-            r#"<cd year="1901"><title>Piano Concerto</title></cd>"#,
-        )
-        .unwrap();
+        let doc = parse_document(r#"<cd year="1901"><title>Piano Concerto</title></cd>"#).unwrap();
         let mut b = DataTreeBuilder::new();
         b.add_document(&doc);
         let t = b.build(&CostModel::new());
@@ -238,7 +235,10 @@ mod tests {
         b.add_document(&parse_document("<a/>").unwrap());
         b.add_document(&parse_document("<b/>").unwrap());
         let t = b.build(&CostModel::new());
-        let kids: Vec<_> = t.children(t.root()).map(|c| t.label(c).to_owned()).collect();
+        let kids: Vec<_> = t
+            .children(t.root())
+            .map(|c| t.label(c).to_owned())
+            .collect();
         assert_eq!(kids, vec!["a", "b"]);
     }
 
@@ -257,7 +257,7 @@ mod tests {
         let t = b.build(&costs);
         assert_eq!(t.inscost(NodeId(2)), Cost::finite(3)); // title
         assert_eq!(t.inscost(NodeId(1)), Cost::finite(1)); // cd, default
-        // pathcost("piano") = inscost(root) + inscost(cd) + inscost(title)
+                                                           // pathcost("piano") = inscost(root) + inscost(cd) + inscost(title)
         assert_eq!(t.pathcost(NodeId(3)), Cost::finite(1 + 1 + 3));
     }
 

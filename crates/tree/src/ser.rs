@@ -116,8 +116,7 @@ impl DataTree {
         let mut interner = Interner::new();
         for i in 0..nstrings {
             let len = cur.u32()? as usize;
-            let s = std::str::from_utf8(cur.take(len)?)
-                .map_err(|_| TreeDecodeError::BadString)?;
+            let s = std::str::from_utf8(cur.take(len)?).map_err(|_| TreeDecodeError::BadString)?;
             let id = interner.intern(s);
             if id != LabelId(i as u32) {
                 return Err(TreeDecodeError::Corrupt("duplicate interned string"));

@@ -395,7 +395,10 @@ mod tests {
         assert_eq!(
             rendered,
             vec![
-                (crate::builder::VIRTUAL_ROOT_LABEL.to_owned(), NodeType::Struct),
+                (
+                    crate::builder::VIRTUAL_ROOT_LABEL.to_owned(),
+                    NodeType::Struct
+                ),
                 ("cd".to_owned(), NodeType::Struct),
                 ("title".to_owned(), NodeType::Struct),
                 ("piano".to_owned(), NodeType::Text),
@@ -409,7 +412,10 @@ mod tests {
         let el = t.subtree_element(NodeId(1)).unwrap();
         assert_eq!(el.name, "cd");
         assert_eq!(el.child_elements().count(), 2);
-        assert_eq!(el.find_child("title").unwrap().text_content(), "piano concerto");
+        assert_eq!(
+            el.find_child("title").unwrap().text_content(),
+            "piano concerto"
+        );
     }
 
     #[test]

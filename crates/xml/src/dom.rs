@@ -89,7 +89,10 @@ impl Element {
 
     /// Total number of elements in this subtree (including `self`).
     pub fn element_count(&self) -> usize {
-        1 + self.child_elements().map(Element::element_count).sum::<usize>()
+        1 + self
+            .child_elements()
+            .map(Element::element_count)
+            .sum::<usize>()
     }
 
     fn write_into(&self, out: &mut String) {
@@ -183,8 +186,8 @@ mod tests {
 
     #[test]
     fn parse_builds_tree() {
-        let doc = parse_document(r#"<cd id="7"><title>piano concerto</title><track/></cd>"#)
-            .unwrap();
+        let doc =
+            parse_document(r#"<cd id="7"><title>piano concerto</title><track/></cd>"#).unwrap();
         assert_eq!(doc.root.name, "cd");
         assert_eq!(doc.root.attributes, vec![("id".into(), "7".into())]);
         assert_eq!(doc.root.children.len(), 2);

@@ -26,7 +26,11 @@ impl XmlError {
 
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "XML error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 

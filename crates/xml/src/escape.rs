@@ -56,7 +56,11 @@ pub fn unescape(s: &str, line: usize, column: usize) -> Result<String, XmlError>
             "apos" => out.push('\''),
             _ if name.starts_with("#x") || name.starts_with("#X") => {
                 let code = u32::from_str_radix(&name[2..], 16).map_err(|_| {
-                    XmlError::new(line, column, format!("invalid character reference `&{name};`"))
+                    XmlError::new(
+                        line,
+                        column,
+                        format!("invalid character reference `&{name};`"),
+                    )
                 })?;
                 out.push(char::from_u32(code).ok_or_else(|| {
                     XmlError::new(line, column, format!("invalid code point in `&{name};`"))
@@ -64,7 +68,11 @@ pub fn unescape(s: &str, line: usize, column: usize) -> Result<String, XmlError>
             }
             _ if name.starts_with('#') => {
                 let code = name[1..].parse::<u32>().map_err(|_| {
-                    XmlError::new(line, column, format!("invalid character reference `&{name};`"))
+                    XmlError::new(
+                        line,
+                        column,
+                        format!("invalid character reference `&{name};`"),
+                    )
                 })?;
                 out.push(char::from_u32(code).ok_or_else(|| {
                     XmlError::new(line, column, format!("invalid code point in `&{name};`"))
@@ -90,18 +98,27 @@ mod tests {
 
     #[test]
     fn escape_text_basic() {
-        assert_eq!(escape_text("a < b && c > d"), "a &lt; b &amp;&amp; c &gt; d");
+        assert_eq!(
+            escape_text("a < b && c > d"),
+            "a &lt; b &amp;&amp; c &gt; d"
+        );
         assert_eq!(escape_text("plain"), "plain");
     }
 
     #[test]
     fn escape_attribute_quotes() {
-        assert_eq!(escape_attribute(r#"say "hi" & 'bye'"#), "say &quot;hi&quot; &amp; &apos;bye&apos;");
+        assert_eq!(
+            escape_attribute(r#"say "hi" & 'bye'"#),
+            "say &quot;hi&quot; &amp; &apos;bye&apos;"
+        );
     }
 
     #[test]
     fn unescape_predefined() {
-        assert_eq!(unescape("&amp;&lt;&gt;&quot;&apos;", 1, 1).unwrap(), "&<>\"'");
+        assert_eq!(
+            unescape("&amp;&lt;&gt;&quot;&apos;", 1, 1).unwrap(),
+            "&<>\"'"
+        );
     }
 
     #[test]

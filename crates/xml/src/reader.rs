@@ -175,7 +175,11 @@ impl<'a> XmlReader<'a> {
             let (line, column) = (self.line, self.column);
             let raw = self.take_until(&quote.to_string(), "attribute value")?;
             if raw.contains('<') {
-                return Err(XmlError::new(line, column, "`<` is not allowed in attribute values"));
+                return Err(XmlError::new(
+                    line,
+                    column,
+                    "`<` is not allowed in attribute values",
+                ));
             }
             let value = unescape(raw, line, column)?;
             if attrs.iter().any(|a| a.name == name) {
@@ -375,7 +379,10 @@ mod tests {
     #[test]
     fn empty_element_yields_start_and_end() {
         let ev = events("<a><b/></a>").unwrap();
-        assert_eq!(ev, vec![start("a"), start("b"), end("b"), end("a"), XmlEvent::Eof]);
+        assert_eq!(
+            ev,
+            vec![start("a"), start("b"), end("b"), end("a"), XmlEvent::Eof]
+        );
     }
 
     #[test]

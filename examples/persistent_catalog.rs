@@ -37,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a = db.query_direct(query, Some(5))?;
     let b = reopened.query_direct(query, Some(5))?;
     assert_eq!(a, b, "reopened database must answer identically");
-    println!("query {query} -> {} hits (best cost {:?})", b.len(), b.first().map(|h| h.cost));
+    println!(
+        "query {query} -> {} hits (best cost {:?})",
+        b.len(),
+        b.first().map(|h| h.cost)
+    );
 
     // Schema-driven answers survive the roundtrip too (the schema is
     // rebuilt from the tree on open).

@@ -49,7 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "#{rank} cost={} -> <{}> titled {:?}",
             hit.cost,
             el.name,
-            el.find_child("title").map(|t| t.text_content()).unwrap_or_default()
+            el.find_child("title")
+                .map(|t| t.text_content())
+                .unwrap_or_default()
         );
     }
 
@@ -57,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // different algorithm (Section 7 of the paper).
     let via_schema = db.query_schema(query, 3)?;
     assert_eq!(&hits[..via_schema.len()], &via_schema[..]);
-    println!("\nschema-driven evaluation returned the same top-{}", via_schema.len());
+    println!(
+        "\nschema-driven evaluation returned the same top-{}",
+        via_schema.len()
+    );
 
     Ok(())
 }

@@ -9,7 +9,9 @@
 
 use approxql::crates::core::schema_eval::SchemaEvalConfig;
 use approxql::crates::core::EvalOptions;
-use approxql::crates::gen::{DataGenConfig, DataGenerator, QueryGenConfig, QueryGenerator, PATTERN_2};
+use approxql::crates::gen::{
+    DataGenConfig, DataGenerator, QueryGenConfig, QueryGenerator, PATTERN_2,
+};
 use approxql::{CostModel, Database};
 use std::time::Instant;
 

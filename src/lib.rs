@@ -29,6 +29,10 @@
 pub use approxql_core::{
     Database, DatabaseError, EvalOptions, EvalStats, QueryHit, ReferenceEvaluator,
 };
+pub use approxql_metrics::{
+    reset as reset_metrics, snapshot as metrics_snapshot, Metric, MetricsSnapshot, TimerMetric,
+};
+
 pub use approxql_cost::{
     parse_cost_file, tables, write_cost_file, Cost, CostFileError, CostModel, CostModelBuilder,
     NodeType,
@@ -46,6 +50,7 @@ pub mod crates {
     pub use approxql_cost as cost;
     pub use approxql_gen as gen;
     pub use approxql_index as index;
+    pub use approxql_metrics as metrics;
     pub use approxql_query as query;
     pub use approxql_schema as schema;
     pub use approxql_storage as storage;

@@ -115,7 +115,11 @@ fn save_open_roundtrip_preserves_answers() {
         let after = Database::from_tree(reopened.tree().clone(), gq.costs.clone())
             .query_direct(&gq.query, Some(10))
             .unwrap();
-        assert_eq!(before, after, "answers changed after reopen for {}", gq.query);
+        assert_eq!(
+            before, after,
+            "answers changed after reopen for {}",
+            gq.query
+        );
     }
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -139,7 +143,12 @@ fn stats_are_populated() {
     assert!(dstats.fetches > 0);
     assert!(dstats.ops > 0);
     let (_, sstats) = db_q
-        .query_schema_with(&gq.query, 5, EvalOptions::default(), SchemaEvalConfig::default())
+        .query_schema_with(
+            &gq.query,
+            5,
+            EvalOptions::default(),
+            SchemaEvalConfig::default(),
+        )
         .unwrap();
     assert!(sstats.rounds >= 1);
     assert!(sstats.fetches > 0);

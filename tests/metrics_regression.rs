@@ -1,0 +1,275 @@
+//! Counter-based regression tests: the per-layer operation counts of the
+//! metrics registry are pinned to exact values for fixed inputs.
+//!
+//! These tests protect the *work* done by the evaluators, not just their
+//! results: an accidental loss of memoization, a broken merge that
+//! re-fetches postings, or a driver that silently runs extra rounds all
+//! change these counts long before they change any query answer.
+//!
+//! The registry is thread-local and every `#[test]` runs on its own
+//! thread, so the pinned diffs are stable under parallel test execution.
+//! If an intentional algorithm change shifts a count, update the pinned
+//! value *after* confirming the delta is explained by the change.
+
+use approxql::crates::gen::{DataGenConfig, DataGenerator};
+use approxql::{Cost, CostModel, Database, Metric, MetricsSnapshot};
+
+/// The Figure 1/3 sound-storage catalog used throughout the paper.
+const CATALOG: &str = "<catalog>\
+    <cd><title>piano concerto</title><composer>rachmaninov</composer></cd>\
+    <cd><title>kinderszenen</title>\
+        <tracks><track><title>vivace piano</title></track></tracks></cd>\
+    </catalog>";
+
+/// The paper's Section 6 example costs (delete concerto=6, track=3, …).
+fn paper_costs() -> CostModel {
+    approxql::tables::paper_section6_costs()
+}
+
+fn diff_over(f: impl FnOnce()) -> MetricsSnapshot {
+    let before = approxql::metrics_snapshot();
+    f();
+    approxql::metrics_snapshot().diff(&before)
+}
+
+/// Asserts that exactly the listed counters are nonzero, with exactly the
+/// listed values. The full nonzero set is compared, so a new operation
+/// sneaking into the measured region fails the test too.
+fn assert_counts(diff: &MetricsSnapshot, expected: &[(Metric, u64)]) {
+    let got: Vec<(Metric, u64)> = diff.counters().filter(|&(_, v)| v != 0).collect();
+    let want: Vec<(Metric, u64)> = expected.to_vec();
+    assert_eq!(
+        got, want,
+        "\noperation counts changed;\n  got:  {got:?}\n  want: {want:?}"
+    );
+}
+
+#[test]
+fn direct_figure2_query_op_counts() {
+    let db = Database::from_xml_str(CATALOG, paper_costs()).unwrap();
+    let diff = diff_over(|| {
+        let hits = db
+            .query_direct(
+                r#"cd[track[title["piano" and "concerto"]] and composer["rachmaninov"]]"#,
+                None,
+            )
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].cost, Cost::finite(3));
+    });
+    assert_counts(
+        &diff,
+        &[
+            (Metric::IndexLabelFetches, 21),
+            (Metric::IndexPostingsFetched, 30),
+            (Metric::ListFetchOps, 21),
+            (Metric::ListShiftOps, 10),
+            (Metric::ListMergeOps, 15),
+            (Metric::ListJoinOps, 10),
+            (Metric::ListOuterjoinOps, 17),
+            (Metric::ListIntersectOps, 9),
+            (Metric::ListUnionOps, 10),
+            (Metric::ListSortOps, 1),
+            (Metric::ListEntriesProduced, 86),
+            (Metric::EvalDirectRuns, 1),
+            (Metric::EvalDirectFetches, 31),
+            (Metric::EvalMemoHits, 12),
+        ],
+    );
+}
+
+#[test]
+fn schema_figure2_query_op_counts() {
+    let db = Database::from_xml_str(CATALOG, paper_costs()).unwrap();
+    let diff = diff_over(|| {
+        let hits = db
+            .query_schema(
+                r#"cd[track[title["piano" and "concerto"]] and composer["rachmaninov"]]"#,
+                5,
+            )
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].cost, Cost::finite(3));
+    });
+    assert_counts(
+        &diff,
+        &[
+            (Metric::IndexLabelFetches, 64),
+            (Metric::IndexPostingsFetched, 85),
+            (Metric::IndexSecondaryFetches, 130),
+            (Metric::IndexSecondaryRows, 171),
+            (Metric::TopkOps, 279),
+            (Metric::TopkEntriesProduced, 657),
+            (Metric::EvalSchemaRuns, 3),
+            (Metric::EvalSchemaRounds, 3),
+            (Metric::EvalSecondLevelQueries, 32),
+            (Metric::EvalSecondaryRows, 16),
+        ],
+    );
+}
+
+#[test]
+fn direct_memoization_saves_work() {
+    // The same query with memoization off must do strictly more list work
+    // and report zero memo hits — pinned for both configurations.
+    let db = Database::from_xml_str(CATALOG, paper_costs()).unwrap();
+    let query = r#"cd[track[title["piano"]]]"#;
+    let opts_on = approxql::EvalOptions::default();
+    let opts_off = approxql::EvalOptions {
+        use_memo: false,
+        ..Default::default()
+    };
+    let with_memo = diff_over(|| {
+        db.query_direct_with(query, None, opts_on).unwrap();
+    });
+    let without_memo = diff_over(|| {
+        db.query_direct_with(query, None, opts_off).unwrap();
+    });
+    assert_counts(
+        &with_memo,
+        &[
+            (Metric::IndexLabelFetches, 9),
+            (Metric::IndexPostingsFetched, 18),
+            (Metric::ListFetchOps, 9),
+            (Metric::ListShiftOps, 7),
+            (Metric::ListMergeOps, 6),
+            (Metric::ListJoinOps, 7),
+            (Metric::ListOuterjoinOps, 6),
+            (Metric::ListUnionOps, 7),
+            (Metric::ListSortOps, 1),
+            (Metric::ListEntriesProduced, 51),
+            (Metric::EvalDirectRuns, 1),
+            (Metric::EvalDirectFetches, 12),
+            (Metric::EvalMemoHits, 8),
+        ],
+    );
+    assert_counts(
+        &without_memo,
+        &[
+            (Metric::IndexLabelFetches, 21),
+            (Metric::IndexPostingsFetched, 42),
+            (Metric::ListFetchOps, 21),
+            (Metric::ListShiftOps, 9),
+            (Metric::ListMergeOps, 8),
+            (Metric::ListJoinOps, 9),
+            (Metric::ListOuterjoinOps, 18),
+            (Metric::ListUnionOps, 9),
+            (Metric::ListSortOps, 1),
+            (Metric::ListEntriesProduced, 102),
+            (Metric::EvalDirectRuns, 1),
+            (Metric::EvalDirectFetches, 24),
+        ],
+    );
+    // Memoization halves the fetch count and roughly halves the entries.
+    assert!(with_memo.get(Metric::EvalDirectFetches) < without_memo.get(Metric::EvalDirectFetches));
+    assert!(
+        with_memo.get(Metric::ListEntriesProduced) < without_memo.get(Metric::ListEntriesProduced)
+    );
+}
+
+#[test]
+fn save_open_storage_op_counts() {
+    let dir = std::env::temp_dir().join(format!("axql-metrics-reg-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("db.axql");
+    let db = Database::from_xml_str(CATALOG, paper_costs()).unwrap();
+    let save_diff = diff_over(|| db.save(&path).unwrap());
+    let open_diff = diff_over(|| {
+        let db2 = Database::open(&path).unwrap();
+        assert_eq!(db2.tree().stats().node_count, db.tree().stats().node_count);
+    });
+    std::fs::remove_dir_all(&dir).unwrap();
+    assert_counts(
+        &save_diff,
+        &[
+            (Metric::PagerPageReads, 14),
+            (Metric::PagerPageWrites, 31),
+            (Metric::PagerPageAllocs, 16),
+            (Metric::PagerBackendWrites, 16),
+            (Metric::PagerFlushes, 1),
+            (Metric::BtreeInserts, 14),
+            (Metric::BtreeNodeReads, 14),
+        ],
+    );
+    assert_counts(
+        &open_diff,
+        &[
+            (Metric::PagerPageReads, 33),
+            (Metric::PagerCacheMisses, 16),
+            (Metric::BtreeGets, 2),
+            (Metric::BtreeNodeReads, 18),
+            (Metric::BtreeScanSteps, 14),
+            (Metric::IndexBytesDecoded, 384),
+        ],
+    );
+}
+
+#[test]
+fn generated_collection_op_counts() {
+    // A small deterministic synthetic collection (Section 8.1 generator,
+    // fixed seed): both evaluators' op counts pinned for one query.
+    let mut cfg = DataGenConfig::paper_scale_divided(1000); // 1,000 elements
+    cfg.seed = 42;
+    let costs = CostModel::new();
+    let tree = DataGenerator::new(cfg).generate_tree(&costs);
+    let db = Database::from_tree(tree, costs);
+    let query = r#"name001[name002 and "term1"]"#;
+    let mut direct_hits = Vec::new();
+    let mut schema_hits = Vec::new();
+    let direct_diff = diff_over(|| {
+        direct_hits = db.query_direct(query, Some(10)).unwrap();
+    });
+    let schema_diff = diff_over(|| {
+        schema_hits = db.query_schema(query, 10).unwrap();
+    });
+    let pairs =
+        |hits: &[approxql::QueryHit]| hits.iter().map(|h| (h.root, h.cost)).collect::<Vec<_>>();
+    assert_eq!(pairs(&direct_hits), pairs(&schema_hits));
+    assert_counts(
+        &direct_diff,
+        &[
+            (Metric::IndexLabelFetches, 3),
+            (Metric::IndexPostingsFetched, 405),
+            (Metric::ListFetchOps, 3),
+            (Metric::ListOuterjoinOps, 2),
+            (Metric::ListIntersectOps, 1),
+            (Metric::ListSortOps, 1),
+            (Metric::ListEntriesProduced, 407),
+            (Metric::EvalDirectRuns, 1),
+            (Metric::EvalDirectFetches, 3),
+        ],
+    );
+    assert_counts(
+        &schema_diff,
+        &[
+            (Metric::IndexLabelFetches, 7),
+            (Metric::IndexPostingsFetched, 155),
+            (Metric::IndexSecondaryFetches, 1),
+            (Metric::IndexSecondaryRows, 2),
+            (Metric::TopkOps, 14),
+            (Metric::TopkEntriesProduced, 208),
+            (Metric::EvalSchemaRuns, 2),
+            (Metric::EvalSchemaRounds, 2),
+        ],
+    );
+}
+
+#[test]
+fn repeated_runs_count_identically() {
+    // Evaluation is deterministic: the same query twice produces the
+    // identical diff (this is what makes the pinned tests meaningful).
+    let db = Database::from_xml_str(CATALOG, paper_costs()).unwrap();
+    let query = r#"cd[title["piano" and "concerto"]]"#;
+    let first = diff_over(|| {
+        db.query_direct(query, None).unwrap();
+        db.query_schema(query, 5).unwrap();
+    });
+    let second = diff_over(|| {
+        db.query_direct(query, None).unwrap();
+        db.query_schema(query, 5).unwrap();
+    });
+    let first_counts: Vec<(Metric, u64)> = first.counters().collect();
+    let second_counts: Vec<(Metric, u64)> = second.counters().collect();
+    assert_eq!(first_counts, second_counts);
+    assert!(!first.is_zero());
+}

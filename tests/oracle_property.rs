@@ -10,7 +10,10 @@ use approxql::crates::core::schema_eval::{best_n_schema, SchemaEvalConfig};
 use approxql::crates::core::{direct, EvalOptions};
 use approxql::crates::index::LabelIndex;
 use approxql::crates::schema::Schema;
-use approxql::{Cost, CostModel, CostModelBuilder, DataTree, DataTreeBuilder, NodeType, Query, ReferenceEvaluator};
+use approxql::{
+    Cost, CostModel, CostModelBuilder, DataTree, DataTreeBuilder, NodeType, Query,
+    ReferenceEvaluator,
+};
 use proptest::prelude::*;
 
 const NAMES: [&str; 5] = ["a", "b", "c", "d", "e"];
@@ -28,10 +31,7 @@ fn gen_tree_node(depth: u32) -> impl Strategy<Value = GenNode> {
         (0..NAMES.len()).prop_map(|n| GenNode::Struct(n, vec![])),
     ];
     leaf.prop_recursive(depth, 24, 3, |inner| {
-        (
-            0..NAMES.len(),
-            proptest::collection::vec(inner, 0..3),
-        )
+        (0..NAMES.len(), proptest::collection::vec(inner, 0..3))
             .prop_map(|(n, children)| GenNode::Struct(n, children))
     })
 }
@@ -85,18 +85,23 @@ fn gen_query_expr(depth: u32) -> impl Strategy<Value = GenQuery> {
     ];
     leaf.prop_recursive(depth, 12, 2, |inner| {
         prop_oneof![
-            (0..NAMES.len(), proptest::collection::vec(inner.clone(), 1..3))
+            (
+                0..NAMES.len(),
+                proptest::collection::vec(inner.clone(), 1..3)
+            )
                 .prop_map(|(n, cs)| GenQuery::Name(n, cs)),
             (inner.clone(), inner.clone())
                 .prop_map(|(l, r)| GenQuery::And(Box::new(l), Box::new(r))),
-            (inner.clone(), inner)
-                .prop_map(|(l, r)| GenQuery::Or(Box::new(l), Box::new(r))),
+            (inner.clone(), inner).prop_map(|(l, r)| GenQuery::Or(Box::new(l), Box::new(r))),
         ]
     })
 }
 
 fn gen_query() -> impl Strategy<Value = (usize, Vec<GenQuery>)> {
-    (0..NAMES.len(), proptest::collection::vec(gen_query_expr(2), 0..3))
+    (
+        0..NAMES.len(),
+        proptest::collection::vec(gen_query_expr(2), 0..3),
+    )
 }
 
 fn render_query(root: usize, children: &[GenQuery]) -> String {
@@ -254,5 +259,127 @@ proptest! {
         let costs_of = |v: &[(u32, Cost)]| v.iter().map(|&(_, c)| c).collect::<Vec<_>>();
         prop_assert_eq!(costs_of(&a), costs_of(&b), "k growth changed costs for {}", query_str);
         prop_assert_eq!(costs_of(&a), costs_of(&c), "k growth changed costs for {}", query_str);
+    }
+
+    /// Metrics invariants: counters are monotone (every later snapshot
+    /// dominates every earlier one), the diff of equal snapshots is zero,
+    /// and diffs over work regions obey `diff = later - earlier` exactly.
+    #[test]
+    fn metrics_snapshots_are_monotone_and_diffable(
+        docs in gen_data(),
+        (qroot, qchildren) in gen_query(),
+        cost_spec in gen_costs(),
+    ) {
+        let costs = build_costs(&cost_spec);
+        let tree = build_tree(&docs, &costs);
+        let query_str = render_query(qroot, &qchildren);
+        let query: Query = approxql::parse_query(&query_str).unwrap();
+        let expanded = approxql::ExpandedQuery::build(&query, &costs);
+        let index = LabelIndex::build(&tree);
+        let schema = Schema::build(&tree, &costs);
+
+        // Equal snapshots diff to zero (no work in between).
+        let s0 = approxql::metrics_snapshot();
+        let s0b = approxql::metrics_snapshot();
+        prop_assert!(s0b.diff(&s0).is_zero(), "idle region recorded operations");
+
+        // Snapshots taken across evaluation rounds are monotone.
+        let mut snaps = vec![s0];
+        for _ in 0..3 {
+            let _ = direct::best_n(&expanded, &index, tree.interner(), None, EvalOptions::default());
+            snaps.push(approxql::metrics_snapshot());
+            let _ = best_n_schema(&expanded, &schema, tree.interner(), 3,
+                EvalOptions::default(), SchemaEvalConfig::default());
+            snaps.push(approxql::metrics_snapshot());
+        }
+        for w in snaps.windows(2) {
+            prop_assert!(w[1].dominates(&w[0]), "counters regressed for {}", query_str);
+        }
+        // A snapshot diffed against itself is zero even after work.
+        let last = snaps.last().unwrap();
+        prop_assert!(last.diff(last).is_zero());
+        // diff is exact subtraction: first + (last - first) = last, checked
+        // counter by counter.
+        let delta = last.diff(&snaps[0]);
+        for (m, v) in last.counters() {
+            prop_assert_eq!(v, snaps[0].get(m) + delta.get(m), "counter {} drifted", m.name());
+        }
+    }
+
+    /// Whenever the two evaluators agree on a non-empty result, both must
+    /// have touched the label index: ≥1 fetch on each side of the
+    /// comparison (results cannot appear out of thin air).
+    #[test]
+    fn non_empty_results_imply_index_fetches(
+        docs in gen_data(),
+        (qroot, qchildren) in gen_query(),
+        cost_spec in gen_costs(),
+    ) {
+        let costs = build_costs(&cost_spec);
+        let tree = build_tree(&docs, &costs);
+        let query_str = render_query(qroot, &qchildren);
+        let query: Query = approxql::parse_query(&query_str).unwrap();
+        let expanded = approxql::ExpandedQuery::build(&query, &costs);
+        let index = LabelIndex::build(&tree);
+        let schema = Schema::build(&tree, &costs);
+
+        let before = approxql::metrics_snapshot();
+        let (direct_hits, _) = direct::best_n(
+            &expanded, &index, tree.interner(), None, EvalOptions::default());
+        let direct_diff = approxql::metrics_snapshot().diff(&before);
+
+        let before = approxql::metrics_snapshot();
+        let (schema_hits, _) = best_n_schema(
+            &expanded, &schema, tree.interner(), direct_hits.len().max(1),
+            EvalOptions::default(), SchemaEvalConfig::default());
+        let schema_diff = approxql::metrics_snapshot().diff(&before);
+
+        use approxql::Metric;
+        if !direct_hits.is_empty() {
+            prop_assert!(direct_diff.get(Metric::EvalDirectFetches) >= 1,
+                "direct produced {} hits with no fetch for {}", direct_hits.len(), query_str);
+            prop_assert!(direct_diff.get(Metric::ListEntriesProduced) >= direct_hits.len() as u64,
+                "fewer entries than results for {}", query_str);
+        }
+        if !schema_hits.is_empty() {
+            prop_assert!(schema_diff.get(Metric::IndexLabelFetches) >= 1,
+                "schema produced {} hits with no fetch for {}", schema_hits.len(), query_str);
+            prop_assert!(schema_diff.get(Metric::EvalSecondLevelQueries) >= 1,
+                "schema hits without second-level queries for {}", query_str);
+        }
+    }
+
+    /// The incremental driver's round counter matches its reported stats,
+    /// and counter diffs across rounds are monotone in k: re-running with
+    /// a larger fixed k never does *less* top-k work.
+    #[test]
+    fn schema_round_counters_match_stats(
+        docs in gen_data(),
+        (qroot, qchildren) in gen_query(),
+        cost_spec in gen_costs(),
+    ) {
+        let costs = build_costs(&cost_spec);
+        let tree = build_tree(&docs, &costs);
+        let query_str = render_query(qroot, &qchildren);
+        let query: Query = approxql::parse_query(&query_str).unwrap();
+        let expanded = approxql::ExpandedQuery::build(&query, &costs);
+        let schema = Schema::build(&tree, &costs);
+
+        use approxql::Metric;
+        let before = approxql::metrics_snapshot();
+        let (_, stats) = best_n_schema(
+            &expanded, &schema, tree.interner(), 4,
+            EvalOptions::default(),
+            SchemaEvalConfig { initial_k: Some(1), delta: Some(2), ..Default::default() });
+        let diff = approxql::metrics_snapshot().diff(&before);
+        prop_assert_eq!(diff.get(Metric::EvalSchemaRounds), stats.rounds as u64,
+            "round counter disagrees with EvalStats for {}", query_str);
+        prop_assert_eq!(diff.get(Metric::EvalSecondLevelQueries),
+            stats.second_level_queries as u64,
+            "second-level counter disagrees with EvalStats for {}", query_str);
+        prop_assert_eq!(diff.get(Metric::EvalSecondaryRows), stats.secondary_rows as u64,
+            "secondary-row counter disagrees with EvalStats for {}", query_str);
+        prop_assert_eq!(diff.get(Metric::EvalSchemaRuns), stats.rounds as u64,
+            "every round is exactly one adapted-primary run for {}", query_str);
     }
 }
