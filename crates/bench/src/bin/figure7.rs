@@ -5,12 +5,16 @@
 //! ```text
 //! figure7 [--scale DIV] [--full] [--pattern 1|2|3] [--queries N]
 //!         [--renamings R[,R...]] [--ns N[,N...][,all]] [--seed S]
+//!         [--threads N]
 //! ```
 //!
 //! The default scale is 1/10 of the paper (100,000 elements, 1,000,000
 //! word occurrences); `--full` runs the paper's 1,000,000-element series.
 //! Output is a TSV table; each row is the mean over the query set
-//! (default 10 queries, like the paper).
+//! (default 10 queries, like the paper). `--threads` (default: available
+//! parallelism, or `APPROXQL_THREADS`) fans the repeated queries of each
+//! cell out over a worker pool — means and work columns are identical to
+//! `--threads 1`; only the harness wall-clock changes.
 
 use approxql_bench::{
     build_collection, make_queries, time_direct, time_schema, Measurement, WorkCounts, PATTERNS,
@@ -24,12 +28,13 @@ struct Args {
     renamings: Vec<usize>,
     ns: Vec<Option<usize>>,
     seed: u64,
+    threads: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: figure7 [--scale DIV] [--full] [--pattern 1|2|3] [--queries N] \
-         [--renamings R,R,...] [--ns N,...,all] [--seed S]"
+         [--renamings R,R,...] [--ns N,...,all] [--seed S] [--threads N]"
     );
     std::process::exit(2)
 }
@@ -42,6 +47,7 @@ fn parse_args() -> Args {
         renamings: RENAMINGS.to_vec(),
         ns: vec![Some(1), Some(10), Some(100), Some(1000), None],
         seed: 2002,
+        threads: approxql_exec::default_threads(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -76,6 +82,12 @@ fn parse_args() -> Args {
                     .collect();
             }
             "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--threads" => {
+                args.threads = val().parse().unwrap_or_else(|_| usage());
+                if args.threads == 0 {
+                    usage();
+                }
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -116,8 +128,10 @@ fn main() {
         sstats.max_instances
     );
 
+    eprintln!("# measuring with {} worker thread(s)", args.threads);
+    let measure_start = std::time::Instant::now();
     println!(
-        "pattern\trenamings\tn\talgorithm\tmean_ms\tmean_results\t{}",
+        "pattern\trenamings\tn\talgorithm\tthreads\tmean_ms\tmean_results\t{}",
         WorkCounts::tsv_header()
     );
     let mut rows: Vec<Measurement> = Vec::new();
@@ -126,8 +140,10 @@ fn main() {
         for &r in &args.renamings {
             let queries = make_queries(&col, pattern, r, args.queries, args.seed + r as u64);
             for &n in &args.ns {
-                let (direct_ms, direct_res, direct_work) = time_direct(&col, &queries, n);
-                let (schema_ms, schema_res, schema_work) = time_schema(&col, &queries, n);
+                let (direct_ms, direct_res, direct_work) =
+                    time_direct(&col, &queries, n, args.threads);
+                let (schema_ms, schema_res, schema_work) =
+                    time_schema(&col, &queries, n, args.threads);
                 for (alg, ms, res, work) in [
                     ("direct", direct_ms, direct_res, direct_work),
                     ("schema", schema_ms, schema_res, schema_work),
@@ -137,16 +153,18 @@ fn main() {
                         renamings: r,
                         n,
                         algorithm: alg,
+                        threads: args.threads,
                         mean_ms: ms,
                         mean_results: res,
                         work,
                     };
                     println!(
-                        "{}\t{}\t{}\t{}\t{:.3}\t{:.1}\t{}",
+                        "{}\t{}\t{}\t{}\t{}\t{:.3}\t{:.1}\t{}",
                         m.pattern,
                         m.renamings,
                         fmt_n(m.n),
                         m.algorithm,
+                        m.threads,
                         m.mean_ms,
                         m.mean_results,
                         m.work.to_tsv_fields()
@@ -156,6 +174,12 @@ fn main() {
             }
         }
     }
+    eprintln!(
+        "# measured {} cells in {:.1?} wall-clock with {} thread(s)",
+        rows.len(),
+        measure_start.elapsed(),
+        args.threads
+    );
 
     // Shape summary (the paper's qualitative claims).
     eprintln!("#\n# shape summary (schema wins = schema faster than direct):");

@@ -16,6 +16,7 @@ use approxql_core::direct;
 use approxql_core::schema_eval::{self, SchemaEvalConfig};
 use approxql_core::EvalOptions;
 use approxql_cost::CostModel;
+use approxql_exec::Executor;
 use approxql_gen::{
     DataGenConfig, DataGenerator, GeneratedQuery, QueryGenConfig, QueryGenerator, PATTERN_1,
     PATTERN_2, PATTERN_3,
@@ -76,6 +77,8 @@ pub struct Measurement {
     pub n: Option<usize>,
     /// `"direct"` or `"schema"`.
     pub algorithm: &'static str,
+    /// Worker threads the cell was measured with (1 = sequential).
+    pub threads: usize,
     /// Mean evaluation time per query in milliseconds.
     pub mean_ms: f64,
     /// Mean number of results actually returned.
@@ -160,26 +163,39 @@ pub fn compile(gq: &GeneratedQuery) -> ExpandedQuery {
 }
 
 /// Times the direct evaluation of `queries` for a given `n`.
+///
+/// `threads > 1` distributes whole queries over a worker pool
+/// (coarse-grained: each query still evaluates sequentially inside its
+/// job), so per-query means stay comparable to a sequential run and the
+/// merged work counters are identical — only the harness wall-clock drops.
 pub fn time_direct(
     col: &Collection,
     queries: &[(GeneratedQuery, ExpandedQuery)],
     n: Option<usize>,
+    threads: usize,
 ) -> (f64, f64, WorkCounts) {
-    let opts = EvalOptions::default();
+    let opts = EvalOptions {
+        threads: 1,
+        ..EvalOptions::default()
+    };
     // Warm up caches so the first query is not measured cold.
     if let Some((_, ex)) = queries.first() {
         let _ = direct::best_n(ex, &col.labels, col.tree.interner(), n, opts);
     }
     let baseline = approxql_metrics::snapshot();
-    let mut total_ms = 0.0;
-    let mut total_results = 0usize;
-    for (_, ex) in queries {
-        let start = Instant::now();
-        let (hits, _) = direct::best_n(ex, &col.labels, col.tree.interner(), n, opts);
-        total_ms += start.elapsed().as_secs_f64() * 1e3;
-        total_results += hits.len();
-    }
+    let timed = Executor::new(threads).scope(|scope| {
+        scope.map(
+            queries.iter().collect(),
+            move |(_, ex): &(GeneratedQuery, ExpandedQuery)| {
+                let start = Instant::now();
+                let (hits, _) = direct::best_n(ex, &col.labels, col.tree.interner(), n, opts);
+                (start.elapsed().as_secs_f64() * 1e3, hits.len())
+            },
+        )
+    });
     let work = approxql_metrics::snapshot().diff(&baseline);
+    let total_ms: f64 = timed.iter().map(|&(ms, _)| ms).sum();
+    let total_results: usize = timed.iter().map(|&(_, r)| r).sum();
     (
         total_ms / queries.len() as f64,
         total_results as f64 / queries.len() as f64,
@@ -196,22 +212,24 @@ pub fn time_schema(
     col: &Collection,
     queries: &[(GeneratedQuery, ExpandedQuery)],
     n: Option<usize>,
+    threads: usize,
 ) -> (f64, f64, WorkCounts) {
-    let totals: Vec<usize> = queries
-        .iter()
-        .map(|(_, ex)| {
-            direct::best_n(
-                ex,
-                &col.labels,
-                col.tree.interner(),
-                None,
-                EvalOptions::default(),
-            )
-            .0
-            .len()
-        })
-        .collect();
-    let opts = EvalOptions::default();
+    let opts = EvalOptions {
+        threads: 1,
+        ..EvalOptions::default()
+    };
+    // The per-query totals (for the n = ∞ points) are themselves direct
+    // evaluations — spread them over the pool too.
+    let totals: Vec<usize> = Executor::new(threads).scope(|scope| {
+        scope.map(
+            queries.iter().collect(),
+            move |(_, ex): &(GeneratedQuery, ExpandedQuery)| {
+                direct::best_n(ex, &col.labels, col.tree.interner(), None, opts)
+                    .0
+                    .len()
+            },
+        )
+    });
     // Warm up caches so the first query is not measured cold.
     if let Some((_, ex)) = queries.first() {
         let _ = schema_eval::best_n_schema(
@@ -224,28 +242,40 @@ pub fn time_schema(
         );
     }
     let baseline = approxql_metrics::snapshot();
-    let mut total_ms = 0.0;
-    let mut total_results = 0usize;
-    for (i, (_, ex)) in queries.iter().enumerate() {
-        let (want, cfg) = match n {
-            Some(n) => (n, SchemaEvalConfig::default()),
-            // "all results": ask for the known total and allow the driver
-            // to enumerate however many second-level queries that takes.
-            None => (
-                totals[i].max(1),
-                SchemaEvalConfig {
-                    max_k: 1 << 26,
-                    ..SchemaEvalConfig::default()
-                },
-            ),
-        };
-        let start = Instant::now();
-        let (hits, _) =
-            schema_eval::best_n_schema(ex, &col.schema, col.tree.interner(), want, opts, cfg);
-        total_ms += start.elapsed().as_secs_f64() * 1e3;
-        total_results += hits.len();
-    }
+    let totals = &totals;
+    let timed = Executor::new(threads).scope(|scope| {
+        scope.map(
+            queries.iter().enumerate().collect(),
+            move |(i, (_, ex)): (usize, &(GeneratedQuery, ExpandedQuery))| {
+                let (want, cfg) = match n {
+                    Some(n) => (n, SchemaEvalConfig::default()),
+                    // "all results": ask for the known total and allow the
+                    // driver to enumerate however many second-level
+                    // queries that takes.
+                    None => (
+                        totals[i].max(1),
+                        SchemaEvalConfig {
+                            max_k: 1 << 26,
+                            ..SchemaEvalConfig::default()
+                        },
+                    ),
+                };
+                let start = Instant::now();
+                let (hits, _) = schema_eval::best_n_schema(
+                    ex,
+                    &col.schema,
+                    col.tree.interner(),
+                    want,
+                    opts,
+                    cfg,
+                );
+                (start.elapsed().as_secs_f64() * 1e3, hits.len())
+            },
+        )
+    });
     let work = approxql_metrics::snapshot().diff(&baseline);
+    let total_ms: f64 = timed.iter().map(|&(ms, _)| ms).sum();
+    let total_results: usize = timed.iter().map(|&(_, r)| r).sum();
     (
         total_ms / queries.len() as f64,
         total_results as f64 / queries.len() as f64,
@@ -284,8 +314,8 @@ mod tests {
     fn harness_runs_one_cell() {
         let col = build_collection(1000, 1); // 1,000 elements
         let queries = make_queries(&col, PATTERN_1, 0, 2, 7);
-        let (direct_ms, direct_results, direct_work) = time_direct(&col, &queries, Some(10));
-        let (schema_ms, schema_results, schema_work) = time_schema(&col, &queries, Some(10));
+        let (direct_ms, direct_results, direct_work) = time_direct(&col, &queries, Some(10), 1);
+        let (schema_ms, schema_results, schema_work) = time_schema(&col, &queries, Some(10), 1);
         assert!(direct_ms >= 0.0 && schema_ms >= 0.0);
         // Both algorithms agree on the number of results for small n.
         assert_eq!(direct_results, schema_results);
@@ -296,6 +326,22 @@ mod tests {
         assert_eq!(direct_work.second_level_queries, 0.0);
         assert!(schema_work.topk_ops > 0.0 && schema_work.second_level_queries > 0.0);
         assert!(schema_work.rounds >= 1.0);
+    }
+
+    #[test]
+    fn parallel_harness_matches_sequential() {
+        let col = build_collection(1000, 1); // 1,000 elements
+        let queries = make_queries(&col, PATTERN_2, 5, 4, 9);
+        let (_, seq_results, seq_work) = time_direct(&col, &queries, Some(10), 1);
+        let (_, par_results, par_work) = time_direct(&col, &queries, Some(10), 4);
+        assert_eq!(seq_results, par_results);
+        // Coarse-grained parallelism merges every worker's counters into
+        // the harness thread: the work columns must be *exactly* equal.
+        assert_eq!(seq_work, par_work);
+        let (_, s_seq, w_seq) = time_schema(&col, &queries, Some(10), 1);
+        let (_, s_par, w_par) = time_schema(&col, &queries, Some(10), 4);
+        assert_eq!(s_seq, s_par);
+        assert_eq!(w_seq, w_par);
     }
 
     #[test]

@@ -15,10 +15,11 @@ usage:
       parse XML documents into a persistent approXQL database
 
   approxql query   <db.axql> <QUERY> [-n N] [--direct|--schema]
-                   [--costs FILE] [--xml] [--stats] [--stats-json]
+                   [--costs FILE] [--threads N] [--xml] [--stats] [--stats-json]
       run an approximate query; results are ranked by transformation cost
       (--stats prints per-layer operation counters to stderr,
-       --stats-json the same as one JSON object)
+       --stats-json the same as one JSON object; --threads defaults to the
+       available parallelism and 1 reproduces the sequential path exactly)
 
   approxql stats   <db.axql>
       print collection, index, and schema statistics
@@ -82,6 +83,7 @@ const VALUE_OPTIONS: &[&str] = &[
     "-n",
     "-k",
     "--costs",
+    "--threads",
     "--elements",
     "--names",
     "--terms",
@@ -220,6 +222,16 @@ fn cmd_query(flags: &Flags) -> Result<(), CliError> {
         return Err(usage("--direct and --schema are mutually exclusive"));
     }
     let use_direct = flags.switch("--direct");
+    let threads: usize = flags
+        .option_parsed("--threads")?
+        .unwrap_or_else(approxql_exec::default_threads);
+    if threads == 0 {
+        return Err(usage("--threads must be at least 1"));
+    }
+    let opts = EvalOptions {
+        threads,
+        ..Default::default()
+    };
 
     let mut db = Database::open(db_path)?;
     if let Some(costs_path) = flags.option("--costs") {
@@ -233,7 +245,7 @@ fn cmd_query(flags: &Flags) -> Result<(), CliError> {
     // covers exactly this query's evaluation.
     let before = approxql_metrics::snapshot();
     if use_direct {
-        let (hits, stats) = db.query_direct_with(query, Some(n), EvalOptions::default())?;
+        let (hits, stats) = db.query_direct_with(query, Some(n), opts)?;
         for (rank, hit) in hits.iter().enumerate() {
             print_hit(&db, rank, *hit, as_xml)?;
         }
@@ -244,12 +256,7 @@ fn cmd_query(flags: &Flags) -> Result<(), CliError> {
             );
         }
     } else {
-        let (hits, stats) = db.query_schema_with(
-            query,
-            n,
-            EvalOptions::default(),
-            SchemaEvalConfig::default(),
-        )?;
+        let (hits, stats) = db.query_schema_with(query, n, opts, SchemaEvalConfig::default())?;
         for (rank, hit) in hits.iter().enumerate() {
             print_hit(&db, rank, *hit, as_xml)?;
         }
@@ -464,6 +471,28 @@ mod tests {
         ])
         .unwrap();
         run_words(&["explain", db.to_str().unwrap(), r#"cd[title["piano"]]"#]).unwrap();
+        // Both evaluators accept an explicit thread count.
+        for algo in ["--direct", "--schema"] {
+            run_words(&[
+                "query",
+                db.to_str().unwrap(),
+                r#"cd[title["piano"]]"#,
+                algo,
+                "--threads",
+                "2",
+            ])
+            .unwrap();
+        }
+        assert!(matches!(
+            run_words(&[
+                "query",
+                db.to_str().unwrap(),
+                r#"cd[title["piano"]]"#,
+                "--threads",
+                "0",
+            ]),
+            Err(CliError::Usage(_))
+        ));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -13,12 +13,13 @@
 //!   applied as a *post-shift* so it does not fragment the memo key.
 
 use crate::list::{self, List};
+use approxql_exec::{Executor, OnceMap, Scope};
 use approxql_index::LabelIndex;
 use approxql_metrics::{time, Metric, TimerMetric};
 use approxql_query::expand::{ExpandedNode, ExpandedQuery};
 use approxql_tree::{Cost, Interner, LabelId, NodeType};
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Evaluation options shared by the direct and schema-driven algorithms.
 #[derive(Debug, Clone, Copy)]
@@ -32,6 +33,11 @@ pub struct EvalOptions {
     /// Use the literal O(s·l)-style join formulation instead of the
     /// fold-on-pop structural merge (ablation). Default `false`.
     pub use_paper_joins: bool,
+    /// Worker threads for the evaluation. 1 (the default, unless the
+    /// `APPROXQL_THREADS` environment variable overrides it) runs the
+    /// sequential path; `N > 1` fans independent subtree evaluations out
+    /// over a work-stealing pool with identical results and counters.
+    pub threads: usize,
 }
 
 impl Default for EvalOptions {
@@ -40,6 +46,7 @@ impl Default for EvalOptions {
             enforce_leaf_match: true,
             use_memo: true,
             use_paper_joins: false,
+            threads: approxql_exec::threads_from_env().unwrap_or(1),
         }
     }
 }
@@ -68,32 +75,33 @@ struct Evaluator<'a> {
     index: &'a LabelIndex,
     interner: &'a Interner,
     opts: EvalOptions,
-    memo: HashMap<(usize, u64), Rc<LRef>>,
+    memo: OnceMap<(usize, u64), Arc<LRef>>,
     /// Fetched candidate lists per `(type, label, is_leaf)`. Sharing the
     /// list identity is what makes the `(query node, ancestor list)` memo
-    /// effective: both branches of a deletion `or` see the same lists.
-    fetch_cache: HashMap<(NodeType, String, bool), Rc<LRef>>,
-    next_id: u64,
-    stats: DirectStats,
+    /// effective: both branches of a deletion `or` see the same lists —
+    /// and repeated renaming occurrences of the same label fetch once.
+    fetch_cache: OnceMap<(NodeType, String, bool), Arc<LRef>>,
+    next_id: AtomicU64,
+    fetches: AtomicUsize,
+    list_entries: AtomicUsize,
+    ops: AtomicUsize,
+    memo_hits: AtomicUsize,
 }
 
 impl<'a> Evaluator<'a> {
-    fn wrap(&mut self, list: List) -> Rc<LRef> {
-        self.next_id += 1;
-        self.stats.list_entries += list.len();
-        self.stats.ops += 1;
-        Rc::new(LRef {
-            id: self.next_id,
-            list,
-        })
+    fn wrap(&self, list: List) -> Arc<LRef> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.list_entries.fetch_add(list.len(), Ordering::Relaxed);
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        Arc::new(LRef { id, list })
     }
 
     fn lookup(&self, label: &str) -> Option<LabelId> {
         self.interner.get(label)
     }
 
-    fn fetch(&mut self, label: &str, ty: NodeType, is_leaf: bool) -> List {
-        self.stats.fetches += 1;
+    fn fetch(&self, label: &str, ty: NodeType, is_leaf: bool) -> List {
+        self.fetches.fetch_add(1, Ordering::Relaxed);
         Metric::EvalDirectFetches.incr();
         match self.lookup(label) {
             Some(id) => list::fetch(self.index, ty, id, is_leaf),
@@ -101,31 +109,32 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// Fetches with a stable list identity (see `fetch_cache`).
-    fn fetch_cached(&mut self, label: &str, ty: NodeType, is_leaf: bool) -> Rc<LRef> {
+    /// Fetches with a stable list identity (see `fetch_cache`). Each
+    /// `(type, label, is_leaf)` posting is fetched from the index exactly
+    /// once per evaluation, at any thread count.
+    fn fetch_cached(&self, label: &str, ty: NodeType, is_leaf: bool) -> Arc<LRef> {
         let key = (ty, label.to_owned(), is_leaf);
-        if let Some(hit) = self.fetch_cache.get(&key) {
-            return Rc::clone(hit);
-        }
-        let list = self.fetch(label, ty, is_leaf);
-        let wrapped = self.wrap(list);
-        self.fetch_cache.insert(key, Rc::clone(&wrapped));
+        let (wrapped, _hit) = self
+            .fetch_cache
+            .get_or_compute(key, || self.wrap(self.fetch(label, ty, is_leaf)));
         wrapped
     }
 
     /// The leaf/node candidate list: the original label's posting merged
-    /// with all renamed labels' postings (rename costs applied).
+    /// with all renamed labels' postings (rename costs applied). Goes
+    /// through the fetch memo, so a label that occurs in several renaming
+    /// sets (or as both an original and a renaming) is fetched once.
     fn fetch_with_renamings(
-        &mut self,
+        &self,
         label: &str,
         ty: NodeType,
         renamings: &[(String, Cost)],
         is_leaf: bool,
     ) -> List {
-        let mut l = self.fetch(label, ty, is_leaf);
+        let mut l = self.fetch_cached(label, ty, is_leaf).list.clone();
         for (ren, c_ren) in renamings {
-            let lt = self.fetch(ren, ty, is_leaf);
-            l = list::merge(&l, &lt, *c_ren);
+            let lt = self.fetch_cached(ren, ty, is_leaf);
+            l = list::merge(&l, &lt.list, *c_ren);
         }
         l
     }
@@ -146,19 +155,63 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    /// Evaluates the child subtree below every ancestor candidate list in
+    /// `ancs` (the original label's plus one per renaming) — in parallel
+    /// when the scope has workers — and merges the results in renaming
+    /// order, which keeps the outcome deterministic.
+    fn eval_under_renamings<'s>(
+        &'s self,
+        child: usize,
+        ancs: Vec<Arc<LRef>>,
+        renamings: &[(String, Cost)],
+        scope: &Scope<'s>,
+    ) -> List {
+        let sc = scope.clone();
+        let evals = scope.map(ancs, move |a: Arc<LRef>| self.eval(child, &a, &sc));
+        let mut res = evals[0].list.clone();
+        for ((_, c_ren), lt_res) in renamings.iter().zip(&evals[1..]) {
+            res = list::merge(&res, &lt_res.list, *c_ren);
+        }
+        res
+    }
+
+    /// The ancestor candidate lists for a `Node`: the original label's
+    /// posting followed by each renaming's, all identity-shared.
+    fn ancestor_lists(
+        &self,
+        label: &str,
+        ty: NodeType,
+        renamings: &[(String, Cost)],
+    ) -> Vec<Arc<LRef>> {
+        let mut ancs = Vec::with_capacity(1 + renamings.len());
+        ancs.push(self.fetch_cached(label, ty, false));
+        for (ren, _) in renamings {
+            ancs.push(self.fetch_cached(ren, ty, false));
+        }
+        ancs
+    }
+
     /// Evaluates query node `u` against ancestor candidates `anc`,
     /// returning a list over (copies of) the ancestors whose costs are the
     /// best embedding costs of `u`'s subtree below each ancestor. Edge
     /// costs are *not* applied here — callers shift afterwards, keeping
     /// the memo key independent of the incoming edge.
-    fn eval(&mut self, u: usize, anc: &Rc<LRef>) -> Rc<LRef> {
+    fn eval<'s>(&'s self, u: usize, anc: &Arc<LRef>, scope: &Scope<'s>) -> Arc<LRef> {
         if self.opts.use_memo {
-            if let Some(hit) = self.memo.get(&(u, anc.id)) {
-                self.stats.memo_hits += 1;
+            let (wrapped, hit) = self
+                .memo
+                .get_or_compute((u, anc.id), || self.eval_uncached(u, anc, scope));
+            if hit {
+                self.memo_hits.fetch_add(1, Ordering::Relaxed);
                 Metric::EvalMemoHits.incr();
-                return Rc::clone(hit);
             }
+            wrapped
+        } else {
+            self.eval_uncached(u, anc, scope)
         }
+    }
+
+    fn eval_uncached<'s>(&'s self, u: usize, anc: &Arc<LRef>, scope: &Scope<'s>) -> Arc<LRef> {
         let result = match &self.ex.nodes[u] {
             ExpandedNode::Leaf {
                 label,
@@ -175,44 +228,32 @@ impl<'a> Evaluator<'a> {
                 renamings,
                 child,
             } => {
-                let child = *child;
-                let la = self.fetch_cached(label, *ty, false);
-                let mut res = self.eval(child, &la).list.clone();
-                for (ren, c_ren) in renamings.clone() {
-                    let lt = self.fetch_cached(&ren, *ty, false);
-                    let lt_res = self.eval(child, &lt);
-                    res = list::merge(&res, &lt_res.list, c_ren);
-                }
+                let ancs = self.ancestor_lists(label, *ty, renamings);
+                let res = self.eval_under_renamings(*child, ancs, renamings, scope);
                 self.join(&anc.list, &res)
             }
             ExpandedNode::And { left, right } => {
-                let (left, right) = (*left, *right);
-                let ll = self.eval(left, anc);
-                let lr = self.eval(right, anc);
-                list::intersect(&ll.list, &lr.list, Cost::ZERO)
+                let (sc, anc2) = (scope.clone(), Arc::clone(anc));
+                let evals = scope.map(vec![*left, *right], move |v| self.eval(v, &anc2, &sc));
+                list::intersect(&evals[0].list, &evals[1].list, Cost::ZERO)
             }
             ExpandedNode::Or {
                 left,
                 right,
                 edgecost,
             } => {
-                let (left, right, edgecost) = (*left, *right, *edgecost);
-                let ll = self.eval(left, anc);
-                let lr = self.eval(right, anc);
-                let shifted = list::shift(lr.list.clone(), edgecost);
-                list::union(&ll.list, &shifted, Cost::ZERO)
+                let (sc, anc2) = (scope.clone(), Arc::clone(anc));
+                let evals = scope.map(vec![*left, *right], move |v| self.eval(v, &anc2, &sc));
+                let shifted = list::shift(evals[1].list.clone(), *edgecost);
+                list::union(&evals[0].list, &shifted, Cost::ZERO)
             }
         };
-        let wrapped = self.wrap(result);
-        if self.opts.use_memo {
-            self.memo.insert((u, anc.id), Rc::clone(&wrapped));
-        }
-        wrapped
+        self.wrap(result)
     }
 
     /// Top-level evaluation: the root is never joined with an ancestor
     /// list (Figure 4's "if u has no parent then return L_D").
-    fn eval_root(&mut self) -> List {
+    fn eval_root<'s>(&'s self, scope: &Scope<'s>) -> List {
         match &self.ex.nodes[self.ex.root] {
             ExpandedNode::Leaf {
                 label,
@@ -222,7 +263,7 @@ impl<'a> Evaluator<'a> {
             } => {
                 // A bare-selector query: candidates with zero cost (plus
                 // rename costs); the root leaf is never deletable.
-                self.fetch_with_renamings(label, *ty, &renamings.clone(), true)
+                self.fetch_with_renamings(label, *ty, renamings, true)
             }
             ExpandedNode::Node {
                 label,
@@ -230,17 +271,19 @@ impl<'a> Evaluator<'a> {
                 renamings,
                 child,
             } => {
-                let child = *child;
-                let la = self.fetch_cached(label, *ty, false);
-                let mut res = self.eval(child, &la).list.clone();
-                for (ren, c_ren) in renamings.clone() {
-                    let lt = self.fetch_cached(&ren, *ty, false);
-                    let lt_res = self.eval(child, &lt);
-                    res = list::merge(&res, &lt_res.list, c_ren);
-                }
-                res
+                let ancs = self.ancestor_lists(label, *ty, renamings);
+                self.eval_under_renamings(*child, ancs, renamings, scope)
             }
             other => unreachable!("query root must be a selector, got {other:?}"),
+        }
+    }
+
+    fn stats(&self) -> DirectStats {
+        DirectStats {
+            fetches: self.fetches.load(Ordering::Relaxed),
+            list_entries: self.list_entries.load(Ordering::Relaxed),
+            ops: self.ops.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -255,19 +298,22 @@ pub fn evaluate(
 ) -> (List, DirectStats) {
     Metric::EvalDirectRuns.incr();
     let _timer = time(TimerMetric::EvalDirect);
-    let mut ev = Evaluator {
+    let ev = Evaluator {
         ex: expanded,
         index,
         interner,
         opts,
-        memo: HashMap::new(),
-        fetch_cache: HashMap::new(),
-        next_id: 0,
-        stats: DirectStats::default(),
+        memo: OnceMap::new(),
+        fetch_cache: OnceMap::new(),
+        next_id: AtomicU64::new(0),
+        fetches: AtomicUsize::new(0),
+        list_entries: AtomicUsize::new(0),
+        ops: AtomicUsize::new(0),
+        memo_hits: AtomicUsize::new(0),
     };
-    let result = ev.eval_root();
-    ev.stats.list_entries += result.len();
-    (result, ev.stats)
+    let result = Executor::new(opts.threads).scope(|scope| ev.eval_root(scope));
+    ev.list_entries.fetch_add(result.len(), Ordering::Relaxed);
+    (result, ev.stats())
 }
 
 /// The best-n-pairs problem (Definition 12) by direct evaluation: find all

@@ -15,13 +15,14 @@
 use crate::direct::EvalOptions;
 use crate::secondary;
 use crate::topk::{self, KEntry, KList};
-use approxql_index::LabelIndex;
-use approxql_metrics::{time, Metric, TimerMetric};
+use approxql_exec::Executor;
+use approxql_index::{InstancePosting, LabelIndex};
+use approxql_metrics::{time, Metric, MetricsSnapshot, TimerMetric};
 use approxql_query::expand::{ExpandedNode, ExpandedQuery};
 use approxql_schema::Schema;
 use approxql_tree::{Cost, Interner, NodeType};
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Tuning knobs of the incremental driver.
 #[derive(Debug, Clone, Copy)]
@@ -87,10 +88,10 @@ struct KEvaluator<'a> {
     index: &'a LabelIndex,
     interner: &'a Interner,
     k: usize,
-    memo: HashMap<(usize, u64), Rc<KLRef>>,
+    memo: HashMap<(usize, u64), Arc<KLRef>>,
     /// Fetched lists per (type, label): stable identities make the
     /// (query node, ancestor list) memo effective across deletion bridges.
-    fetch_cache: HashMap<(NodeType, String), Rc<KLRef>>,
+    fetch_cache: HashMap<(NodeType, String), Arc<KLRef>>,
     next_id: u64,
     entries: usize,
     fetches: usize,
@@ -101,13 +102,13 @@ struct KEvaluator<'a> {
 }
 
 impl<'a> KEvaluator<'a> {
-    fn wrap(&mut self, list: KList) -> Rc<KLRef> {
+    fn wrap(&mut self, list: KList) -> Arc<KLRef> {
         self.next_id += 1;
         self.entries += list.len();
         if !self.possibly_capped {
             self.possibly_capped = topk::segments(&list).any(|s| s.len() >= self.k);
         }
-        Rc::new(KLRef {
+        Arc::new(KLRef {
             id: self.next_id,
             list,
         })
@@ -121,14 +122,14 @@ impl<'a> KEvaluator<'a> {
         }
     }
 
-    fn fetch_cached(&mut self, label: &str, ty: NodeType) -> Rc<KLRef> {
+    fn fetch_cached(&mut self, label: &str, ty: NodeType) -> Arc<KLRef> {
         let key = (ty, label.to_owned());
         if let Some(hit) = self.fetch_cache.get(&key) {
-            return Rc::clone(hit);
+            return Arc::clone(hit);
         }
         let list = self.fetch(label, ty, false);
         let wrapped = self.wrap(list);
-        self.fetch_cache.insert(key, Rc::clone(&wrapped));
+        self.fetch_cache.insert(key, Arc::clone(&wrapped));
         wrapped
     }
 
@@ -147,9 +148,9 @@ impl<'a> KEvaluator<'a> {
         l
     }
 
-    fn eval(&mut self, u: usize, anc: &Rc<KLRef>) -> Rc<KLRef> {
+    fn eval(&mut self, u: usize, anc: &Arc<KLRef>) -> Arc<KLRef> {
         if let Some(hit) = self.memo.get(&(u, anc.id)) {
-            return Rc::clone(hit);
+            return Arc::clone(hit);
         }
         let result = match &self.ex.nodes[u] {
             ExpandedNode::Leaf {
@@ -196,7 +197,7 @@ impl<'a> KEvaluator<'a> {
             }
         };
         let wrapped = self.wrap(result);
-        self.memo.insert((u, anc.id), Rc::clone(&wrapped));
+        self.memo.insert((u, anc.id), Arc::clone(&wrapped));
         wrapped
     }
 
@@ -352,6 +353,13 @@ pub struct ResultStream<'a> {
     executed: HashSet<Vec<u32>>,
     seen_roots: HashSet<u32>,
     pending: std::collections::VecDeque<(u32, Cost)>,
+    /// At `threads > 1`: speculatively executed secondary results for the
+    /// remaining entries of the current batch, front-aligned with `pos`.
+    /// Each carries the metrics delta its worker recorded; the delta is
+    /// absorbed only if the sequential driver would have executed that
+    /// query (duplicates and post-exit work are discarded), keeping the
+    /// merged counters identical to a 1-thread run.
+    speculative: std::collections::VecDeque<(Vec<InstancePosting>, MetricsSnapshot)>,
     max_roots: usize,
     stats: EvalStats,
 }
@@ -384,6 +392,7 @@ impl<'a> ResultStream<'a> {
             executed: HashSet::new(),
             seen_roots: HashSet::new(),
             pending: std::collections::VecDeque::new(),
+            speculative: std::collections::VecDeque::new(),
             max_roots,
             stats: EvalStats::default(),
         }
@@ -412,6 +421,26 @@ impl<'a> ResultStream<'a> {
         self.last_run_complete = run.complete;
         self.pos = 0;
         self.started = true;
+        self.speculative.clear();
+    }
+
+    /// Executes every remaining second-level query of the current batch in
+    /// parallel (the queries are independent by construction — each
+    /// skeleton probes the secondary index read-only), queuing the result
+    /// lists for the sequential replay in [`Iterator::next`]. Only used
+    /// at `threads > 1`.
+    fn speculate(&mut self) {
+        let remaining: Vec<KEntry> = self.queries[self.pos..].to_vec();
+        let schema = self.schema;
+        self.speculative = Executor::new(self.opts.threads)
+            .scope(|scope| {
+                scope.map_deferred(remaining, move |entry: KEntry| {
+                    let skel = entry.skeleton();
+                    let _timer = time(TimerMetric::SecondLevel);
+                    secondary::execute(&skel, schema.secondary())
+                })
+            })
+            .into();
     }
 
     /// Advances past the current batch: either declare exhaustion or grow
@@ -456,17 +485,29 @@ impl Iterator for ResultStream<'_> {
                 self.advance_k();
                 continue;
             }
+            if self.opts.threads > 1 && self.speculative.is_empty() {
+                self.speculate();
+            }
             let entry = self.queries[self.pos].clone();
             self.pos += 1;
+            let spec = self.speculative.pop_front();
             if !self.executed.insert(entry_key(&entry)) {
-                continue; // evaluated in an earlier round
+                // Evaluated in an earlier round: a sequential driver skips
+                // it, so any speculative work (and its delta) is dropped.
+                continue;
             }
             self.stats.second_level_queries += 1;
             Metric::EvalSecondLevelQueries.incr();
-            let skel = entry.skeleton();
-            let instances = {
-                let _timer = time(TimerMetric::SecondLevel);
-                secondary::execute(&skel, self.schema.secondary())
+            let instances = match spec {
+                Some((instances, delta)) => {
+                    approxql_metrics::absorb(&delta);
+                    instances
+                }
+                None => {
+                    let skel = entry.skeleton();
+                    let _timer = time(TimerMetric::SecondLevel);
+                    secondary::execute(&skel, self.schema.secondary())
+                }
             };
             self.stats.secondary_rows += instances.len();
             Metric::EvalSecondaryRows.add(instances.len() as u64);

@@ -52,13 +52,13 @@ pub fn execute(skeleton: &Skeleton, index: &SecondaryIndex) -> Vec<InstancePosti
 mod tests {
     use super::*;
     use approxql_tree::LabelId;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn ip(pre: u32, bound: u32) -> InstancePosting {
         InstancePosting { pre, bound }
     }
 
-    fn skel(pre: u32, label: u32, children: Vec<Rc<Skeleton>>) -> Skeleton {
+    fn skel(pre: u32, label: u32, children: Vec<Arc<Skeleton>>) -> Skeleton {
         Skeleton {
             pre,
             label: LabelId(label),
@@ -103,7 +103,7 @@ mod tests {
         let s = skel(
             2,
             7,
-            vec![Rc::new(skel(3, 8, vec![])), Rc::new(skel(5, 9, vec![]))],
+            vec![Arc::new(skel(3, 8, vec![])), Arc::new(skel(5, 9, vec![]))],
         );
         assert_eq!(execute(&s, &idx), vec![ip(4, 8)]);
     }
@@ -121,7 +121,7 @@ mod tests {
         let s = skel(
             1,
             1,
-            vec![Rc::new(skel(2, 2, vec![Rc::new(skel(3, 3, vec![]))]))],
+            vec![Arc::new(skel(2, 2, vec![Arc::new(skel(3, 3, vec![]))]))],
         );
         assert_eq!(execute(&s, &idx), vec![ip(10, 20)]);
     }

@@ -17,7 +17,7 @@
 use approxql_index::LabelIndex;
 use approxql_metrics::Metric;
 use approxql_tree::{Cost, LabelId, NodeType};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A node of a second-level query: a schema node, the (possibly renamed)
 /// label it must carry, and the required descendant skeletons.
@@ -29,7 +29,7 @@ pub struct Skeleton {
     /// for text classes: the matched word).
     pub label: LabelId,
     /// Required descendants.
-    pub children: Vec<Rc<Skeleton>>,
+    pub children: Vec<Arc<Skeleton>>,
 }
 
 impl Skeleton {
@@ -57,13 +57,13 @@ pub struct KEntry {
     /// The matched label (the paper's `label` component).
     pub label: LabelId,
     /// Skeletons of the matched descendants (the paper's `pointers`).
-    pub children: Vec<Rc<Skeleton>>,
+    pub children: Vec<Arc<Skeleton>>,
 }
 
 impl KEntry {
     /// Materializes the skeleton rooted at this entry.
-    pub fn skeleton(&self) -> Rc<Skeleton> {
-        Rc::new(Skeleton {
+    pub fn skeleton(&self) -> Arc<Skeleton> {
+        Arc::new(Skeleton {
             pre: self.pre,
             label: self.label,
             children: self.children.clone(),
@@ -521,13 +521,13 @@ mod tests {
     #[test]
     fn intersect_k_takes_best_pairs_and_unions_pointers() {
         let mut a1 = ke(2, 5, 0, 1, 0);
-        a1.children = vec![Rc::new(Skeleton {
+        a1.children = vec![Arc::new(Skeleton {
             pre: 3,
             label: LabelId(1),
             children: vec![],
         })];
         let mut b1 = ke(2, 5, 0, 2, 0);
-        b1.children = vec![Rc::new(Skeleton {
+        b1.children = vec![Arc::new(Skeleton {
             pre: 4,
             label: LabelId(2),
             children: vec![],
@@ -607,12 +607,12 @@ mod tests {
             pre: 0,
             label: LabelId(0),
             children: vec![
-                Rc::new(Skeleton {
+                Arc::new(Skeleton {
                     pre: 1,
                     label: LabelId(1),
                     children: vec![],
                 }),
-                Rc::new(Skeleton {
+                Arc::new(Skeleton {
                     pre: 2,
                     label: LabelId(2),
                     children: vec![],

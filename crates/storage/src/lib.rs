@@ -34,7 +34,7 @@ mod heap;
 mod pager;
 mod store;
 
-pub use pager::{Backend, FileBackend, MemBackend, PageId, PAGE_SIZE};
+pub use pager::{Backend, FileBackend, MemBackend, PageId, Pager, DEFAULT_CACHE_PAGES, PAGE_SIZE};
 pub use store::{Store, StoreIter};
 
 use std::fmt;

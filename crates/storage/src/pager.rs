@@ -135,27 +135,118 @@ impl Backend for MemBackend {
     }
 }
 
+/// Default cache capacity in pages (16 MiB at the 4 KiB page size) —
+/// large enough that index builds and the regression workloads never
+/// evict, small enough to bound memory on big stores.
+pub const DEFAULT_CACHE_PAGES: usize = 4096;
+
+/// One cached page.
+struct Frame {
+    buf: Box<[u8; PAGE_SIZE]>,
+    dirty: bool,
+    /// Second-chance bit: set on access, cleared (once) by the clock hand
+    /// before the frame becomes an eviction candidate.
+    referenced: bool,
+}
+
 /// A write-back page cache in front of a [`Backend`].
 ///
 /// All reads and writes go through the cache; [`Pager::flush`] writes every
-/// dirty page back. The cache is unbounded — the store's working sets
-/// (index postings being built) are expected to fit in memory, and the
-/// backend exists for *persistence*, not for out-of-core operation.
+/// dirty page back. The cache is *bounded*: when it reaches its capacity, a
+/// clock (second-chance) sweep evicts clean pages to make room. Dirty pages
+/// are never evicted — they hold unflushed data — so a burst of allocations
+/// may temporarily exceed the capacity until the next [`Pager::flush`]
+/// makes the pages clean (and thus evictable) again.
 pub struct Pager {
     backend: Box<dyn Backend>,
-    cache: HashMap<PageId, (Box<[u8; PAGE_SIZE]>, bool)>,
+    cache: HashMap<PageId, Frame>,
+    /// Clock ring over the cached page ids. May contain stale ids (pages
+    /// evicted through [`Pager::evict_clean`]); the hand removes them
+    /// lazily as it passes.
+    ring: Vec<PageId>,
+    hand: usize,
+    capacity: usize,
     next_page: u32,
 }
 
 impl Pager {
-    /// Creates a pager over `backend`.
+    /// Creates a pager over `backend` with the default cache capacity.
     pub fn new(backend: Box<dyn Backend>) -> Pager {
+        Pager::with_capacity(backend, DEFAULT_CACHE_PAGES)
+    }
+
+    /// Creates a pager whose cache holds at most `capacity` clean pages.
+    pub fn with_capacity(backend: Box<dyn Backend>, capacity: usize) -> Pager {
         let next_page = backend.page_count();
         Pager {
             backend,
             cache: HashMap::new(),
+            ring: Vec::new(),
+            hand: 0,
+            capacity: capacity.max(1),
             next_page,
         }
+    }
+
+    /// The configured cache capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of pages currently held in the cache.
+    pub fn cached_pages(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Evicts one clean page via the clock sweep. Returns `false` when
+    /// nothing is evictable (every cached page is dirty).
+    fn evict_one(&mut self) -> bool {
+        // At most two passes: the first clears second-chance bits, the
+        // second then finds a victim — unless everything is dirty.
+        let mut scanned = 0;
+        while !self.ring.is_empty() && scanned < 2 * self.ring.len() {
+            if self.hand >= self.ring.len() {
+                self.hand = 0;
+            }
+            let id = self.ring[self.hand];
+            match self.cache.get_mut(&id) {
+                // Stale ring entry (page already gone): drop it in place.
+                // `swap_remove` moves the tail here, so the hand stays.
+                None => {
+                    self.ring.swap_remove(self.hand);
+                }
+                Some(frame) if frame.dirty => {
+                    self.hand += 1;
+                    scanned += 1;
+                }
+                Some(frame) if frame.referenced => {
+                    frame.referenced = false;
+                    self.hand += 1;
+                    scanned += 1;
+                }
+                Some(_) => {
+                    self.cache.remove(&id);
+                    self.ring.swap_remove(self.hand);
+                    Metric::PagerEvictions.incr();
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Inserts a page, evicting first so the new page itself can never be
+    /// the victim (callers hand out references to it immediately).
+    fn insert_frame(&mut self, id: PageId, frame: Frame) {
+        while self.cache.len() >= self.capacity && self.evict_one() {}
+        self.cache.insert(id, frame);
+        self.ring.push(id);
+    }
+
+    /// Shrinks an over-budget cache (e.g. after a flush turned a burst of
+    /// dirty allocations clean) back under its capacity.
+    fn enforce_budget(&mut self) {
+        while self.cache.len() > self.capacity && self.evict_one() {}
     }
 
     /// Allocates a fresh page (zero-filled) and returns its id.
@@ -163,7 +254,14 @@ impl Pager {
         Metric::PagerPageAllocs.incr();
         let id = PageId(self.next_page);
         self.next_page += 1;
-        self.cache.insert(id, (Box::new([0u8; PAGE_SIZE]), true));
+        self.insert_frame(
+            id,
+            Frame {
+                buf: Box::new([0u8; PAGE_SIZE]),
+                dirty: true,
+                referenced: false,
+            },
+        );
         id
     }
 
@@ -184,29 +282,48 @@ impl Pager {
     /// Reads page `id` (through the cache).
     pub fn read(&mut self, id: PageId) -> Result<&[u8; PAGE_SIZE]> {
         Metric::PagerPageReads.incr();
+        self.enforce_budget();
         if !self.cache.contains_key(&id) {
             Metric::PagerCacheMisses.incr();
             let mut buf = Box::new([0u8; PAGE_SIZE]);
             self.backend.read_page(id, &mut buf)?;
-            self.cache.insert(id, (buf, false));
+            self.insert_frame(
+                id,
+                Frame {
+                    buf,
+                    dirty: false,
+                    referenced: false,
+                },
+            );
         }
-        Ok(&self.cache[&id].0)
+        let frame = self.cache.get_mut(&id).unwrap();
+        frame.referenced = true;
+        Ok(&frame.buf)
     }
 
     /// Returns a mutable view of page `id`, marking it dirty.
     pub fn write(&mut self, id: PageId) -> Result<&mut [u8; PAGE_SIZE]> {
         Metric::PagerPageWrites.incr();
+        self.enforce_budget();
         if !self.cache.contains_key(&id) {
             Metric::PagerCacheMisses.incr();
             let mut buf = Box::new([0u8; PAGE_SIZE]);
             if id.0 < self.backend.page_count() {
                 self.backend.read_page(id, &mut buf)?;
             }
-            self.cache.insert(id, (buf, false));
+            self.insert_frame(
+                id,
+                Frame {
+                    buf,
+                    dirty: false,
+                    referenced: false,
+                },
+            );
         }
-        let entry = self.cache.get_mut(&id).unwrap();
-        entry.1 = true;
-        Ok(&mut entry.0)
+        let frame = self.cache.get_mut(&id).unwrap();
+        frame.dirty = true;
+        frame.referenced = true;
+        Ok(&mut frame.buf)
     }
 
     /// Writes all dirty pages back and syncs the backend.
@@ -214,16 +331,16 @@ impl Pager {
         let mut dirty: Vec<PageId> = self
             .cache
             .iter()
-            .filter(|(_, (_, d))| *d)
+            .filter(|(_, f)| f.dirty)
             .map(|(&id, _)| id)
             .collect();
         dirty.sort();
         Metric::PagerFlushes.incr();
         Metric::PagerBackendWrites.add(dirty.len() as u64);
         for id in dirty {
-            let (buf, d) = self.cache.get_mut(&id).unwrap();
-            self.backend.write_page(id, buf)?;
-            *d = false;
+            let frame = self.cache.get_mut(&id).unwrap();
+            self.backend.write_page(id, &frame.buf)?;
+            frame.dirty = false;
         }
         self.backend.sync()
     }
@@ -231,7 +348,10 @@ impl Pager {
     /// Drops the clean cache contents (testing aid to force re-reads).
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn evict_clean(&mut self) {
-        self.cache.retain(|_, (_, dirty)| *dirty);
+        self.cache.retain(|_, f| f.dirty);
+        let cache = &self.cache;
+        self.ring.retain(|id| cache.contains_key(id));
+        self.hand = 0;
     }
 }
 
@@ -291,6 +411,92 @@ mod tests {
         assert_eq!(p.page_count(), 3);
         let next = p.allocate();
         assert_eq!(next, PageId(3));
+    }
+
+    #[test]
+    fn scan_larger_than_cache_stays_within_budget() {
+        const CAPACITY: usize = 8;
+        const PAGES: u32 = 64;
+        let mut p = Pager::with_capacity(Box::new(MemBackend::new()), CAPACITY);
+        assert_eq!(p.capacity(), CAPACITY);
+        for i in 0..PAGES {
+            let id = p.allocate();
+            p.write(id).unwrap()[0] = i as u8;
+        }
+        // Unflushed pages are all dirty: the cache must hold every one.
+        assert_eq!(p.cached_pages(), PAGES as usize);
+        p.flush().unwrap();
+        let before = approxql_metrics::snapshot();
+        // Two full scans over a store 8x the cache: every page comes back
+        // intact and the cache never exceeds its budget.
+        for _ in 0..2 {
+            for i in 0..PAGES {
+                assert_eq!(p.read(PageId(i)).unwrap()[0], i as u8);
+                assert!(
+                    p.cached_pages() <= CAPACITY,
+                    "cache exceeded budget: {} > {CAPACITY}",
+                    p.cached_pages()
+                );
+            }
+        }
+        let delta = approxql_metrics::snapshot().diff(&before);
+        assert!(
+            delta.get(Metric::PagerEvictions) >= (PAGES as u64 - CAPACITY as u64),
+            "expected clock evictions, got {}",
+            delta.get(Metric::PagerEvictions)
+        );
+        assert!(delta.get(Metric::PagerCacheMisses) > 0);
+    }
+
+    #[test]
+    fn dirty_pages_survive_cache_pressure() {
+        let mut p = Pager::with_capacity(Box::new(MemBackend::new()), 4);
+        let ids: Vec<PageId> = (0..16).map(|_| p.allocate()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            p.write(id).unwrap()[7] = i as u8 + 1;
+        }
+        // Nothing has been flushed: every page is dirty and must still be
+        // cached (the budget yields rather than lose data).
+        assert_eq!(p.cached_pages(), 16);
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(p.read(id).unwrap()[7], i as u8 + 1);
+        }
+        // After a flush the pages are clean; new traffic shrinks the
+        // cache back under its capacity.
+        p.flush().unwrap();
+        for &id in &ids {
+            let _ = p.read(id).unwrap();
+            assert!(p.cached_pages() <= 16);
+        }
+        assert!(p.cached_pages() <= 4 + 1);
+    }
+
+    #[test]
+    fn clock_gives_rereferenced_pages_a_second_chance() {
+        let mut p = Pager::with_capacity(Box::new(MemBackend::new()), 4);
+        for i in 0..6u32 {
+            let id = p.allocate();
+            p.write(id).unwrap()[0] = i as u8;
+        }
+        p.flush().unwrap();
+        p.evict_clean();
+        for i in 0..4u32 {
+            let _ = p.read(PageId(i)).unwrap();
+        }
+        // The first eviction sweeps the reference bits of pages 1..=3.
+        let _ = p.read(PageId(4)).unwrap();
+        // Re-reference page 1: the next sweep must skip it (second
+        // chance) and evict one of the untouched pages instead.
+        let _ = p.read(PageId(1)).unwrap();
+        let _ = p.read(PageId(5)).unwrap();
+        let before = approxql_metrics::snapshot();
+        let _ = p.read(PageId(1)).unwrap();
+        let delta = approxql_metrics::snapshot().diff(&before);
+        assert_eq!(
+            delta.get(Metric::PagerCacheMisses),
+            0,
+            "re-referenced page 1 was evicted despite its second chance"
+        );
     }
 
     #[test]

@@ -182,6 +182,7 @@ proptest! {
                     enforce_leaf_match: enforce,
                     use_memo,
                     use_paper_joins,
+                    ..EvalOptions::default()
                 };
                 let (got, _) = direct::best_n(&expanded, &index, tree.interner(), None, opts);
                 prop_assert_eq!(

@@ -1,0 +1,117 @@
+//! Determinism of the parallel executor: evaluating the same query at 2,
+//! 4, and 8 worker threads must return byte-identical (pre, cost) result
+//! lists *and* identical merged work counters as the sequential run, for
+//! both evaluators.
+//!
+//! This pins the two invariants the executor is built around:
+//!
+//! 1. results are merged in a deterministic order regardless of which
+//!    worker finished first, and
+//! 2. worker-local metric deltas are retracted on the worker and absorbed
+//!    into the calling thread exactly when the sequential driver would
+//!    have done that work — so `--stats` output is thread-count-invariant.
+//!
+//! The collection is a seeded Section 8.1 synthetic collection, built once
+//! and shared across cases (evaluation is read-only).
+
+use approxql::crates::core::schema_eval::SchemaEvalConfig;
+use approxql::crates::core::EvalOptions;
+use approxql::crates::gen::{DataGenConfig, DataGenerator};
+use approxql::{CostModel, Database, Metric};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn db() -> &'static Database {
+    static DB: OnceLock<Database> = OnceLock::new();
+    DB.get_or_init(|| {
+        let mut cfg = DataGenConfig::paper_scale_divided(1000); // 1,000 elements
+        cfg.seed = 2002;
+        let costs = CostModel::new();
+        let tree = DataGenerator::new(cfg).generate_tree(&costs);
+        Database::from_tree(tree, costs)
+    })
+}
+
+/// Random tree-pattern queries over the generated label/word alphabet:
+/// `nameNNN` element names and `termN` words, one or two conjuncts, with
+/// optional nesting and disjunction.
+fn gen_query() -> impl Strategy<Value = String> {
+    let label = || (1usize..7).prop_map(|i| format!("name{i:03}"));
+    let word = || (1usize..4).prop_map(|i| format!("\"term{i}\""));
+    let child = prop_oneof![
+        label(),
+        word(),
+        (label(), word()).prop_map(|(l, w)| format!("{l}[{w}]")),
+        (label(), label()).prop_map(|(l, r)| format!("({l} or {r})")),
+    ];
+    (label(), proptest::collection::vec(child, 1..3))
+        .prop_map(|(root, cs)| format!("{root}[{}]", cs.join(" and ")))
+}
+
+type Run = (Vec<(approxql::NodeId, approxql::Cost)>, Vec<(Metric, u64)>);
+
+fn run_direct(query: &str, n: usize, threads: usize) -> Run {
+    let before = approxql::metrics_snapshot();
+    let opts = EvalOptions {
+        threads,
+        ..EvalOptions::default()
+    };
+    let (hits, _) = db().query_direct_with(query, Some(n), opts).unwrap();
+    let diff = approxql::metrics_snapshot().diff(&before);
+    (
+        hits.iter().map(|h| (h.root, h.cost)).collect(),
+        diff.counters().filter(|&(_, v)| v != 0).collect(),
+    )
+}
+
+fn run_schema(query: &str, n: usize, threads: usize) -> Run {
+    let before = approxql::metrics_snapshot();
+    let opts = EvalOptions {
+        threads,
+        ..EvalOptions::default()
+    };
+    let (hits, _) = db()
+        .query_schema_with(query, n, opts, SchemaEvalConfig::default())
+        .unwrap();
+    let diff = approxql::metrics_snapshot().diff(&before);
+    (
+        hits.iter().map(|h| (h.root, h.cost)).collect(),
+        diff.counters().filter(|&(_, v)| v != 0).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn parallel_direct_is_deterministic(query in gen_query(), n in 1usize..16) {
+        let (seq_hits, seq_counts) = run_direct(&query, n, 1);
+        for threads in [2usize, 4, 8] {
+            let (par_hits, par_counts) = run_direct(&query, n, threads);
+            prop_assert_eq!(
+                &par_hits, &seq_hits,
+                "direct results differ at {} threads for {}", threads, query
+            );
+            prop_assert_eq!(
+                &par_counts, &seq_counts,
+                "direct work counters differ at {} threads for {}", threads, query
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_schema_is_deterministic(query in gen_query(), n in 1usize..16) {
+        let (seq_hits, seq_counts) = run_schema(&query, n, 1);
+        for threads in [2usize, 4, 8] {
+            let (par_hits, par_counts) = run_schema(&query, n, threads);
+            prop_assert_eq!(
+                &par_hits, &seq_hits,
+                "schema results differ at {} threads for {}", threads, query
+            );
+            prop_assert_eq!(
+                &par_counts, &seq_counts,
+                "schema work counters differ at {} threads for {}", threads, query
+            );
+        }
+    }
+}
