@@ -29,7 +29,11 @@ usage:
 
   approxql gen     <out-dir> [--elements N] [--names N] [--terms N]
                    [--words N] [--seed S] [--docs N]
-      write a synthetic XML collection (Section 8.1 workload)";
+      write a synthetic XML collection (Section 8.1 workload)
+
+  approxql check   <db.axql>
+      verify on-disk integrity: header slots, page checksums, B+-tree
+      invariants, and out-of-line value runs (exit 3 on corruption)";
 
 /// Errors surfaced to `main`.
 #[derive(Debug)]
@@ -42,6 +46,23 @@ pub enum CliError {
     Db(DatabaseError),
     /// Cost-file parse failure.
     Costs(approxql_cost::CostFileError),
+}
+
+impl CliError {
+    /// Process exit code for this error: 2 for usage problems, 3 when the
+    /// database file is unreadable, corrupt, or fails verification, 1 for
+    /// everything else.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Db(
+                DatabaseError::Storage(_)
+                | DatabaseError::Persist(_)
+                | DatabaseError::TreeDecode(_),
+            ) => 3,
+            _ => 1,
+        }
+    }
 }
 
 impl fmt::Display for CliError {
@@ -159,6 +180,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         "stats" => cmd_stats(&flags),
         "explain" => cmd_explain(&flags),
         "gen" => cmd_gen(&flags),
+        "check" => cmd_check(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -380,6 +402,15 @@ fn render_skeleton(db: &Database, skel: &approxql_core::topk::Skeleton) -> Strin
     }
 }
 
+fn cmd_check(flags: &Flags) -> Result<(), CliError> {
+    let [db_path] = flags.positional.as_slice() else {
+        return Err(usage("check needs a database path"));
+    };
+    let report = Database::check_file(db_path)?;
+    println!("{db_path}: {report}");
+    Ok(())
+}
+
 fn cmd_gen(flags: &Flags) -> Result<(), CliError> {
     let [out_dir] = flags.positional.as_slice() else {
         return Err(usage("gen needs an output directory"));
@@ -562,6 +593,43 @@ mod tests {
             run_words(&["query", "a", "b", "--direct", "--schema"]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn check_passes_on_a_built_database_and_fails_on_a_bit_flip() {
+        let dir = tmpdir("check");
+        let doc = dir.join("catalog.xml");
+        std::fs::write(
+            &doc,
+            "<catalog><cd><title>piano concerto</title></cd><cd><title>sonata</title></cd></catalog>",
+        )
+        .unwrap();
+        let db = dir.join("db.axql");
+        run_words(&["build", db.to_str().unwrap(), doc.to_str().unwrap()]).unwrap();
+        run_words(&["check", db.to_str().unwrap()]).unwrap();
+
+        // Flip one bit in a data page (past the two 4 KiB header slots).
+        let mut bytes = std::fs::read(&db).unwrap();
+        bytes[2 * 4096 + 137] ^= 0x10;
+        std::fs::write(&db, &bytes).unwrap();
+        let err = run_words(&["check", db.to_str().unwrap()]).unwrap_err();
+        assert!(matches!(err, CliError::Db(DatabaseError::Storage(_))));
+        assert_eq!(err.exit_code(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn exit_codes_are_distinct() {
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        let nf = run_words(&["check", "/nonexistent/db.axql"]).unwrap_err();
+        assert_eq!(nf.exit_code(), 3);
+        let io = CliError::Io(std::io::Error::other("boom"));
+        assert_eq!(io.exit_code(), 1);
+    }
+
+    #[test]
+    fn check_usage_errors() {
+        assert!(matches!(run_words(&["check"]), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -6,7 +6,11 @@
 //! approxql stats  <db.axql>
 //! approxql explain <db.axql> <QUERY> [--costs FILE] [-k K]
 //! approxql gen    <out-dir> [--elements N] [--names N] [--terms N] [--words N] [--seed S] [--docs N]
+//! approxql check  <db.axql>
 //! ```
+//!
+//! Exit codes: 0 success, 1 generic failure, 2 usage error, 3 database
+//! file unreadable / corrupt / failed verification.
 
 mod commands;
 
@@ -23,7 +27,7 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

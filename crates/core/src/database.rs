@@ -10,7 +10,7 @@ use approxql_index::LabelIndex;
 use approxql_query::expand::ExpandedQuery;
 use approxql_query::{parse_query, ParseError, Query};
 use approxql_schema::Schema;
-use approxql_storage::{StorageError, Store};
+use approxql_storage::{CheckReport, StorageError, Store};
 use approxql_tree::{DataTree, DataTreeBuilder, NodeId, TreeDecodeError, TreeError};
 use approxql_xml::{parse_document, Document, Element, XmlError};
 use std::fmt;
@@ -281,6 +281,15 @@ impl Database {
             labels,
             schema,
         })
+    }
+
+    /// Verifies the on-disk integrity of a database file without loading
+    /// it: opens the store (recovering to the newest intact commit if
+    /// needed) and walks every page, checksum, and B+-tree invariant.
+    /// Returns the storage layer's [`CheckReport`] on success.
+    pub fn check_file(path: impl AsRef<Path>) -> Result<CheckReport, DatabaseError> {
+        let mut store = Store::open_file(path)?;
+        Ok(store.check()?)
     }
 }
 

@@ -38,6 +38,7 @@ pub mod schema_eval;
 pub mod secondary;
 pub mod topk;
 
+pub use approxql_storage::CheckReport;
 pub use database::{Database, DatabaseError, QueryHit};
 pub use direct::{DirectStats, EvalOptions};
 pub use reference::ReferenceEvaluator;

@@ -37,6 +37,8 @@ use std::time::{Duration, Instant};
 pub enum Layer {
     /// Page cache over the storage backend.
     Pager,
+    /// Store-level commit/recovery events.
+    Store,
     /// B+-tree structure operations.
     Btree,
     /// Label / secondary index lookups and decoding.
@@ -53,6 +55,7 @@ impl Layer {
     pub fn name(self) -> &'static str {
         match self {
             Layer::Pager => "pager",
+            Layer::Store => "store",
             Layer::Btree => "btree",
             Layer::Index => "index",
             Layer::List => "list",
@@ -101,6 +104,10 @@ metrics! {
     PagerBackendWrites => (Pager, "pager.backend_writes", "Dirty pages pushed to the backend by flushes."),
     PagerFlushes => (Pager, "pager.flushes", "Write-back flushes (commit points)."),
     PagerEvictions => (Pager, "pager.evictions", "Clean pages evicted by the clock sweep."),
+    PagerChecksumFailures => (Pager, "pager.checksum_failures", "Backend page reads whose trailer checksum failed to validate."),
+    // -- store (commit/recovery) ------------------------------------------
+    StoreCommits => (Store, "store.commits", "Successful dual-slot commits."),
+    StoreRecoveryRollbacks => (Store, "store.recovery_rollbacks", "Opens that fell back to the previous commit's header slot."),
     // -- b+-tree ----------------------------------------------------------
     BtreeGets => (Btree, "btree.gets", "Point lookups."),
     BtreeInserts => (Btree, "btree.inserts", "Key insertions (including overwrites)."),

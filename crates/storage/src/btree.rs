@@ -1,19 +1,29 @@
-//! The B+-tree over pages: variable-length keys, values out of line.
+//! The B+-tree over pages: variable-length keys, values out of line,
+//! copy-on-write node updates.
 //!
-//! Leaves are chained left-to-right for range scans. Deletion removes the
-//! entry from its leaf without rebalancing (empty leaves simply stay in the
-//! chain) — adequate for the reproduction's bulk-build-then-read workload
-//! and documented in the crate docs.
+//! Pages covered by the last commit are immutable (see the crate-level
+//! durability model): modifying a committed node writes the new version to
+//! a freshly allocated page and the new id propagates up to the root. This
+//! is why leaves carry **no** sibling links — a relocated leaf could not
+//! update the `next` pointer of its left neighbour without rewriting it
+//! too. Range scans instead use a [`Cursor`] that keeps the path from the
+//! root on a stack and ascends/descends between leaves.
+//!
+//! Deletion removes the entry from its leaf without rebalancing (empty
+//! leaves simply stay in the tree) — adequate for the reproduction's
+//! bulk-build-then-read workload and documented in the crate docs.
 
 use crate::heap::ValueRef;
-use crate::pager::{PageId, Pager, PAGE_SIZE};
+use crate::pager::{PageId, Pager, PAGE_DATA, PAGE_SIZE};
 use crate::{Result, StorageError, MAX_KEY_LEN};
 use approxql_metrics::Metric;
 
 const TAG_INTERNAL: u8 = 1;
 const TAG_LEAF: u8 = 2;
-/// Sentinel "no next leaf".
-const NO_PAGE: u32 = u32::MAX;
+
+/// Upper bound on tree depth; a descent deeper than this can only mean a
+/// page cycle in a corrupt file, so it errors instead of looping forever.
+const MAX_DEPTH: usize = 64;
 
 /// Parsed form of a tree page.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,11 +34,8 @@ pub enum Node {
         keys: Vec<Vec<u8>>,
         children: Vec<PageId>,
     },
-    /// Data node: sorted `(key, value)` entries plus a right-sibling link.
-    Leaf {
-        entries: Vec<(Vec<u8>, ValueRef)>,
-        next: Option<PageId>,
-    },
+    /// Data node: sorted `(key, value)` entries.
+    Leaf { entries: Vec<(Vec<u8>, ValueRef)> },
 }
 
 impl Node {
@@ -37,14 +44,14 @@ impl Node {
             Node::Internal { keys, .. } => {
                 1 + 2 + 4 + keys.iter().map(|k| 2 + k.len() + 4).sum::<usize>()
             }
-            Node::Leaf { entries, .. } => {
-                1 + 2 + 4 + entries.iter().map(|(k, _)| 2 + k.len() + 8).sum::<usize>()
+            Node::Leaf { entries } => {
+                1 + 2 + entries.iter().map(|(k, _)| 2 + k.len() + 8).sum::<usize>()
             }
         }
     }
 
     fn write_page(&self, buf: &mut [u8; PAGE_SIZE]) {
-        debug_assert!(self.serialized_size() <= PAGE_SIZE);
+        debug_assert!(self.serialized_size() <= PAGE_DATA);
         buf.fill(0);
         let mut pos = 0;
         let mut put = |bytes: &[u8], pos: &mut usize| {
@@ -62,13 +69,9 @@ impl Node {
                     put(&c.0.to_le_bytes(), &mut pos);
                 }
             }
-            Node::Leaf { entries, next } => {
+            Node::Leaf { entries } => {
                 put(&[TAG_LEAF], &mut pos);
                 put(&(entries.len() as u16).to_le_bytes(), &mut pos);
-                put(
-                    &next.map(|p| p.0).unwrap_or(NO_PAGE).to_le_bytes(),
-                    &mut pos,
-                );
                 for (k, v) in entries {
                     put(&(k.len() as u16).to_le_bytes(), &mut pos);
                     put(k, &mut pos);
@@ -79,11 +82,11 @@ impl Node {
         }
     }
 
-    fn parse(id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<Node> {
+    pub(crate) fn parse(id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<Node> {
         let corrupt = |what| StorageError::CorruptPage(id, what);
         let mut pos = 0usize;
         let take = |n: usize, pos: &mut usize| -> Result<&[u8]> {
-            if *pos + n > PAGE_SIZE {
+            if *pos + n > PAGE_DATA {
                 return Err(StorageError::CorruptPage(id, "page overrun"));
             }
             let s = &buf[*pos..*pos + n];
@@ -111,8 +114,6 @@ impl Node {
                 Ok(Node::Internal { keys, children })
             }
             TAG_LEAF => {
-                let next_raw = u32::from_le_bytes(take(4, &mut pos)?.try_into().unwrap());
-                let next = (next_raw != NO_PAGE).then_some(PageId(next_raw));
                 let mut entries = Vec::with_capacity(n);
                 for _ in 0..n {
                     let klen = u16::from_le_bytes(take(2, &mut pos)?.try_into().unwrap()) as usize;
@@ -130,14 +131,14 @@ impl Node {
                         },
                     ));
                 }
-                Ok(Node::Leaf { entries, next })
+                Ok(Node::Leaf { entries })
             }
             _ => Err(corrupt("unknown node tag")),
         }
     }
 }
 
-fn read_node(pager: &mut Pager, id: PageId) -> Result<Node> {
+pub(crate) fn read_node(pager: &mut Pager, id: PageId) -> Result<Node> {
     Metric::BtreeNodeReads.incr();
     Node::parse(id, pager.read(id)?)
 }
@@ -147,6 +148,20 @@ fn write_node(pager: &mut Pager, id: PageId, node: &Node) -> Result<()> {
     Ok(())
 }
 
+/// Writes `node` copy-on-write: in place when `id` is uncommitted,
+/// otherwise to a freshly allocated page. Returns the id that now holds
+/// the node.
+fn write_node_cow(pager: &mut Pager, id: PageId, node: &Node) -> Result<PageId> {
+    if pager.is_committed(id) {
+        let fresh = pager.allocate();
+        write_node(pager, fresh, node)?;
+        Ok(fresh)
+    } else {
+        write_node(pager, id, node)?;
+        Ok(id)
+    }
+}
+
 /// The B+-tree handle; the root page id lives in the store header.
 pub struct BTree {
     /// Current root page.
@@ -154,9 +169,11 @@ pub struct BTree {
 }
 
 enum InsertResult {
-    Done,
-    /// The child split: `sep` separates it from the new right sibling.
+    /// The subtree now lives at `id` (unchanged unless relocated).
+    Done { id: PageId },
+    /// The child split: `sep` separates `id` from the new right sibling.
     Split {
+        id: PageId,
         sep: Vec<u8>,
         right: PageId,
     },
@@ -171,7 +188,6 @@ impl BTree {
             root,
             &Node::Leaf {
                 entries: Vec::new(),
-                next: None,
             },
         )?;
         Ok(BTree { root })
@@ -186,13 +202,13 @@ impl BTree {
     pub fn get(&self, pager: &mut Pager, key: &[u8]) -> Result<Option<ValueRef>> {
         Metric::BtreeGets.incr();
         let mut page = self.root;
-        loop {
+        for _ in 0..MAX_DEPTH {
             match read_node(pager, page)? {
                 Node::Internal { keys, children } => {
                     let idx = keys.partition_point(|k| k.as_slice() <= key);
                     page = children[idx];
                 }
-                Node::Leaf { entries, .. } => {
+                Node::Leaf { entries } => {
                     return Ok(entries
                         .binary_search_by(|(k, _)| k.as_slice().cmp(key))
                         .ok()
@@ -200,6 +216,10 @@ impl BTree {
                 }
             }
         }
+        Err(StorageError::CorruptPage(
+            page,
+            "tree deeper than MAX_DEPTH",
+        ))
     }
 
     /// Inserts or replaces `key`.
@@ -208,17 +228,19 @@ impl BTree {
             return Err(StorageError::KeyTooLong(key.len()));
         }
         Metric::BtreeInserts.incr();
-        match self.insert_rec(pager, self.root, key, value)? {
-            InsertResult::Done => Ok(()),
-            InsertResult::Split { sep, right } => {
-                let old_root = self.root;
+        match self.insert_rec(pager, self.root, key, value, 0)? {
+            InsertResult::Done { id } => {
+                self.root = id;
+                Ok(())
+            }
+            InsertResult::Split { id, sep, right } => {
                 let new_root = pager.allocate();
                 write_node(
                     pager,
                     new_root,
                     &Node::Internal {
                         keys: vec![sep],
-                        children: vec![old_root, right],
+                        children: vec![id, right],
                     },
                 )?;
                 self.root = new_root;
@@ -233,22 +255,29 @@ impl BTree {
         page: PageId,
         key: &[u8],
         value: ValueRef,
+        depth: usize,
     ) -> Result<InsertResult> {
+        if depth >= MAX_DEPTH {
+            return Err(StorageError::CorruptPage(
+                page,
+                "tree deeper than MAX_DEPTH",
+            ));
+        }
         match read_node(pager, page)? {
-            Node::Leaf { mut entries, next } => {
+            Node::Leaf { mut entries } => {
                 match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
                     Ok(i) => entries[i].1 = value,
                     Err(i) => entries.insert(i, (key.to_vec(), value)),
                 }
-                let node = Node::Leaf { entries, next };
-                if node.serialized_size() <= PAGE_SIZE {
-                    write_node(pager, page, &node)?;
-                    return Ok(InsertResult::Done);
+                let node = Node::Leaf { entries };
+                if node.serialized_size() <= PAGE_DATA {
+                    let id = write_node_cow(pager, page, &node)?;
+                    return Ok(InsertResult::Done { id });
                 }
                 // Split: move the upper half to a fresh right sibling.
                 Metric::BtreeNodeSplits.incr();
-                let (mut entries, next) = match node {
-                    Node::Leaf { entries, next } => (entries, next),
+                let mut entries = match node {
+                    Node::Leaf { entries } => entries,
                     _ => unreachable!(),
                 };
                 let mid = entries.len() / 2;
@@ -260,18 +289,11 @@ impl BTree {
                     right_page,
                     &Node::Leaf {
                         entries: right_entries,
-                        next,
                     },
                 )?;
-                write_node(
-                    pager,
-                    page,
-                    &Node::Leaf {
-                        entries,
-                        next: Some(right_page),
-                    },
-                )?;
+                let id = write_node_cow(pager, page, &Node::Leaf { entries })?;
                 Ok(InsertResult::Split {
+                    id,
                     sep,
                     right: right_page,
                 })
@@ -281,15 +303,25 @@ impl BTree {
                 mut children,
             } => {
                 let idx = keys.partition_point(|k| k.as_slice() <= key);
-                match self.insert_rec(pager, children[idx], key, value)? {
-                    InsertResult::Done => Ok(InsertResult::Done),
-                    InsertResult::Split { sep, right } => {
+                match self.insert_rec(pager, children[idx], key, value, depth + 1)? {
+                    InsertResult::Done { id } => {
+                        if id == children[idx] {
+                            // Child updated in place: this node is untouched.
+                            return Ok(InsertResult::Done { id: page });
+                        }
+                        children[idx] = id;
+                        let new_id =
+                            write_node_cow(pager, page, &Node::Internal { keys, children })?;
+                        Ok(InsertResult::Done { id: new_id })
+                    }
+                    InsertResult::Split { id, sep, right } => {
+                        children[idx] = id;
                         keys.insert(idx, sep);
                         children.insert(idx + 1, right);
                         let node = Node::Internal { keys, children };
-                        if node.serialized_size() <= PAGE_SIZE {
-                            write_node(pager, page, &node)?;
-                            return Ok(InsertResult::Done);
+                        if node.serialized_size() <= PAGE_DATA {
+                            let new_id = write_node_cow(pager, page, &node)?;
+                            return Ok(InsertResult::Done { id: new_id });
                         }
                         Metric::BtreeNodeSplits.incr();
                         let (mut keys, mut children) = match node {
@@ -312,8 +344,10 @@ impl BTree {
                                 children: right_children,
                             },
                         )?;
-                        write_node(pager, page, &Node::Internal { keys, children })?;
+                        let new_id =
+                            write_node_cow(pager, page, &Node::Internal { keys, children })?;
                         Ok(InsertResult::Split {
+                            id: new_id,
                             sep: up,
                             right: right_page,
                         })
@@ -327,21 +361,47 @@ impl BTree {
     /// rebalanced.
     pub fn delete(&mut self, pager: &mut Pager, key: &[u8]) -> Result<bool> {
         Metric::BtreeDeletes.incr();
-        let mut page = self.root;
-        loop {
-            match read_node(pager, page)? {
-                Node::Internal { keys, children } => {
-                    let idx = keys.partition_point(|k| k.as_slice() <= key);
-                    page = children[idx];
+        let (existed, new_root) = self.delete_rec(pager, self.root, key, 0)?;
+        if let Some(id) = new_root {
+            self.root = id;
+        }
+        Ok(existed)
+    }
+
+    /// Returns `(key_existed, Some(new_page_id) if the node relocated)`.
+    fn delete_rec(
+        &self,
+        pager: &mut Pager,
+        page: PageId,
+        key: &[u8],
+        depth: usize,
+    ) -> Result<(bool, Option<PageId>)> {
+        if depth >= MAX_DEPTH {
+            return Err(StorageError::CorruptPage(
+                page,
+                "tree deeper than MAX_DEPTH",
+            ));
+        }
+        match read_node(pager, page)? {
+            Node::Leaf { mut entries } => {
+                match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => {
+                        entries.remove(i);
+                        let id = write_node_cow(pager, page, &Node::Leaf { entries })?;
+                        Ok((true, (id != page).then_some(id)))
+                    }
+                    Err(_) => Ok((false, None)),
                 }
-                Node::Leaf { mut entries, next } => {
-                    match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
-                        Ok(i) => {
-                            entries.remove(i);
-                            write_node(pager, page, &Node::Leaf { entries, next })?;
-                            return Ok(true);
-                        }
-                        Err(_) => return Ok(false),
+            }
+            Node::Internal { keys, mut children } => {
+                let idx = keys.partition_point(|k| k.as_slice() <= key);
+                let (existed, relocated) = self.delete_rec(pager, children[idx], key, depth + 1)?;
+                match relocated {
+                    None => Ok((existed, None)),
+                    Some(child) => {
+                        children[idx] = child;
+                        let id = write_node_cow(pager, page, &Node::Internal { keys, children })?;
+                        Ok((existed, (id != page).then_some(id)))
                     }
                 }
             }
@@ -350,16 +410,25 @@ impl BTree {
 
     /// Positions a cursor at the first entry with key `>= start`.
     pub fn seek(&self, pager: &mut Pager, start: &[u8]) -> Result<Cursor> {
+        let mut stack = Vec::new();
         let mut page = self.root;
         loop {
+            if stack.len() >= MAX_DEPTH {
+                return Err(StorageError::CorruptPage(
+                    page,
+                    "tree deeper than MAX_DEPTH",
+                ));
+            }
             match read_node(pager, page)? {
                 Node::Internal { keys, children } => {
                     let idx = keys.partition_point(|k| k.as_slice() <= start);
+                    stack.push((page, idx));
                     page = children[idx];
                 }
-                Node::Leaf { entries, .. } => {
+                Node::Leaf { entries } => {
                     let idx = entries.partition_point(|(k, _)| k.as_slice() < start);
-                    return Ok(Cursor { leaf: page, idx });
+                    stack.push((page, idx));
+                    return Ok(Cursor { stack });
                 }
             }
         }
@@ -367,37 +436,79 @@ impl BTree {
 }
 
 /// A forward cursor over leaf entries.
+///
+/// Holds the root-to-leaf path as `(page, index)` pairs: the index is the
+/// next entry to yield (leaf) or the child currently descended into
+/// (internal). When a leaf runs out the cursor ascends to the nearest
+/// ancestor with an unvisited child and descends to its leftmost leaf.
 pub struct Cursor {
-    leaf: PageId,
-    idx: usize,
+    stack: Vec<(PageId, usize)>,
 }
 
 impl Cursor {
     /// Returns the next entry, advancing the cursor.
     pub fn next(&mut self, pager: &mut Pager) -> Result<Option<(Vec<u8>, ValueRef)>> {
         loop {
-            let node = read_node(pager, self.leaf)?;
-            match node {
-                Node::Leaf { entries, next } => {
-                    if self.idx < entries.len() {
+            let Some(&(page, idx)) = self.stack.last() else {
+                return Ok(None);
+            };
+            match read_node(pager, page)? {
+                Node::Leaf { entries } => {
+                    if idx < entries.len() {
                         Metric::BtreeScanSteps.incr();
-                        let out = entries[self.idx].clone();
-                        self.idx += 1;
-                        return Ok(Some(out));
+                        self.stack.last_mut().unwrap().1 += 1;
+                        return Ok(Some(entries[idx].clone()));
                     }
-                    match next {
-                        Some(n) => {
-                            self.leaf = n;
-                            self.idx = 0;
-                        }
-                        None => return Ok(None),
-                    }
+                    // Leaf exhausted (possibly empty after deletions):
+                    // move to the next leaf in key order.
+                    self.stack.pop();
+                    self.advance(pager)?;
                 }
                 Node::Internal { .. } => {
-                    return Err(StorageError::CorruptPage(
-                        self.leaf,
-                        "cursor on internal page",
-                    ))
+                    return Err(StorageError::CorruptPage(page, "cursor on internal page"));
+                }
+            }
+        }
+    }
+
+    /// Pops ancestors whose children are exhausted, then descends into the
+    /// next unvisited subtree down to its leftmost leaf. Leaves the stack
+    /// empty when the scan is complete.
+    fn advance(&mut self, pager: &mut Pager) -> Result<()> {
+        while let Some(&(page, idx)) = self.stack.last() {
+            match read_node(pager, page)? {
+                Node::Internal { children, .. } => {
+                    if idx + 1 < children.len() {
+                        self.stack.last_mut().unwrap().1 = idx + 1;
+                        return self.descend_first(pager, children[idx + 1]);
+                    }
+                    self.stack.pop();
+                }
+                Node::Leaf { .. } => {
+                    return Err(StorageError::CorruptPage(page, "leaf as cursor ancestor"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Pushes the path to the leftmost leaf under `page`.
+    fn descend_first(&mut self, pager: &mut Pager, mut page: PageId) -> Result<()> {
+        loop {
+            if self.stack.len() >= MAX_DEPTH {
+                return Err(StorageError::CorruptPage(
+                    page,
+                    "tree deeper than MAX_DEPTH",
+                ));
+            }
+            match read_node(pager, page)? {
+                Node::Internal { children, .. } => {
+                    self.stack.push((page, 0));
+                    page = children[0];
+                }
+                Node::Leaf { .. } => {
+                    self.stack.push((page, 0));
+                    return Ok(());
                 }
             }
         }
@@ -411,7 +522,8 @@ mod tests {
 
     fn setup() -> (Pager, BTree) {
         let mut pager = Pager::new(Box::new(MemBackend::new()));
-        pager.allocate(); // fake header page
+        pager.allocate(); // stand-in for header slot 0
+        pager.allocate(); // stand-in for header slot 1
         let tree = BTree::create(&mut pager).unwrap();
         (pager, tree)
     }
@@ -468,7 +580,7 @@ mod tests {
             t.insert(&mut p, k.as_bytes(), vr(i)).unwrap();
         }
         // The root must have split at least once.
-        assert_ne!(t.root, PageId(1));
+        assert_ne!(t.root, PageId(2));
         // All keys retrievable.
         for i in 0..n {
             let k = format!("key{:06}", (i.wrapping_mul(2654435761_u32)) % n);
@@ -494,6 +606,67 @@ mod tests {
     }
 
     #[test]
+    fn cow_relocates_committed_pages() {
+        let (mut p, mut t) = setup();
+        for i in 0..200u32 {
+            t.insert(&mut p, format!("k{i:04}").as_bytes(), vr(i))
+                .unwrap();
+        }
+        p.flush().unwrap();
+        p.mark_committed();
+        let committed_root = t.root;
+        let extent = p.committed();
+        // Modifying the committed tree must not dirty any committed page.
+        t.insert(&mut p, b"k0100", vr(9999)).unwrap();
+        assert_ne!(t.root, committed_root, "root not relocated by CoW");
+        assert!(
+            t.root.0 >= extent,
+            "CoW root landed inside the committed extent"
+        );
+        // The old tree is still fully intact under its old root.
+        let old = BTree::open(committed_root);
+        assert_eq!(old.get(&mut p, b"k0100").unwrap(), Some(vr(100)));
+        assert_eq!(t.get(&mut p, b"k0100").unwrap(), Some(vr(9999)));
+        // Deletes relocate too.
+        let root_before = t.root;
+        p.flush().unwrap();
+        p.mark_committed();
+        assert!(t.delete(&mut p, b"k0000").unwrap());
+        assert_ne!(t.root, root_before);
+        assert_eq!(old.get(&mut p, b"k0000").unwrap(), Some(vr(0)));
+    }
+
+    #[test]
+    fn scan_spans_leaves_after_cow_relocation() {
+        let (mut p, mut t) = setup();
+        for i in 0..1000u32 {
+            t.insert(&mut p, format!("k{i:04}").as_bytes(), vr(i))
+                .unwrap();
+        }
+        p.flush().unwrap();
+        p.mark_committed();
+        // Relocate a handful of leaves via overwrites.
+        for i in (0..1000u32).step_by(97) {
+            t.insert(&mut p, format!("k{i:04}").as_bytes(), vr(i + 10_000))
+                .unwrap();
+        }
+        let mut c = t.seek(&mut p, b"").unwrap();
+        let mut count = 0u32;
+        let mut prev: Option<Vec<u8>> = None;
+        while let Some((k, v)) = c.next(&mut p).unwrap() {
+            if let Some(pv) = &prev {
+                assert!(pv < &k);
+            }
+            let i: u32 = String::from_utf8_lossy(&k[1..]).parse().unwrap();
+            let expect = if i.is_multiple_of(97) { i + 10_000 } else { i };
+            assert_eq!(v, vr(expect), "wrong value at {i}");
+            prev = Some(k);
+            count += 1;
+        }
+        assert_eq!(count, 1000);
+    }
+
+    #[test]
     fn seek_starts_mid_range() {
         let (mut p, mut t) = setup();
         for i in 0..100u32 {
@@ -515,6 +688,22 @@ mod tests {
         t.insert(&mut p, b"c", vr(3)).unwrap();
         let mut cur = t.seek(&mut p, b"b").unwrap();
         assert_eq!(cur.next(&mut p).unwrap().unwrap().0, b"c");
+    }
+
+    #[test]
+    fn scan_skips_leaves_emptied_by_deletes() {
+        let (mut p, mut t) = setup();
+        for i in 0..2000u32 {
+            t.insert(&mut p, format!("k{i:04}").as_bytes(), vr(i))
+                .unwrap();
+        }
+        // Empty out a contiguous stretch of keys (several whole leaves).
+        for i in 400..1200u32 {
+            assert!(t.delete(&mut p, format!("k{i:04}").as_bytes()).unwrap());
+        }
+        let mut c = t.seek(&mut p, b"k0399").unwrap();
+        assert_eq!(c.next(&mut p).unwrap().unwrap().0, b"k0399");
+        assert_eq!(c.next(&mut p).unwrap().unwrap().0, b"k1200");
     }
 
     #[test]
@@ -553,7 +742,6 @@ mod tests {
 
         let leaf = Node::Leaf {
             entries: vec![(b"a".to_vec(), vr(7))],
-            next: Some(PageId(11)),
         };
         leaf.write_page(&mut buf);
         assert_eq!(Node::parse(PageId(9), &buf).unwrap(), leaf);
@@ -563,5 +751,24 @@ mod tests {
     fn parse_rejects_unknown_tag() {
         let buf = [9u8; PAGE_SIZE];
         assert!(Node::parse(PageId(0), &buf).is_err());
+    }
+
+    #[test]
+    fn cyclic_tree_errors_instead_of_looping() {
+        // A root that points at itself must surface as CorruptPage.
+        let mut p = Pager::new(Box::new(MemBackend::new()));
+        let root = p.allocate();
+        let node = Node::Internal {
+            keys: vec![b"m".to_vec()],
+            children: vec![root, root],
+        };
+        write_node(&mut p, root, &node).unwrap();
+        let t = BTree::open(root);
+        assert!(matches!(
+            t.get(&mut p, b"q"),
+            Err(StorageError::CorruptPage(_, "tree deeper than MAX_DEPTH"))
+        ));
+        let err = t.seek(&mut p, b"");
+        assert!(matches!(err, Err(StorageError::CorruptPage(_, _))));
     }
 }

@@ -1,0 +1,317 @@
+//! Deterministic fault injection for crash-safety tests.
+//!
+//! [`FaultBackend`] wraps any [`Backend`] and simulates a process kill (or
+//! power loss) at an exact backend-operation index, optionally mangling
+//! the in-flight write the way real storage does: dropping it, tearing it
+//! (a prefix lands, the rest does not), or flipping one bit. It can also
+//! fail an `fsync` without crashing, which exercises the retry path.
+//!
+//! Tests pair it with [`SharedMemBackend`] so the "disk" survives the
+//! simulated crash: the backend handed to the store and the handle kept by
+//! the test share one page vector, and [`SharedMemBackend::snapshot`]
+//! captures what a post-crash reopen would see.
+
+use crate::pager::{Backend, MemBackend, PageId, PAGE_SIZE};
+use crate::{Result, StorageError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// What happens to the write at the crash point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashMode {
+    /// The write is lost entirely (never reached the device).
+    DropWrite,
+    /// A torn 4 KiB write: a random-length prefix lands over the old page
+    /// content, the tail does not.
+    TornWrite,
+    /// The write lands with a single bit flipped (media corruption that
+    /// only checksums can catch).
+    BitFlip,
+    /// The write lands intact; the crash hits immediately after.
+    AfterWrite,
+}
+
+/// Configuration for a [`FaultBackend`].
+#[derive(Clone, Copy, Debug)]
+pub struct FaultConfig {
+    /// Crash on the operation with this index (writes and syncs share one
+    /// 0-based counter). `None` never crashes.
+    pub crash_after_ops: Option<u64>,
+    /// How the crashing write is mangled (ignored when the crashing
+    /// operation is a sync).
+    pub mode: CrashMode,
+    /// Fail the Nth sync (0-based, counted separately) with an I/O error
+    /// *without* crashing — the backend stays usable, so the caller can
+    /// retry. `None` never fails a sync.
+    pub fail_sync_at: Option<u64>,
+    /// Seed for torn-write lengths and bit-flip positions.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            crash_after_ops: None,
+            mode: CrashMode::AfterWrite,
+            fail_sync_at: None,
+            seed: 0,
+        }
+    }
+}
+
+/// A [`MemBackend`] behind a shared handle, so a test can inspect the
+/// "disk" after the store (which owns a clone of the handle) crashed.
+#[derive(Clone, Default)]
+pub struct SharedMemBackend {
+    pages: Rc<RefCell<MemBackend>>,
+}
+
+impl SharedMemBackend {
+    /// Creates an empty shared backend.
+    pub fn new() -> SharedMemBackend {
+        SharedMemBackend::default()
+    }
+
+    /// A point-in-time copy of the persisted pages — what a reopen after
+    /// the crash would read.
+    pub fn snapshot(&self) -> MemBackend {
+        self.pages.borrow().clone()
+    }
+}
+
+impl From<MemBackend> for SharedMemBackend {
+    /// Wraps an existing page vector (e.g. a [`SharedMemBackend::snapshot`])
+    /// so it can be reopened and written again.
+    fn from(pages: MemBackend) -> SharedMemBackend {
+        SharedMemBackend {
+            pages: Rc::new(RefCell::new(pages)),
+        }
+    }
+}
+
+impl Backend for SharedMemBackend {
+    fn read_page(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        self.pages.borrow_mut().read_page(id, buf)
+    }
+
+    fn write_page(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
+        self.pages.borrow_mut().write_page(id, buf)
+    }
+
+    fn page_count(&self) -> u32 {
+        self.pages.borrow().page_count()
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.pages.borrow_mut().sync()
+    }
+}
+
+fn crashed_err() -> StorageError {
+    StorageError::Io(std::io::Error::other("simulated crash: device gone"))
+}
+
+/// A fault-injecting wrapper around a [`Backend`]. See the module docs.
+pub struct FaultBackend {
+    inner: Box<dyn Backend>,
+    cfg: FaultConfig,
+    /// Completed operations (shared so the test can read the count after
+    /// the backend moved into a store).
+    ops: Rc<Cell<u64>>,
+    syncs: u64,
+    crashed: bool,
+}
+
+impl FaultBackend {
+    /// Wraps `inner` with the given fault plan.
+    pub fn new(inner: Box<dyn Backend>, cfg: FaultConfig) -> FaultBackend {
+        FaultBackend {
+            inner,
+            cfg,
+            ops: Rc::new(Cell::new(0)),
+            syncs: 0,
+            crashed: false,
+        }
+    }
+
+    /// Handle to the operation counter (clone it before boxing the backend
+    /// into a store).
+    pub fn op_counter(&self) -> Rc<Cell<u64>> {
+        Rc::clone(&self.ops)
+    }
+
+    fn check_alive(&self) -> Result<()> {
+        if self.crashed {
+            Err(crashed_err())
+        } else {
+            Ok(())
+        }
+    }
+
+    fn crash_now(&self) -> bool {
+        self.cfg.crash_after_ops == Some(self.ops.get())
+    }
+}
+
+impl Backend for FaultBackend {
+    fn read_page(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        self.check_alive()?;
+        self.inner.read_page(id, buf)
+    }
+
+    fn write_page(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
+        self.check_alive()?;
+        if self.crash_now() {
+            self.crashed = true;
+            // Vary the mangling per crash point but keep it reproducible.
+            let mut rng =
+                StdRng::seed_from_u64(self.cfg.seed ^ self.ops.get().wrapping_mul(0x9E37_79B9));
+            match self.cfg.mode {
+                CrashMode::DropWrite => {}
+                CrashMode::TornWrite => {
+                    let mut torn = [0u8; PAGE_SIZE];
+                    if id.0 < self.inner.page_count() {
+                        self.inner.read_page(id, &mut torn)?;
+                    }
+                    let keep = rng.gen_range(1..PAGE_SIZE);
+                    torn[..keep].copy_from_slice(&buf[..keep]);
+                    self.inner.write_page(id, &torn)?;
+                }
+                CrashMode::BitFlip => {
+                    let mut flipped = *buf;
+                    let bit = rng.gen_range(0..PAGE_SIZE * 8);
+                    flipped[bit / 8] ^= 1 << (bit % 8);
+                    self.inner.write_page(id, &flipped)?;
+                }
+                CrashMode::AfterWrite => {
+                    self.inner.write_page(id, buf)?;
+                }
+            }
+            return Err(crashed_err());
+        }
+        self.inner.write_page(id, buf)?;
+        self.ops.set(self.ops.get() + 1);
+        Ok(())
+    }
+
+    fn page_count(&self) -> u32 {
+        self.inner.page_count()
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.check_alive()?;
+        if self.cfg.fail_sync_at == Some(self.syncs) {
+            self.syncs += 1;
+            return Err(StorageError::Io(std::io::Error::other(
+                "injected fsync failure",
+            )));
+        }
+        self.syncs += 1;
+        if self.crash_now() {
+            // A sync has no payload to tear: the crash simply means the
+            // barrier never completed.
+            self.crashed = true;
+            return Err(crashed_err());
+        }
+        self.inner.sync()?;
+        self.ops.set(self.ops.get() + 1);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_ops_without_faults() {
+        let mut fb = FaultBackend::new(Box::new(MemBackend::new()), FaultConfig::default());
+        let ops = fb.op_counter();
+        fb.write_page(PageId(0), &[1u8; PAGE_SIZE]).unwrap();
+        fb.sync().unwrap();
+        fb.write_page(PageId(1), &[2u8; PAGE_SIZE]).unwrap();
+        assert_eq!(ops.get(), 3);
+    }
+
+    #[test]
+    fn crash_kills_all_later_operations() {
+        let mut fb = FaultBackend::new(
+            Box::new(MemBackend::new()),
+            FaultConfig {
+                crash_after_ops: Some(1),
+                ..FaultConfig::default()
+            },
+        );
+        fb.write_page(PageId(0), &[1u8; PAGE_SIZE]).unwrap();
+        assert!(fb.write_page(PageId(1), &[2u8; PAGE_SIZE]).is_err());
+        let mut buf = [0u8; PAGE_SIZE];
+        assert!(fb.read_page(PageId(0), &mut buf).is_err());
+        assert!(fb.sync().is_err());
+        assert!(fb.write_page(PageId(2), &[3u8; PAGE_SIZE]).is_err());
+    }
+
+    #[test]
+    fn torn_write_keeps_a_prefix_over_old_content() {
+        let shared = SharedMemBackend::new();
+        let mut seeder = shared.clone();
+        seeder.write_page(PageId(0), &[0xAAu8; PAGE_SIZE]).unwrap();
+        let mut fb = FaultBackend::new(
+            Box::new(shared.clone()),
+            FaultConfig {
+                crash_after_ops: Some(0),
+                mode: CrashMode::TornWrite,
+                seed: 7,
+                ..FaultConfig::default()
+            },
+        );
+        assert!(fb.write_page(PageId(0), &[0xBBu8; PAGE_SIZE]).is_err());
+        let mut snap = shared.snapshot();
+        let mut buf = [0u8; PAGE_SIZE];
+        snap.read_page(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf[0], 0xBB, "no prefix of the new write landed");
+        assert_eq!(
+            buf[PAGE_SIZE - 1],
+            0xAA,
+            "the whole write landed — not torn"
+        );
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let shared = SharedMemBackend::new();
+        let mut fb = FaultBackend::new(
+            Box::new(shared.clone()),
+            FaultConfig {
+                crash_after_ops: Some(0),
+                mode: CrashMode::BitFlip,
+                seed: 3,
+                ..FaultConfig::default()
+            },
+        );
+        let page = [0u8; PAGE_SIZE];
+        assert!(fb.write_page(PageId(0), &page).is_err());
+        let mut snap = shared.snapshot();
+        let mut buf = [0u8; PAGE_SIZE];
+        snap.read_page(PageId(0), &mut buf).unwrap();
+        let ones: u32 = buf.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 1);
+    }
+
+    #[test]
+    fn failed_sync_does_not_crash_the_backend() {
+        let mut fb = FaultBackend::new(
+            Box::new(MemBackend::new()),
+            FaultConfig {
+                fail_sync_at: Some(0),
+                ..FaultConfig::default()
+            },
+        );
+        fb.write_page(PageId(0), &[1u8; PAGE_SIZE]).unwrap();
+        assert!(fb.sync().is_err());
+        // Still alive: the retry succeeds.
+        fb.sync().unwrap();
+        fb.write_page(PageId(1), &[2u8; PAGE_SIZE]).unwrap();
+    }
+}

@@ -1,10 +1,11 @@
 //! Out-of-line value storage in contiguous page runs.
 //!
-//! A value of `len` bytes is stored as `ceil(len / PAGE_SIZE)` consecutive
-//! pages; the B+-tree leaf remembers `(first_page, len)`. Values are
+//! A value of `len` bytes is stored as `ceil(len / PAGE_DATA)` consecutive
+//! pages (the last 8 bytes of every page belong to the pager's checksum
+//! trailer); the B+-tree leaf remembers `(first_page, len)`. Values are
 //! immutable once written — overwriting a key writes a fresh run.
 
-use crate::pager::{PageId, Pager, PAGE_SIZE};
+use crate::pager::{PageId, Pager, PAGE_DATA};
 use crate::Result;
 
 /// Location of a stored value.
@@ -16,6 +17,13 @@ pub struct ValueRef {
     pub len: u32,
 }
 
+impl ValueRef {
+    /// Pages the run occupies.
+    pub(crate) fn page_span(&self) -> u32 {
+        (self.len as usize).div_ceil(PAGE_DATA) as u32
+    }
+}
+
 /// Writes `value` into freshly allocated pages.
 pub fn write_value(pager: &mut Pager, value: &[u8]) -> Result<ValueRef> {
     let len = u32::try_from(value.len()).expect("values larger than 4 GiB are unsupported");
@@ -25,9 +33,9 @@ pub fn write_value(pager: &mut Pager, value: &[u8]) -> Result<ValueRef> {
             len: 0,
         });
     }
-    let npages = value.len().div_ceil(PAGE_SIZE) as u32;
+    let npages = value.len().div_ceil(PAGE_DATA) as u32;
     let first = pager.allocate_run(npages);
-    for (i, chunk) in value.chunks(PAGE_SIZE).enumerate() {
+    for (i, chunk) in value.chunks(PAGE_DATA).enumerate() {
         let page = pager.write(PageId(first.0 + i as u32))?;
         page[..chunk.len()].copy_from_slice(chunk);
     }
@@ -44,7 +52,7 @@ pub fn read_value(pager: &mut Pager, vref: ValueRef) -> Result<Vec<u8>> {
     let mut page = vref.first_page;
     while remaining > 0 {
         let data = pager.read(page)?;
-        let take = remaining.min(PAGE_SIZE);
+        let take = remaining.min(PAGE_DATA);
         out.extend_from_slice(&data[..take]);
         remaining -= take;
         page = PageId(page.0 + 1);
@@ -79,29 +87,41 @@ mod tests {
     }
 
     #[test]
-    fn exactly_one_page() {
+    fn exactly_one_page_of_payload() {
         let mut p = pager();
-        let v = [0xAB; PAGE_SIZE].to_vec();
+        let v = [0xAB; PAGE_DATA].to_vec();
         let r = write_value(&mut p, &v).unwrap();
         assert_eq!(read_value(&mut p, r).unwrap(), v);
         assert_eq!(p.page_count(), 2); // header + 1 value page
+        assert_eq!(r.page_span(), 1);
+    }
+
+    #[test]
+    fn one_byte_over_a_page_spills() {
+        let mut p = pager();
+        let v = vec![0xCD; PAGE_DATA + 1];
+        let r = write_value(&mut p, &v).unwrap();
+        assert_eq!(read_value(&mut p, r).unwrap(), v);
+        assert_eq!(p.page_count(), 3); // header + 2 value pages
+        assert_eq!(r.page_span(), 2);
     }
 
     #[test]
     fn multi_page_value_roundtrip() {
         let mut p = pager();
-        let v: Vec<u8> = (0..PAGE_SIZE * 3 + 17).map(|i| (i % 251) as u8).collect();
+        let v: Vec<u8> = (0..PAGE_DATA * 3 + 17).map(|i| (i % 251) as u8).collect();
         let r = write_value(&mut p, &v).unwrap();
         assert_eq!(read_value(&mut p, r).unwrap(), v);
         assert_eq!(p.page_count(), 1 + 4);
+        assert_eq!(r.page_span(), 4);
     }
 
     #[test]
     fn values_do_not_clobber_each_other() {
         let mut p = pager();
-        let a = write_value(&mut p, &vec![1u8; PAGE_SIZE + 1]).unwrap();
+        let a = write_value(&mut p, &vec![1u8; PAGE_DATA + 1]).unwrap();
         let b = write_value(&mut p, &[2u8; 10]).unwrap();
-        assert_eq!(read_value(&mut p, a).unwrap(), vec![1u8; PAGE_SIZE + 1]);
+        assert_eq!(read_value(&mut p, a).unwrap(), vec![1u8; PAGE_DATA + 1]);
         assert_eq!(read_value(&mut p, b).unwrap(), vec![2u8; 10]);
     }
 }

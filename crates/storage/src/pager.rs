@@ -1,6 +1,21 @@
-//! Page-granular I/O with a write-back cache and pluggable backends.
+//! Page-granular I/O with a write-back cache, per-page trailer checksums,
+//! and pluggable backends.
+//!
+//! Every page that goes through [`Pager::flush`] carries an 8-byte FNV-64
+//! checksum trailer over its first [`PAGE_DATA`] bytes. The trailer is
+//! stamped when a dirty page is written back and verified on every cache
+//! miss, so a torn write or a flipped bit on the backing store surfaces as
+//! [`StorageError::CorruptPage`] instead of silently feeding garbage to
+//! the B+-tree.
+//!
+//! The pager also tracks the **committed extent**: the page count recorded
+//! by the last successful store commit. Pages below the extent belong to
+//! the committed state and are treated as immutable by the layers above
+//! (copy-on-write); [`Pager::flush`] asserts that no dirty page ever sits
+//! below the extent, which is the invariant that makes header-slot
+//! rollback recovery sound.
 
-use crate::{Result, StorageError};
+use crate::{fnv64, Result, StorageError};
 use approxql_metrics::Metric;
 use std::collections::HashMap;
 use std::fmt;
@@ -11,7 +26,25 @@ use std::path::Path;
 /// The fixed page size of the store.
 pub const PAGE_SIZE: usize = 4096;
 
-/// A page number within the store file. Page 0 is the header.
+/// Bytes of checksum trailer at the end of every page.
+pub const PAGE_TRAILER: usize = 8;
+
+/// Usable payload bytes per page (the trailer is pager-owned).
+pub const PAGE_DATA: usize = PAGE_SIZE - PAGE_TRAILER;
+
+/// Writes the FNV-64 checksum of `buf[..PAGE_DATA]` into the trailer.
+pub(crate) fn stamp_trailer(buf: &mut [u8; PAGE_SIZE]) {
+    let sum = fnv64(&buf[..PAGE_DATA]);
+    buf[PAGE_DATA..].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// Checks the trailer checksum of a page read from a backend.
+pub(crate) fn trailer_ok(buf: &[u8; PAGE_SIZE]) -> bool {
+    let stored = u64::from_le_bytes(buf[PAGE_DATA..].try_into().unwrap());
+    stored == fnv64(&buf[..PAGE_DATA])
+}
+
+/// A page number within the store file. Pages 0 and 1 are the header slots.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct PageId(pub u32);
 
@@ -94,7 +127,7 @@ impl Backend for FileBackend {
 }
 
 /// An in-memory backend (tests, ephemeral stores).
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct MemBackend {
     pages: Vec<Box<[u8; PAGE_SIZE]>>,
 }
@@ -167,6 +200,9 @@ pub struct Pager {
     hand: usize,
     capacity: usize,
     next_page: u32,
+    /// Pages `< committed` belong to the last committed state and must
+    /// never be rewritten in place (copy-on-write discipline).
+    committed: u32,
 }
 
 impl Pager {
@@ -185,6 +221,7 @@ impl Pager {
             hand: 0,
             capacity: capacity.max(1),
             next_page,
+            committed: next_page,
         }
     }
 
@@ -196,6 +233,44 @@ impl Pager {
     /// Number of pages currently held in the cache.
     pub fn cached_pages(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Number of pages the raw backend currently holds.
+    pub fn backend_pages(&self) -> u32 {
+        self.backend.page_count()
+    }
+
+    /// The committed extent: pages below it are immutable (copy-on-write).
+    pub fn committed(&self) -> u32 {
+        self.committed
+    }
+
+    /// `true` if `id` is part of the last committed state and must be
+    /// relocated (not rewritten in place) on modification.
+    pub fn is_committed(&self, id: PageId) -> bool {
+        id.0 < self.committed
+    }
+
+    /// Advances the committed extent to cover every allocated page. Called
+    /// by the store after a commit becomes durable.
+    pub fn mark_committed(&mut self) {
+        self.committed = self.next_page;
+    }
+
+    /// `true` if any cached page holds unflushed data.
+    pub fn has_dirty(&self) -> bool {
+        self.cache.values().any(|f| f.dirty)
+    }
+
+    /// Rewinds the allocation cursor to `pages` (recovery rollback: pages
+    /// at or beyond the last committed extent are logically discarded and
+    /// will be overwritten by future allocations).
+    pub fn truncate_to(&mut self, pages: u32) {
+        self.next_page = pages;
+        self.cache.retain(|id, _| id.0 < pages);
+        let cache = &self.cache;
+        self.ring.retain(|id| cache.contains_key(id));
+        self.hand = 0;
     }
 
     /// Evicts one clean page via the clock sweep. Returns `false` when
@@ -279,14 +354,28 @@ impl Pager {
         self.next_page
     }
 
+    /// Reads a page from the backend into a fresh frame buffer, verifying
+    /// the trailer checksum.
+    fn fetch_checked(&mut self, id: PageId) -> Result<Box<[u8; PAGE_SIZE]>> {
+        Metric::PagerCacheMisses.incr();
+        let mut buf = Box::new([0u8; PAGE_SIZE]);
+        self.backend.read_page(id, &mut buf)?;
+        if !trailer_ok(&buf) {
+            Metric::PagerChecksumFailures.incr();
+            return Err(StorageError::CorruptPage(
+                id,
+                "page trailer checksum mismatch",
+            ));
+        }
+        Ok(buf)
+    }
+
     /// Reads page `id` (through the cache).
     pub fn read(&mut self, id: PageId) -> Result<&[u8; PAGE_SIZE]> {
         Metric::PagerPageReads.incr();
         self.enforce_budget();
         if !self.cache.contains_key(&id) {
-            Metric::PagerCacheMisses.incr();
-            let mut buf = Box::new([0u8; PAGE_SIZE]);
-            self.backend.read_page(id, &mut buf)?;
+            let buf = self.fetch_checked(id)?;
             self.insert_frame(
                 id,
                 Frame {
@@ -306,11 +395,12 @@ impl Pager {
         Metric::PagerPageWrites.incr();
         self.enforce_budget();
         if !self.cache.contains_key(&id) {
-            Metric::PagerCacheMisses.incr();
-            let mut buf = Box::new([0u8; PAGE_SIZE]);
-            if id.0 < self.backend.page_count() {
-                self.backend.read_page(id, &mut buf)?;
-            }
+            let buf = if id.0 < self.backend.page_count() {
+                self.fetch_checked(id)?
+            } else {
+                Metric::PagerCacheMisses.incr();
+                Box::new([0u8; PAGE_SIZE])
+            };
             self.insert_frame(
                 id,
                 Frame {
@@ -326,7 +416,11 @@ impl Pager {
         Ok(&mut frame.buf)
     }
 
-    /// Writes all dirty pages back and syncs the backend.
+    /// Writes all dirty pages back (stamping their checksum trailers) and
+    /// syncs the backend. Pages are only marked clean after the sync
+    /// succeeds: a failed backend write or sync leaves every page of the
+    /// batch dirty, so the whole flush is retryable and nothing is lost
+    /// from the cache.
     pub fn flush(&mut self) -> Result<()> {
         let mut dirty: Vec<PageId> = self
             .cache
@@ -336,13 +430,49 @@ impl Pager {
             .collect();
         dirty.sort();
         Metric::PagerFlushes.incr();
-        Metric::PagerBackendWrites.add(dirty.len() as u64);
-        for id in dirty {
+        for &id in &dirty {
+            // Copy-on-write invariant: committed pages are immutable, so a
+            // crash mid-flush can only tear pages the committed header
+            // never references.
+            debug_assert!(
+                !self.is_committed(id),
+                "flush would overwrite committed page {id}"
+            );
             let frame = self.cache.get_mut(&id).unwrap();
+            stamp_trailer(&mut frame.buf);
             self.backend.write_page(id, &frame.buf)?;
-            frame.dirty = false;
+            Metric::PagerBackendWrites.incr();
         }
+        self.backend.sync()?;
+        for id in dirty {
+            self.cache.get_mut(&id).unwrap().dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Writes one page straight to the backend, bypassing the write-back
+    /// cache (used for the atomic header-slot write of the commit
+    /// protocol). Any cached copy of the page is dropped so the cache never
+    /// shadows the slot.
+    pub fn write_direct(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
+        self.cache.remove(&id);
+        self.backend.write_page(id, buf)?;
+        if id.0 >= self.next_page {
+            self.next_page = id.0 + 1;
+        }
+        Ok(())
+    }
+
+    /// Syncs the backend (a durability barrier, no page writes).
+    pub fn sync(&mut self) -> Result<()> {
         self.backend.sync()
+    }
+
+    /// Reads one page straight from the backend without trailer
+    /// verification or caching (header-slot parsing and integrity scans do
+    /// their own validation).
+    pub fn read_raw(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        self.backend.read_page(id, buf)
     }
 
     /// Drops the clean cache contents (testing aid to force re-reads).
@@ -401,6 +531,149 @@ mod tests {
         p.flush().unwrap();
         p.evict_clean();
         assert_eq!(p.read(a).unwrap()[10], 9);
+    }
+
+    #[test]
+    fn flushed_pages_carry_valid_trailers() {
+        let mut p = Pager::new(Box::new(MemBackend::new()));
+        let a = p.allocate();
+        p.write(a).unwrap()[0] = 0xAA;
+        p.flush().unwrap();
+        let mut raw = [0u8; PAGE_SIZE];
+        p.read_raw(a, &mut raw).unwrap();
+        assert!(trailer_ok(&raw));
+        assert_eq!(raw[0], 0xAA);
+    }
+
+    #[test]
+    fn corrupted_backend_page_fails_checksum_on_read() {
+        let mut backend = MemBackend::new();
+        // A page that never went through flush has no valid trailer.
+        backend.write_page(PageId(0), &[3u8; PAGE_SIZE]).unwrap();
+        let mut p = Pager::new(Box::new(backend));
+        let before = approxql_metrics::snapshot();
+        assert!(matches!(
+            p.read(PageId(0)),
+            Err(StorageError::CorruptPage(PageId(0), _))
+        ));
+        let delta = approxql_metrics::snapshot().diff(&before);
+        assert_eq!(delta.get(Metric::PagerChecksumFailures), 1);
+    }
+
+    #[test]
+    fn single_flipped_bit_is_detected() {
+        let mut shared = MemBackend::new();
+        {
+            let mut p = Pager::new(Box::new(shared.clone()));
+            let a = p.allocate();
+            p.write(a).unwrap()[100] = 5;
+            p.flush().unwrap();
+            // Pull the flushed page out of the pager's backend.
+            let mut raw = [0u8; PAGE_SIZE];
+            p.read_raw(a, &mut raw).unwrap();
+            shared.write_page(a, &raw).unwrap();
+        }
+        for &bit in &[0usize, 100 * 8, PAGE_DATA * 8 - 1, PAGE_SIZE * 8 - 1] {
+            let mut corrupted = shared.clone();
+            let mut raw = [0u8; PAGE_SIZE];
+            corrupted.read_page(PageId(0), &mut raw).unwrap();
+            raw[bit / 8] ^= 1 << (bit % 8);
+            corrupted.write_page(PageId(0), &raw).unwrap();
+            let mut p = Pager::new(Box::new(corrupted));
+            assert!(
+                matches!(p.read(PageId(0)), Err(StorageError::CorruptPage(_, _))),
+                "flip of bit {bit} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn failed_write_leaves_all_pages_dirty_and_retryable() {
+        /// Fails the Nth write_page call, then heals.
+        struct FailNth {
+            inner: MemBackend,
+            writes: u32,
+            fail_at: Option<u32>,
+        }
+        impl Backend for FailNth {
+            fn read_page(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
+                self.inner.read_page(id, buf)
+            }
+            fn write_page(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
+                if self.fail_at == Some(self.writes) {
+                    self.fail_at = None;
+                    return Err(StorageError::Io(std::io::Error::other("injected")));
+                }
+                self.writes += 1;
+                self.inner.write_page(id, buf)
+            }
+            fn page_count(&self) -> u32 {
+                self.inner.page_count()
+            }
+            fn sync(&mut self) -> Result<()> {
+                Ok(())
+            }
+        }
+        let mut p = Pager::new(Box::new(FailNth {
+            inner: MemBackend::new(),
+            writes: 0,
+            fail_at: Some(2),
+        }));
+        let ids: Vec<PageId> = (0..4).map(|_| p.allocate()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            p.write(id).unwrap()[0] = i as u8 + 1;
+        }
+        assert!(p.flush().is_err());
+        // Every page of the failed batch must still be dirty (retryable),
+        // including the ones whose backend write succeeded before the
+        // failure: nothing was synced, so nothing may be forgotten.
+        assert!(p.has_dirty());
+        let dirty_count = ids.iter().filter(|_| true).count();
+        assert_eq!(dirty_count, 4);
+        p.flush().unwrap();
+        assert!(!p.has_dirty());
+        p.evict_clean();
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(p.read(id).unwrap()[0], i as u8 + 1);
+        }
+    }
+
+    #[test]
+    fn failed_sync_leaves_pages_dirty() {
+        struct FailSync {
+            inner: MemBackend,
+            fail_next_sync: bool,
+        }
+        impl Backend for FailSync {
+            fn read_page(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
+                self.inner.read_page(id, buf)
+            }
+            fn write_page(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
+                self.inner.write_page(id, buf)
+            }
+            fn page_count(&self) -> u32 {
+                self.inner.page_count()
+            }
+            fn sync(&mut self) -> Result<()> {
+                if self.fail_next_sync {
+                    self.fail_next_sync = false;
+                    return Err(StorageError::Io(std::io::Error::other("fsync lost")));
+                }
+                Ok(())
+            }
+        }
+        let mut p = Pager::new(Box::new(FailSync {
+            inner: MemBackend::new(),
+            fail_next_sync: true,
+        }));
+        let a = p.allocate();
+        p.write(a).unwrap()[0] = 7;
+        assert!(p.flush().is_err());
+        // After a failed fsync the OS may have dropped the write; the page
+        // must stay dirty so the retry rewrites it.
+        assert!(p.has_dirty());
+        p.flush().unwrap();
+        assert!(!p.has_dirty());
     }
 
     #[test]
@@ -497,6 +770,24 @@ mod tests {
             0,
             "re-referenced page 1 was evicted despite its second chance"
         );
+    }
+
+    #[test]
+    fn committed_extent_tracking() {
+        let mut p = Pager::new(Box::new(MemBackend::new()));
+        let a = p.allocate();
+        assert!(!p.is_committed(a));
+        p.write(a).unwrap()[0] = 1;
+        p.flush().unwrap();
+        p.mark_committed();
+        assert!(p.is_committed(a));
+        let b = p.allocate();
+        assert!(!p.is_committed(b));
+        // Rollback: the allocation cursor rewinds and the next allocation
+        // reuses the discarded page id.
+        p.truncate_to(1);
+        let c = p.allocate();
+        assert_eq!(c, b);
     }
 
     #[test]

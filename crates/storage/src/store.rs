@@ -1,22 +1,99 @@
-//! The public store facade: header management + B+-tree + value heap.
+//! The public store facade: dual-slot header management + B+-tree +
+//! value heap.
+//!
+//! ## Header slots
+//!
+//! Pages 0 and 1 each hold one header slot (separate pages, so a single
+//! torn 4 KiB write can never destroy both):
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic "AXQLSTOR"
+//!      8     4  format version (little-endian u32, currently 2)
+//!     12     4  B+-tree root page
+//!     16     8  commit sequence number (monotone, starts at 1)
+//!     24     4  committed page count (the extent the commit spans)
+//!     28     …  zero padding
+//!   4088     8  FNV-64 checksum of bytes [0, 4088)
+//! ```
+//!
+//! Commit `n` writes slot `n % 2`, so the previous commit's slot is never
+//! overwritten. [`Store::open`] takes the valid slot with the highest
+//! sequence number; a torn newest slot therefore rolls back to the
+//! previous commit instead of erroring.
 
 use crate::btree::{BTree, Cursor};
+use crate::check::CheckReport;
 use crate::heap::{read_value, write_value};
-use crate::pager::{Backend, FileBackend, MemBackend, PageId, Pager, PAGE_SIZE};
+use crate::pager::PAGE_SIZE;
+use crate::pager::{stamp_trailer, trailer_ok, Backend, FileBackend, MemBackend, PageId, Pager};
 use crate::{Result, StorageError};
-use approxql_metrics::{time, TimerMetric};
+use approxql_metrics::{time, Metric, TimerMetric};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"AXQLSTOR";
-const VERSION: u32 = 1;
 
-fn fnv64(data: &[u8]) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
+/// On-disk format version. Version 2 added page-trailer checksums and
+/// dual-slot crash-safe commits; version-1 files are rejected with
+/// [`StorageError::BadVersion`].
+pub const FORMAT_VERSION: u32 = 2;
+
+/// First page a B+-tree node or value run may occupy (0 and 1 are the
+/// header slots).
+pub(crate) const FIRST_DATA_PAGE: u32 = 2;
+
+/// A decoded, validated header slot.
+#[derive(Clone, Copy, Debug)]
+struct Header {
+    root: u32,
+    csn: u64,
+    pages: u32,
+}
+
+/// Classification of one header slot during recovery.
+enum SlotState {
+    /// The page is beyond the end of the file.
+    Missing,
+    /// No store magic — this was never a header.
+    BadMagic,
+    /// Magic present but a different format version.
+    WrongVersion(u32),
+    /// A version-2 slot whose checksum or fields do not validate (torn
+    /// write or corruption).
+    Corrupt,
+    /// A validly checksummed slot claiming more pages than the file holds.
+    Truncated {
+        claimed: u32,
+    },
+    Valid(Header),
+}
+
+fn read_slot(pager: &mut Pager, index: u32, backend_pages: u32) -> Result<SlotState> {
+    if index >= backend_pages {
+        return Ok(SlotState::Missing);
     }
-    h
+    let mut buf = [0u8; PAGE_SIZE];
+    pager.read_raw(PageId(index), &mut buf)?;
+    if &buf[0..8] != MAGIC {
+        return Ok(SlotState::BadMagic);
+    }
+    let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Ok(SlotState::WrongVersion(version));
+    }
+    if !trailer_ok(&buf) {
+        return Ok(SlotState::Corrupt);
+    }
+    let root = u32::from_le_bytes(buf[12..16].try_into().unwrap());
+    let csn = u64::from_le_bytes(buf[16..24].try_into().unwrap());
+    let pages = u32::from_le_bytes(buf[24..28].try_into().unwrap());
+    if pages > backend_pages {
+        return Ok(SlotState::Truncated { claimed: pages });
+    }
+    if pages < FIRST_DATA_PAGE + 1 || root < FIRST_DATA_PAGE || root >= pages || csn == 0 {
+        return Ok(SlotState::Corrupt);
+    }
+    Ok(SlotState::Valid(Header { root, csn, pages }))
 }
 
 /// An ordered, persistent key/value store. See the crate docs for the
@@ -29,40 +106,90 @@ fn fnv64(data: &[u8]) -> u64 {
 /// assert_eq!(s.get(b"title#piano").unwrap().as_deref(), Some(&b"posting bytes"[..]));
 /// ```
 pub struct Store {
-    pager: Pager,
-    tree: BTree,
+    pub(crate) pager: Pager,
+    pub(crate) tree: BTree,
+    csn: u64,
 }
 
 impl Store {
-    /// Creates a store over a fresh backend.
+    /// Creates a store over a fresh backend (and commits the empty state,
+    /// so a crash right after creation still leaves an openable file).
     pub fn create(backend: Box<dyn Backend>) -> Result<Store> {
         let mut pager = Pager::new(backend);
-        let header = pager.allocate();
-        debug_assert_eq!(header, PageId(0));
+        let slot0 = pager.allocate();
+        let slot1 = pager.allocate();
+        debug_assert_eq!((slot0, slot1), (PageId(0), PageId(1)));
         let tree = BTree::create(&mut pager)?;
-        let mut store = Store { pager, tree };
-        store.write_header()?;
+        let mut store = Store {
+            pager,
+            tree,
+            csn: 0,
+        };
+        store.commit()?;
         Ok(store)
     }
 
-    /// Opens a store from an existing backend.
+    /// Opens a store from an existing backend, recovering to the newest
+    /// commit whose header slot validates.
     pub fn open(backend: Box<dyn Backend>) -> Result<Store> {
         let mut pager = Pager::new(backend);
-        let page = pager.read(PageId(0))?;
-        if &page[0..8] != MAGIC {
-            return Err(StorageError::NotAStore);
+        let backend_pages = pager.backend_pages();
+        let slot0 = read_slot(&mut pager, 0, backend_pages)?;
+        if let SlotState::WrongVersion(v) = slot0 {
+            // A version-1 file carries its (only) header at page 0.
+            return Err(StorageError::BadVersion(v));
         }
-        let version = u32::from_le_bytes(page[8..12].try_into().unwrap());
-        if version != VERSION {
-            return Err(StorageError::BadVersion(version));
+        let slot1 = read_slot(&mut pager, 1, backend_pages)?;
+
+        let mut best: Option<Header> = None;
+        let mut rejected_real_slot = false;
+        let mut truncated_claim: Option<u32> = None;
+        for state in [&slot0, &slot1] {
+            match state {
+                SlotState::Valid(h) => {
+                    if best.is_none_or(|b| h.csn > b.csn) {
+                        best = Some(*h);
+                    }
+                }
+                SlotState::Truncated { claimed } => {
+                    rejected_real_slot = true;
+                    truncated_claim = Some(*claimed);
+                }
+                SlotState::Corrupt | SlotState::WrongVersion(_) => rejected_real_slot = true,
+                SlotState::Missing | SlotState::BadMagic => {}
+            }
         }
-        let root = u32::from_le_bytes(page[12..16].try_into().unwrap());
-        let checksum = u64::from_le_bytes(page[16..24].try_into().unwrap());
-        if checksum != fnv64(&page[0..16]) {
-            return Err(StorageError::CorruptHeader);
-        }
-        let tree = BTree::open(PageId(root));
-        Ok(Store { pager, tree })
+
+        let header = match best {
+            Some(h) => {
+                if rejected_real_slot {
+                    // The newer commit attempt was torn or damaged: we are
+                    // falling back to the previous durable commit.
+                    Metric::StoreRecoveryRollbacks.incr();
+                }
+                h
+            }
+            None => {
+                return Err(match truncated_claim {
+                    Some(claimed) => StorageError::Truncated {
+                        claimed_pages: claimed,
+                        actual_pages: backend_pages,
+                    },
+                    None if rejected_real_slot => StorageError::CorruptHeader,
+                    None => StorageError::NotAStore,
+                });
+            }
+        };
+
+        // Discard everything past the committed extent (pages written by
+        // a commit that never completed) and freeze the extent.
+        pager.truncate_to(header.pages);
+        pager.mark_committed();
+        Ok(Store {
+            pager,
+            tree: BTree::open(PageId(header.root)),
+            csn: header.csn,
+        })
     }
 
     /// Creates a store file at `path` (truncating any existing file).
@@ -78,17 +205,6 @@ impl Store {
     /// Creates an ephemeral in-memory store.
     pub fn in_memory() -> Result<Store> {
         Store::create(Box::new(MemBackend::new()))
-    }
-
-    fn write_header(&mut self) -> Result<()> {
-        let root = self.tree.root.0;
-        let page = self.pager.write(PageId(0))?;
-        page[0..8].copy_from_slice(MAGIC);
-        page[8..12].copy_from_slice(&VERSION.to_le_bytes());
-        page[12..16].copy_from_slice(&root.to_le_bytes());
-        let checksum = fnv64(&page[0..16]);
-        page[16..24].copy_from_slice(&checksum.to_le_bytes());
-        Ok(())
     }
 
     /// Inserts or replaces `key`. The old value's pages (if any) are
@@ -155,16 +271,51 @@ impl Store {
         self.scan_range(b"", None)
     }
 
-    /// Flushes dirty pages and durably records the current tree root.
+    /// Durably commits the current state.
+    ///
+    /// Ordering: flush dirty data pages → sync → write the alternate
+    /// header slot with the next commit sequence number → sync. The slot
+    /// write is the commit point; the previous commit's slot is left
+    /// untouched, so a crash anywhere in this sequence recovers to either
+    /// the previous or (once the slot is durable) the new commit — never
+    /// a mixture. A failed commit leaves the store retryable: dirty pages
+    /// stay dirty and the sequence number does not advance.
     pub fn commit(&mut self) -> Result<()> {
         let _timer = time(TimerMetric::StoreCommit);
-        self.write_header()?;
-        self.pager.flush()
+        self.pager.flush()?;
+        let next_csn = self.csn + 1;
+        let mut buf = [0u8; PAGE_SIZE];
+        buf[0..8].copy_from_slice(MAGIC);
+        buf[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf[12..16].copy_from_slice(&self.tree.root.0.to_le_bytes());
+        buf[16..24].copy_from_slice(&next_csn.to_le_bytes());
+        buf[24..28].copy_from_slice(&self.pager.page_count().to_le_bytes());
+        stamp_trailer(&mut buf);
+        let slot = PageId((next_csn % 2) as u32);
+        self.pager.write_direct(slot, &buf)?;
+        self.pager.sync()?;
+        self.csn = next_csn;
+        self.pager.mark_committed();
+        Metric::StoreCommits.incr();
+        Ok(())
+    }
+
+    /// The sequence number of the last durable commit (starts at 1 for a
+    /// freshly created store).
+    pub fn commit_sequence(&self) -> u64 {
+        self.csn
     }
 
     /// Total pages in the store (a size/fragmentation metric).
     pub fn page_count(&self) -> u32 {
         self.pager.page_count()
+    }
+
+    /// Verifies the integrity of the committed state: every page checksum,
+    /// every B+-tree invariant, every out-of-line value run. See
+    /// [`CheckReport`].
+    pub fn check(&mut self) -> Result<CheckReport> {
+        crate::check::run_check(&mut self.pager, self.tree.root, self.csn)
     }
 
     /// Copies every live entry into `target`, dropping leaked pages.
@@ -218,13 +369,10 @@ impl StoreIter<'_> {
     }
 }
 
-// Keep PAGE_SIZE referenced so the doc link in lib.rs stays valid even if
-// unused here.
-const _: () = assert!(PAGE_SIZE >= 1024);
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fnv64;
 
     #[test]
     fn put_get_delete() {
@@ -303,14 +451,17 @@ mod tests {
                     .unwrap();
             }
             s.commit().unwrap();
+            assert_eq!(s.commit_sequence(), 2); // create + this commit
         }
         {
             let mut s = Store::open_file(&path).unwrap();
+            assert_eq!(s.commit_sequence(), 2);
             assert_eq!(
                 s.get(b"key01234").unwrap(),
                 Some(1234u32.to_le_bytes().to_vec())
             );
             assert_eq!(s.iter_all().unwrap().collect_all().unwrap().len(), 2000);
+            s.check().unwrap();
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -320,7 +471,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("axql-store2-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("garbage.db");
-        std::fs::write(&path, vec![0u8; PAGE_SIZE]).unwrap();
+        std::fs::write(&path, vec![0u8; PAGE_SIZE * 2]).unwrap();
         assert!(matches!(
             Store::open_file(&path),
             Err(StorageError::NotAStore)
@@ -329,7 +480,28 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_header_detected() {
+    fn open_rejects_version_1_files() {
+        let dir = std::env::temp_dir().join(format!("axql-store5-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v1.db");
+        // A faithful version-1 header: magic, version, root, then an
+        // FNV-64 checksum of the first 16 bytes.
+        let mut bytes = vec![0u8; PAGE_SIZE * 2];
+        bytes[0..8].copy_from_slice(MAGIC);
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        bytes[12..16].copy_from_slice(&1u32.to_le_bytes());
+        let sum = fnv64(&bytes[0..16]);
+        bytes[16..24].copy_from_slice(&sum.to_le_bytes());
+        std::fs::write(&path, bytes).unwrap();
+        assert!(matches!(
+            Store::open_file(&path),
+            Err(StorageError::BadVersion(1))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_header_in_both_slots_detected() {
         let dir = std::env::temp_dir().join(format!("axql-store3-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("c.db");
@@ -338,14 +510,49 @@ mod tests {
             s.put(b"k", b"v").unwrap();
             s.commit().unwrap();
         }
-        // Flip a bit inside the checksummed header region.
+        // Damage both header slots (flip a checksummed byte in each).
         let mut bytes = std::fs::read(&path).unwrap();
         bytes[13] ^= 0xFF;
+        bytes[PAGE_SIZE + 13] ^= 0xFF;
         std::fs::write(&path, bytes).unwrap();
         assert!(matches!(
             Store::open_file(&path),
             Err(StorageError::CorruptHeader)
         ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_newest_slot_rolls_back_to_previous_commit() {
+        let dir = std::env::temp_dir().join(format!("axql-store6-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.db");
+        {
+            let mut s = Store::create_file(&path).unwrap();
+            s.put(b"old", b"1").unwrap();
+            s.commit().unwrap(); // csn 2 -> slot 0
+            s.put(b"new", b"2").unwrap();
+            s.commit().unwrap(); // csn 3 -> slot 1
+        }
+        // Tear the newest slot (slot 1).
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[PAGE_SIZE + 20] ^= 0x5A;
+        std::fs::write(&path, bytes).unwrap();
+        let before = approxql_metrics::snapshot();
+        let mut s = Store::open_file(&path).unwrap();
+        let delta = approxql_metrics::snapshot().diff(&before);
+        assert_eq!(delta.get(Metric::StoreRecoveryRollbacks), 1);
+        assert_eq!(s.commit_sequence(), 2);
+        assert_eq!(s.get(b"old").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(s.get(b"new").unwrap(), None, "rolled-back key visible");
+        s.check().unwrap();
+        // The recovered store must be writable again.
+        s.put(b"after", b"3").unwrap();
+        s.commit().unwrap();
+        drop(s);
+        let mut s = Store::open_file(&path).unwrap();
+        assert_eq!(s.get(b"after").unwrap(), Some(b"3".to_vec()));
+        s.check().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -361,6 +568,7 @@ mod tests {
         s.compact_into(&mut t).unwrap();
         assert!(t.page_count() < before);
         assert_eq!(t.get(b"k").unwrap(), Some(big));
+        t.check().unwrap();
     }
 
     #[test]
@@ -378,10 +586,9 @@ mod tests {
         {
             let mut s = Store::open_file(&path).unwrap();
             assert_eq!(s.get(b"committed").unwrap(), Some(b"1".to_vec()));
-            // The uncommitted key may or may not be visible depending on
-            // which pages reached the file, but the store must open and
-            // stay internally consistent.
-            let _ = s.get(b"uncommitted").unwrap();
+            // Recovery is exact: the uncommitted key must be invisible.
+            assert_eq!(s.get(b"uncommitted").unwrap(), None);
+            s.check().unwrap();
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -1,5 +1,8 @@
 //! Storage edge cases: maximum-length keys, prefix scans crossing leaf
-//! splits, multi-page out-of-line value runs, and torn-header detection.
+//! splits, multi-page out-of-line value runs, and the open-path failure
+//! matrix — torn headers, zero-length/truncated files, over-claiming
+//! headers, and reopening after compaction. Every bad input must yield a
+//! typed error (or a clean rollback), never a panic.
 
 use approxql_metrics::Metric;
 use approxql_storage::{StorageError, Store, MAX_KEY_LEN, PAGE_SIZE};
@@ -9,6 +12,22 @@ fn tmpdir(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("axql-edge-{tag}-{}", std::process::id()));
     std::fs::create_dir_all(&d).unwrap();
     d
+}
+
+/// FNV-1a 64 — mirrors the store's checksum so tests can forge
+/// validly-checksummed (but hostile) header slots.
+fn fnv64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn restamp_trailer(page: &mut [u8]) {
+    let sum = fnv64(&page[..PAGE_SIZE - 8]);
+    page[PAGE_SIZE - 8..PAGE_SIZE].copy_from_slice(&sum.to_le_bytes());
 }
 
 #[test]
@@ -97,42 +116,182 @@ fn out_of_line_value_runs_survive_reopen() {
                 "value {i} ({sz} bytes) corrupted across reopen"
             );
         }
+        s.check().unwrap();
     }
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]
-fn torn_header_write_is_detected_on_reopen() {
+fn torn_header_write_rolls_back_to_previous_commit() {
     let dir = tmpdir("torn");
     let path = dir.join("torn.db");
-    // First commit: small tree, root R1. Second commit: enough inserts to
-    // split the root, so the header's root pointer changes to R2.
-    let old_header: Vec<u8>;
+    // Commit A: just the seed key. Commit B: enough inserts that the root
+    // moves. Then mangle commit B's header slot the way a torn write
+    // does: one field reverted, checksum inconsistent.
     {
-        let mut s = Store::create_file(&path).unwrap();
+        let mut s = Store::create_file(&path).unwrap(); // csn 1 -> slot 1
         s.put(b"seed", b"v").unwrap();
-        s.commit().unwrap();
-        old_header = std::fs::read(&path).unwrap()[..PAGE_SIZE].to_vec();
+        s.commit().unwrap(); // csn 2 -> slot 0
         for i in 0..2000u32 {
             s.put(format!("key{i:06}").as_bytes(), &i.to_le_bytes())
                 .unwrap();
         }
-        s.commit().unwrap();
+        s.commit().unwrap(); // csn 3 -> slot 1 (the newest)
     }
     let mut bytes = std::fs::read(&path).unwrap();
-    assert_ne!(
-        &bytes[12..16],
-        &old_header[12..16],
-        "test premise: the root pointer must have moved"
+    let newest = PAGE_SIZE..2 * PAGE_SIZE;
+    bytes[newest.clone()][12..16].copy_from_slice(&0u32.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+
+    let before = approxql_metrics::snapshot();
+    let mut s = Store::open_file(&path).unwrap();
+    assert_eq!(
+        approxql_metrics::snapshot()
+            .diff(&before)
+            .get(Metric::StoreRecoveryRollbacks),
+        1
     );
-    // Simulate a torn header write: the root-pointer word reverted to the
-    // pre-commit value while the checksum (written later in the page) is
-    // the new one — exactly the partial state a mid-write crash leaves.
-    bytes[12..16].copy_from_slice(&old_header[12..16]);
+    // Recovered to commit A: the seed is there, the 2000 keys are not.
+    assert_eq!(s.commit_sequence(), 2);
+    assert_eq!(s.get(b"seed").unwrap(), Some(b"v".to_vec()));
+    assert_eq!(s.get(b"key000000").unwrap(), None);
+    assert_eq!(s.iter_all().unwrap().collect_all().unwrap().len(), 1);
+    s.check().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn zero_length_file_is_not_a_store() {
+    let dir = tmpdir("zero");
+    let path = dir.join("zero.db");
+    std::fs::write(&path, b"").unwrap();
+    assert!(matches!(
+        Store::open_file(&path),
+        Err(StorageError::NotAStore)
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn missing_file_is_an_io_error() {
+    let dir = tmpdir("missing");
+    assert!(matches!(
+        Store::open_file(dir.join("nope.db")),
+        Err(StorageError::Io(_))
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn truncation_of_uncommitted_tail_rolls_back() {
+    let dir = tmpdir("trunc-tail");
+    let path = dir.join("t.db");
+    {
+        let mut s = Store::create_file(&path).unwrap(); // csn 1, 3 pages
+        s.put(b"k", &vec![7u8; PAGE_SIZE * 3]).unwrap();
+        s.commit().unwrap(); // csn 2, more pages
+    }
+    // Chop the file back to the extent of commit 1 (both header slots plus
+    // the original empty root): commit 2's slot now over-claims, so open
+    // must fall back to commit 1.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..3 * PAGE_SIZE]).unwrap();
+    let mut s = Store::open_file(&path).unwrap();
+    assert_eq!(s.commit_sequence(), 1);
+    assert_eq!(s.get(b"k").unwrap(), None);
+    assert_eq!(s.iter_all().unwrap().collect_all().unwrap().len(), 0);
+    s.check().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn truncation_below_every_commit_is_a_typed_error() {
+    let dir = tmpdir("trunc-hard");
+    let path = dir.join("t.db");
+    {
+        let mut s = Store::create_file(&path).unwrap();
+        s.put(b"k", &vec![7u8; PAGE_SIZE * 4]).unwrap();
+        s.commit().unwrap();
+    }
+    // Two pages left: both slots survive, but each claims more pages than
+    // the file holds — mid-page-run truncation with no commit to fall
+    // back to.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..2 * PAGE_SIZE]).unwrap();
+    match Store::open_file(&path) {
+        Err(StorageError::Truncated {
+            claimed_pages,
+            actual_pages,
+        }) => {
+            assert_eq!(actual_pages, 2);
+            assert!(claimed_pages > actual_pages);
+        }
+        Err(other) => panic!("expected Truncated, got {other:?}"),
+        Ok(_) => panic!("expected Truncated, but the store opened"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn header_claiming_more_pages_than_the_file_holds() {
+    let dir = tmpdir("overclaim");
+    let path = dir.join("o.db");
+    {
+        let mut s = Store::create_file(&path).unwrap();
+        s.put(b"k", b"v").unwrap();
+        s.commit().unwrap(); // csn 2 -> slot 0 is now the newest
+    }
+    // Forge slot 0 to claim a giant extent, with a *valid* checksum, so
+    // only the page-count sanity check can reject it. Recovery must fall
+    // back to slot 1 (commit 1: the empty store).
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[24..28].copy_from_slice(&u32::MAX.to_le_bytes());
+    restamp_trailer(&mut bytes[..PAGE_SIZE]);
+    std::fs::write(&path, &bytes).unwrap();
+    let mut s = Store::open_file(&path).unwrap();
+    assert_eq!(s.commit_sequence(), 1);
+    assert_eq!(s.get(b"k").unwrap(), None);
+    s.check().unwrap();
+
+    // Forge both slots the same way: now there is nothing to fall back
+    // to, and the error must name the truncation.
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[PAGE_SIZE..][24..28].copy_from_slice(&u32::MAX.to_le_bytes());
+    restamp_trailer(&mut bytes[PAGE_SIZE..2 * PAGE_SIZE]);
     std::fs::write(&path, &bytes).unwrap();
     assert!(matches!(
         Store::open_file(&path),
-        Err(StorageError::CorruptHeader)
+        Err(StorageError::Truncated { .. })
     ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn reopen_after_compact_into() {
+    let dir = tmpdir("compact");
+    let src_path = dir.join("src.db");
+    let dst_path = dir.join("dst.db");
+    {
+        let mut src = Store::create_file(&src_path).unwrap();
+        let big = vec![3u8; PAGE_SIZE * 2 + 100];
+        for i in 0..50u32 {
+            src.put(format!("k{i:02}").as_bytes(), &big).unwrap();
+            src.put(format!("k{i:02}").as_bytes(), &[i as u8; 40])
+                .unwrap(); // leak the run
+        }
+        src.commit().unwrap();
+        let mut dst = Store::create_file(&dst_path).unwrap();
+        src.compact_into(&mut dst).unwrap();
+        assert!(dst.page_count() < src.page_count());
+    }
+    let mut dst = Store::open_file(&dst_path).unwrap();
+    let all = dst.iter_all().unwrap().collect_all().unwrap();
+    assert_eq!(all.len(), 50);
+    for (i, (k, v)) in all.iter().enumerate() {
+        assert_eq!(k, format!("k{i:02}").as_bytes());
+        assert_eq!(v, &vec![i as u8; 40]);
+    }
+    let report = dst.check().unwrap();
+    assert_eq!(report.entries, 50);
     std::fs::remove_dir_all(&dir).unwrap();
 }

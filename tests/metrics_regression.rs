@@ -186,10 +186,11 @@ fn save_open_storage_op_counts() {
         &save_diff,
         &[
             (Metric::PagerPageReads, 14),
-            (Metric::PagerPageWrites, 31),
-            (Metric::PagerPageAllocs, 16),
-            (Metric::PagerBackendWrites, 16),
-            (Metric::PagerFlushes, 1),
+            (Metric::PagerPageWrites, 29),
+            (Metric::PagerPageAllocs, 18),
+            (Metric::PagerBackendWrites, 18),
+            (Metric::PagerFlushes, 2),
+            (Metric::StoreCommits, 2),
             (Metric::BtreeInserts, 14),
             (Metric::BtreeNodeReads, 14),
         ],
@@ -197,8 +198,8 @@ fn save_open_storage_op_counts() {
     assert_counts(
         &open_diff,
         &[
-            (Metric::PagerPageReads, 33),
-            (Metric::PagerCacheMisses, 16),
+            (Metric::PagerPageReads, 32),
+            (Metric::PagerCacheMisses, 15),
             (Metric::BtreeGets, 2),
             (Metric::BtreeNodeReads, 18),
             (Metric::BtreeScanSteps, 14),
