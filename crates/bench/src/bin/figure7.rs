@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Regenerates Figure 7 of the paper: evaluation times of the three query
 //! patterns, direct vs. schema-driven, over the number of requested
 //! results `n` and {0, 5, 10} renamings per label.

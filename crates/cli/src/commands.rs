@@ -434,6 +434,7 @@ fn cmd_gen(flags: &Flags) -> Result<(), CliError> {
     let docs_per_file: usize = flags.option_parsed("--docs")?.unwrap_or(100);
 
     let out = PathBuf::from(out_dir);
+    // lint:allow(fs-outside-pager) `gen` writes an XML corpus, not store state
     std::fs::create_dir_all(&out)?;
     let documents = DataGenerator::new(cfg).generate_documents();
     let mut written = 0;
@@ -444,6 +445,7 @@ fn cmd_gen(flags: &Flags) -> Result<(), CliError> {
         }
         text.push_str("</collection>");
         let path = out.join(format!("part{i:04}.xml"));
+        // lint:allow(fs-outside-pager) `gen` writes an XML corpus, not store state
         std::fs::write(&path, text)?;
         written += 1;
     }

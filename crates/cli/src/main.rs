@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `approxql` — the approXQL command line.
 //!
 //! ```text

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The approXQL evaluation algorithms — the paper's primary contribution.
 //!
 //! * [`list`] — the list algebra of Sections 6.3/6.4 (`fetch`, `merge`,

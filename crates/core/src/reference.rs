@@ -188,13 +188,13 @@ impl<'a> ReferenceEvaluator<'a> {
     fn enumerate(&self, root: &ConjunctiveNode) -> Vec<Variant> {
         self.enumerate_splices(root, true)
             .into_iter()
-            .map(|(mut nodes, cost, leaves_kept)| {
+            .filter_map(|(mut nodes, cost, leaves_kept)| {
                 debug_assert_eq!(nodes.len(), 1, "the root is never spliced away");
-                Variant {
-                    root: nodes.pop().unwrap(),
+                nodes.pop().map(|root| Variant {
+                    root,
                     cost,
                     leaves_kept,
-                }
+                })
             })
             .collect()
     }

@@ -150,46 +150,42 @@ pub fn shift_k(mut l: KList, c: Cost) -> KList {
 /// text class) are merged and re-capped at `k`.
 pub fn merge_k(left: &KList, right: &KList, c_ren: Cost, k: usize) -> KList {
     let mut out = Vec::with_capacity(left.len() + right.len());
+    // Segments borrow from the underlying lists, not the iterators, so a
+    // peeked slice stays usable after `next()` advances past it.
     let mut ls = segments(left).peekable();
     let mut rs = segments(right).peekable();
+    let renamed = |seg: &[KEntry]| -> Vec<KEntry> {
+        seg.iter()
+            .cloned()
+            .map(|mut e| {
+                e.cost += c_ren;
+                e
+            })
+            .collect()
+    };
     loop {
-        match (ls.peek(), rs.peek()) {
+        match (ls.peek().copied(), rs.peek().copied()) {
             (None, None) => break,
-            (Some(_), None) => out.extend(ls.next().unwrap().iter().cloned()),
-            (None, Some(_)) => {
-                let seg: Vec<KEntry> = rs
-                    .next()
-                    .unwrap()
-                    .iter()
-                    .cloned()
-                    .map(|mut e| {
-                        e.cost += c_ren;
-                        e
-                    })
-                    .collect();
-                push_segment(&mut out, seg, k);
+            (Some(l), None) => {
+                ls.next();
+                out.extend(l.iter().cloned());
+            }
+            (None, Some(r)) => {
+                rs.next();
+                push_segment(&mut out, renamed(r), k);
             }
             (Some(l), Some(r)) => {
                 if l[0].pre < r[0].pre {
-                    out.extend(ls.next().unwrap().iter().cloned());
+                    ls.next();
+                    out.extend(l.iter().cloned());
                 } else if r[0].pre < l[0].pre {
-                    let seg: Vec<KEntry> = rs
-                        .next()
-                        .unwrap()
-                        .iter()
-                        .cloned()
-                        .map(|mut e| {
-                            e.cost += c_ren;
-                            e
-                        })
-                        .collect();
-                    push_segment(&mut out, seg, k);
+                    rs.next();
+                    push_segment(&mut out, renamed(r), k);
                 } else {
-                    let mut seg: Vec<KEntry> = ls.next().unwrap().to_vec();
-                    seg.extend(rs.next().unwrap().iter().cloned().map(|mut e| {
-                        e.cost += c_ren;
-                        e
-                    }));
+                    ls.next();
+                    rs.next();
+                    let mut seg = l.to_vec();
+                    seg.extend(renamed(r));
                     push_segment(&mut out, seg, k);
                 }
             }
@@ -256,7 +252,9 @@ fn interval_topk(ancestors: &KList, descendants: &KList, k: usize) -> Vec<TopK> 
                 if ancestors[*top].bound >= $pre {
                     break;
                 }
-                let (top, collected) = stack.pop().unwrap();
+                let Some((top, collected)) = stack.pop() else {
+                    break;
+                };
                 if let Some((_, parent)) = stack.last_mut() {
                     let mut copy = TopK::new(k);
                     copy.items = collected.items.clone();
@@ -297,11 +295,16 @@ fn interval_topk(ancestors: &KList, descendants: &KList, k: usize) -> Vec<TopK> 
 }
 
 fn emit_descendant(a: &KEntry, d: &KEntry, key: Cost, c_edge: Cost) -> KEntry {
-    let cost = key
+    let slack = key
         .checked_sub(a.pathcost)
-        .and_then(|c| c.checked_sub(a.inscost))
-        .expect("descendant pathcost covers ancestor pathcost + inscost")
-        + c_edge;
+        .and_then(|c| c.checked_sub(a.inscost));
+    debug_assert!(
+        slack.is_some(),
+        "descendant pathcost covers ancestor pathcost + inscost"
+    );
+    // In release, an underflow (impossible by the interval-topk invariant)
+    // degrades to an infinite cost, which ranking discards, not a panic.
+    let cost = slack.unwrap_or(Cost::INFINITY) + c_edge;
     KEntry {
         cost,
         has_leaf: d.has_leaf,
@@ -359,13 +362,14 @@ pub fn intersect_k(left: &KList, right: &KList, c_edge: Cost, k: usize) -> KList
     let mut out = Vec::new();
     let mut ls = segments(left).peekable();
     let mut rs = segments(right).peekable();
-    while let (Some(l), Some(r)) = (ls.peek(), rs.peek()) {
+    while let (Some(&l), Some(&r)) = (ls.peek(), rs.peek()) {
         if l[0].pre < r[0].pre {
             ls.next();
         } else if r[0].pre < l[0].pre {
             rs.next();
         } else {
-            let (l, r) = (ls.next().unwrap(), rs.next().unwrap());
+            ls.next();
+            rs.next();
             let mut seg = Vec::with_capacity(l.len() * r.len());
             for a in l {
                 for b in r {
@@ -397,21 +401,28 @@ pub fn union_k(left: &KList, right: &KList, c_edge: Cost, k: usize) -> KList {
     let mut ls = segments(left).peekable();
     let mut rs = segments(right).peekable();
     loop {
-        let seg: Vec<KEntry> = match (ls.peek(), rs.peek()) {
+        let seg: Vec<KEntry> = match (ls.peek().copied(), rs.peek().copied()) {
             (None, None) => break,
             (Some(l), None) => {
-                let _ = l;
-                ls.next().unwrap().to_vec()
+                ls.next();
+                l.to_vec()
             }
-            (None, Some(_)) => rs.next().unwrap().to_vec(),
+            (None, Some(r)) => {
+                rs.next();
+                r.to_vec()
+            }
             (Some(l), Some(r)) => {
                 if l[0].pre < r[0].pre {
-                    ls.next().unwrap().to_vec()
+                    ls.next();
+                    l.to_vec()
                 } else if r[0].pre < l[0].pre {
-                    rs.next().unwrap().to_vec()
+                    rs.next();
+                    r.to_vec()
                 } else {
-                    let mut seg = ls.next().unwrap().to_vec();
-                    seg.extend(rs.next().unwrap().iter().cloned());
+                    ls.next();
+                    rs.next();
+                    let mut seg = l.to_vec();
+                    seg.extend(r.iter().cloned());
                     seg
                 }
             }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Cost model for approximate tree-pattern queries.
 //!
 //! This crate implements Definition 6 of Schlieder (EDBT 2002): every basic

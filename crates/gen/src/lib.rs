@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Synthetic data and query generation (Section 8.1 of the paper).
 //!
 //! The paper evaluates on collections produced by the XML data generator

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Index structures of the approXQL evaluation algorithms.
 //!
 //! * [`LabelIndex`] — the indexes `I_struct` and `I_text` of Section 6.2:

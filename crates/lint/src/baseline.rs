@@ -1,0 +1,172 @@
+//! The committed baseline of grandfathered findings.
+//!
+//! A baseline entry identifies a finding by `(rule, path, key)`, where the
+//! key is the offending source line with whitespace collapsed
+//! ([`crate::normalize_line`]) — so unrelated edits that shift line numbers
+//! do not invalidate the baseline, while any change to the offending line
+//! itself (including deleting it) surfaces immediately.
+//!
+//! File format, one entry per line, tab-separated:
+//!
+//! ```text
+//! # comment / per-entry justification
+//! rule-id<TAB>path<TAB>normalized source line
+//! ```
+//!
+//! Matching is multiset-aware: each entry absorbs exactly one finding, so a
+//! *second* identical violation on another line of the same file is a new
+//! finding, not silently covered by the first one's entry.
+
+use crate::Finding;
+
+/// One grandfathered finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub path: String,
+    pub key: String,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// Result of filtering findings through a baseline.
+#[derive(Debug)]
+pub struct BaselineResult {
+    /// Findings not covered by any entry — these fail the run.
+    pub new_findings: Vec<Finding>,
+    /// Entries that matched no finding — fixed or stale; reported as
+    /// warnings so the baseline gets burned down, but they never fail CI.
+    pub unused: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parses the baseline file format. Lines that are empty or start with
+    /// `#` are comments. Malformed lines are an error (a truncated baseline
+    /// must not silently un-grandfather everything).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(rule), Some(path), Some(key)) if !rule.is_empty() && !path.is_empty() => {
+                    entries.push(BaselineEntry {
+                        rule: rule.to_string(),
+                        path: path.to_string(),
+                        key: key.to_string(),
+                    });
+                }
+                _ => {
+                    return Err(format!(
+                        "baseline line {}: expected `rule<TAB>path<TAB>key`, got {line:?}",
+                        idx + 1
+                    ));
+                }
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Splits `findings` into new findings and unused entries.
+    pub fn filter(&self, findings: Vec<Finding>) -> BaselineResult {
+        let mut spent = vec![false; self.entries.len()];
+        let mut new_findings = Vec::new();
+        for f in findings {
+            let slot = self.entries.iter().enumerate().find(|(i, e)| {
+                !spent[*i] && e.rule == f.rule && e.path == f.path && e.key == f.key
+            });
+            match slot {
+                Some((i, _)) => spent[i] = true,
+                None => new_findings.push(f),
+            }
+        }
+        let unused = self
+            .entries
+            .iter()
+            .zip(&spent)
+            .filter(|(_, s)| !**s)
+            .map(|(e, _)| e.clone())
+            .collect();
+        BaselineResult {
+            new_findings,
+            unused,
+        }
+    }
+
+    /// Renders findings as a fresh baseline file body (for
+    /// `--update-baseline`). Justification comments are the maintainer's
+    /// job; a template line is emitted above each entry.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut out = String::from(
+            "# approxql-lint baseline: grandfathered findings, one per line.\n\
+             # Format: rule<TAB>path<TAB>whitespace-normalized source line.\n\
+             # Every entry needs a one-line justification comment above it.\n",
+        );
+        for f in findings {
+            out.push_str(&format!(
+                "# JUSTIFY: {}:{} {}\n{}\t{}\t{}\n",
+                f.path, f.line, f.message, f.rule, f.path, f.key
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, key: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            message: String::new(),
+            key: key.to_string(),
+        }
+    }
+
+    #[test]
+    fn parse_skips_comments_and_rejects_malformed() {
+        let b = Baseline::parse("# c\n\nno-panic\ta.rs\tx.unwrap();\n").unwrap();
+        assert_eq!(b.entries.len(), 1);
+        assert_eq!(b.entries[0].rule, "no-panic");
+        assert!(Baseline::parse("no-panic only-two-fields\n").is_err());
+    }
+
+    #[test]
+    fn filter_is_multiset_aware() {
+        let b = Baseline::parse("no-panic\ta.rs\tx.unwrap();\n").unwrap();
+        // Two identical findings, one entry: second one is NEW.
+        let r = b.filter(vec![
+            finding("no-panic", "a.rs", "x.unwrap();"),
+            finding("no-panic", "a.rs", "x.unwrap();"),
+        ]);
+        assert_eq!(r.new_findings.len(), 1);
+        assert!(r.unused.is_empty());
+    }
+
+    #[test]
+    fn unused_entries_are_reported() {
+        let b = Baseline::parse("no-panic\ta.rs\tgone();\nno-rc\tb.rs\tRc<u8>\n").unwrap();
+        let r = b.filter(vec![finding("no-rc", "b.rs", "Rc<u8>")]);
+        assert!(r.new_findings.is_empty());
+        assert_eq!(r.unused.len(), 1);
+        assert_eq!(r.unused[0].rule, "no-panic");
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        let fs = vec![finding("no-panic", "a.rs", "x.unwrap();")];
+        let text = Baseline::render(&fs);
+        let b = Baseline::parse(&text).unwrap();
+        assert!(b.filter(fs).new_findings.is_empty());
+    }
+}

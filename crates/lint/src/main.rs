@@ -1,0 +1,138 @@
+#![forbid(unsafe_code)]
+//! `approxql-lint` — the CLI surface.
+//!
+//! ```text
+//! approxql-lint --workspace [--root DIR] [--baseline FILE] [--update-baseline]
+//! approxql-lint --list-rules
+//! ```
+//!
+//! Exit codes are stable (CI and tests rely on them):
+//!
+//! | code | meaning                                    |
+//! |------|--------------------------------------------|
+//! | 0    | clean (all findings covered by baseline)   |
+//! | 3    | findings not covered by the baseline       |
+//! | 2    | usage error                                |
+//! | 1    | internal error (I/O, malformed baseline)   |
+
+use approxql_lint::baseline::Baseline;
+use approxql_lint::{rules, Workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: approxql-lint --workspace [--root DIR] [--baseline FILE] \
+                     [--update-baseline]\n       approxql-lint --list-rules\n";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut workspace = false;
+    let mut update_baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--update-baseline" => update_baseline = true,
+            "--list-rules" => {
+                for r in rules::RULES {
+                    println!(
+                        "{:<18} {}",
+                        r.id,
+                        r.summary.split_whitespace().collect::<Vec<_>>().join(" ")
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage_error("--root needs a value"),
+            },
+            "--baseline" => match args.next() {
+                Some(v) => baseline_path = Some(PathBuf::from(v)),
+                None => return usage_error("--baseline needs a value"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+    if !workspace {
+        return usage_error("--workspace is required");
+    }
+
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.txt"));
+
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!(
+                "approxql-lint: cannot load workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let findings = ws.run_rules();
+
+    if update_baseline {
+        let body = Baseline::render(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, body) {
+            eprintln!(
+                "approxql-lint: cannot write {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {} entries to {} — add a justification for each",
+            findings.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("approxql-lint: {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        // No baseline file means an empty baseline.
+        Err(_) => Baseline::default(),
+    };
+
+    let result = baseline.filter(findings);
+    for e in &result.unused {
+        eprintln!(
+            "warning: unused baseline entry (fixed or stale): {} {} {:?}",
+            e.rule, e.path, e.key
+        );
+    }
+    if result.new_findings.is_empty() {
+        println!(
+            "approxql-lint: clean ({} files, {} rules, {} grandfathered)",
+            ws.files.len(),
+            rules::RULES.len(),
+            baseline.entries.len() - result.unused.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for f in &result.new_findings {
+        println!("{f}");
+    }
+    println!(
+        "approxql-lint: {} finding(s) not in baseline",
+        result.new_findings.len()
+    );
+    ExitCode::from(3)
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("approxql-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

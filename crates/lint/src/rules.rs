@@ -1,0 +1,755 @@
+//! The rule catalogue: each project invariant from PRs 1–3, encoded as a
+//! token-level check over the lexed workspace.
+//!
+//! Every rule has a stable kebab-case id (used in `lint:allow(...)`
+//! directives and baseline entries), a one-line summary, and a `run`
+//! function. Rules are path-scoped: the scopes and the small number of
+//! allowlisted files are part of the rule definition itself, so the
+//! invariant reads off this file.
+
+use crate::lexer::{Token, TokenKind};
+use crate::{Finding, SourceFile, Workspace};
+
+/// One registered rule.
+pub struct Rule {
+    /// Stable identifier (baseline entries and `lint:allow` use this).
+    pub id: &'static str,
+    /// One-line description for `--list-rules` and DESIGN.md §11.
+    pub summary: &'static str,
+    pub run: fn(&Workspace, &mut Vec<Finding>),
+}
+
+/// The full catalogue, in documentation order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "no-panic",
+        summary: "no unwrap/expect/panic!/unreachable!/todo! in non-test code of \
+                  crates/storage and crates/core (typed StorageError paths only)",
+        run: no_panic,
+    },
+    Rule {
+        id: "forbid-unsafe",
+        summary: "every crate root (lib.rs, main.rs, src/bin/*.rs) carries \
+                  #![forbid(unsafe_code)]",
+        run: forbid_unsafe,
+    },
+    Rule {
+        id: "no-rc",
+        summary: "no Rc in crates that run under the exec pool \
+                  (core, exec, query, schema) — Arc only",
+        run: no_rc,
+    },
+    Rule {
+        id: "metric-coverage",
+        summary: "every registered metric name is documented in DESIGN.md and pinned \
+                  in tests/metrics_regression.rs, and vice versa (no phantom names)",
+        run: metric_coverage,
+    },
+    Rule {
+        id: "fs-outside-pager",
+        summary: "no direct std::fs / File / backend writes outside \
+                  crates/storage/src/pager.rs and fault.rs (and the lint tool itself)",
+        run: fs_outside_pager,
+    },
+    Rule {
+        id: "lock-across-spawn",
+        summary: "no Mutex guard bound across a Scope::map/map_deferred/spawn call \
+                  (line-window heuristic)",
+        run: lock_across_spawn,
+    },
+];
+
+/// Looks up a rule by id.
+pub fn rule(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+fn in_any(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p))
+}
+
+// ---------------------------------------------------------------------------
+// no-panic
+// ---------------------------------------------------------------------------
+
+/// Crates whose non-test code must stay panic-free: the storage layer
+/// promises typed [`StorageError`]s on every path (PR 3), and `core` runs
+/// inside the executor where a panic poisons the whole scope.
+const PANIC_SCOPE: &[&str] = &["crates/storage/src/", "crates/core/src/"];
+
+fn no_panic(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in &ws.files {
+        if !in_any(&f.rel_path, PANIC_SCOPE) {
+            continue;
+        }
+        let toks = &f.tokens;
+        for i in 0..toks.len() {
+            let Some(id) = toks[i].ident() else { continue };
+            let line = toks[i].line;
+            if f.is_test_line(line) {
+                continue;
+            }
+            let hit = match id {
+                // Method calls only: `.unwrap()` / `.expect(`, not
+                // identifiers like `unwrap_or` (a distinct token).
+                "unwrap" | "expect" => {
+                    i > 0
+                        && toks[i - 1].is_punct('.')
+                        && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented" => {
+                    toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                }
+                _ => false,
+            };
+            if hit {
+                let what = match id {
+                    "unwrap" | "expect" => format!(".{id}()"),
+                    _ => format!("{id}!"),
+                };
+                f.finding(
+                    "no-panic",
+                    line,
+                    format!("`{what}` in non-test code; return a typed error instead"),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// forbid-unsafe
+// ---------------------------------------------------------------------------
+
+/// `true` for files that are crate roots (where the attribute must live).
+fn is_crate_root(rel: &str) -> bool {
+    rel == "src/lib.rs"
+        || rel == "src/main.rs"
+        || rel.ends_with("/src/lib.rs")
+        || rel.ends_with("/src/main.rs")
+        || rel.contains("/src/bin/")
+}
+
+fn forbid_unsafe(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in &ws.files {
+        if !is_crate_root(&f.rel_path) {
+            continue;
+        }
+        let has = f.tokens.windows(3).any(|w| {
+            w[0].ident() == Some("forbid")
+                && w[1].is_punct('(')
+                && w[2].ident() == Some("unsafe_code")
+        });
+        if !has && !f.is_allowed("forbid-unsafe", 1) {
+            out.push(Finding {
+                rule: "forbid-unsafe",
+                path: f.rel_path.clone(),
+                line: 1,
+                message: "crate root is missing #![forbid(unsafe_code)]".to_string(),
+                key: "missing #![forbid(unsafe_code)]".to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// no-rc
+// ---------------------------------------------------------------------------
+
+/// Crates whose values cross executor threads: `Rc` is not `Send`, so a
+/// refactor that reintroduces it either fails to compile deep in a closure
+/// or, worse, pushes someone to unsound workarounds. Catch it at the source.
+const RC_SCOPE: &[&str] = &[
+    "crates/core/src/",
+    "crates/exec/src/",
+    "crates/query/src/",
+    "crates/schema/src/",
+];
+
+fn no_rc(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in &ws.files {
+        if !in_any(&f.rel_path, RC_SCOPE) {
+            continue;
+        }
+        let mut last_line = 0u32;
+        for t in &f.tokens {
+            if t.ident() == Some("Rc") && !f.is_test_line(t.line) && t.line != last_line {
+                last_line = t.line;
+                f.finding(
+                    "no-rc",
+                    t.line,
+                    "`Rc` in an exec-pool crate; use `Arc` (Rc is not Send)".to_string(),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// metric-coverage
+// ---------------------------------------------------------------------------
+
+const METRICS_LIB: &str = "crates/metrics/src/lib.rs";
+const METRICS_REGRESSION: &str = "tests/metrics_regression.rs";
+
+/// A metric registered in the `metrics!` / `timer_metrics!` tables.
+struct RegisteredMetric {
+    variant: String,
+    name: String,
+    line: u32,
+}
+
+/// `true` when `s` looks like a `layer.counter` metric name.
+fn is_dotted_name(s: &str) -> bool {
+    let mut parts = s.split('.');
+    let (Some(a), Some(b), None) = (parts.next(), parts.next(), parts.next()) else {
+        return false;
+    };
+    let seg = |p: &str| {
+        !p.is_empty()
+            && p.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+            && p.chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    };
+    seg(a) && seg(b)
+}
+
+/// Extracts `Variant => (… "layer.name" …)` rows from the registry source.
+/// The macro *definition* also matches the `Ident => (` shape (via the
+/// `:ident` fragment specifiers) but contains no string literal, so the
+/// dotted-name requirement filters it out.
+fn registered_metrics(reg: &SourceFile) -> Vec<RegisteredMetric> {
+    let toks = &reg.tokens;
+    let mut found = Vec::new();
+    let mut i = 0usize;
+    while i + 3 < toks.len() {
+        let arm = toks[i]
+            .ident()
+            .filter(|v| v.chars().next().is_some_and(|c| c.is_ascii_uppercase()))
+            .filter(|_| {
+                toks[i + 1].is_punct('=') && toks[i + 2].is_punct('>') && toks[i + 3].is_punct('(')
+            });
+        let Some(variant) = arm else {
+            i += 1;
+            continue;
+        };
+        if reg.is_test_line(toks[i].line) {
+            i += 1;
+            continue;
+        }
+        // First string literal inside the parenthesized group.
+        let mut depth = 1usize;
+        let mut j = i + 4;
+        let mut name: Option<(String, u32)> = None;
+        while j < toks.len() && depth > 0 {
+            match &toks[j].kind {
+                TokenKind::Punct('(') => depth += 1,
+                TokenKind::Punct(')') => depth -= 1,
+                TokenKind::Str(s) if name.is_none() && is_dotted_name(s) => {
+                    name = Some((s.clone(), toks[j].line));
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if let Some((name, line)) = name {
+            found.push(RegisteredMetric {
+                variant: variant.to_string(),
+                name,
+                line,
+            });
+        }
+        i = j;
+    }
+    found
+}
+
+/// All `Metric::X` / `TimerMetric::X` variant references in a file.
+fn metric_paths(f: &SourceFile) -> Vec<(String, u32)> {
+    f.tokens
+        .windows(4)
+        .filter_map(|w| {
+            let root = w[0].ident()?;
+            if (root != "Metric" && root != "TimerMetric")
+                || !w[1].is_punct(':')
+                || !w[2].is_punct(':')
+            {
+                return None;
+            }
+            let v = w[3].ident()?;
+            // Skip associated consts/functions (ALL, name, …): variants are
+            // CamelCase — uppercase start with at least one lowercase char.
+            if v.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                && v.chars().any(|c| c.is_ascii_lowercase())
+            {
+                Some((v.to_string(), w[3].line))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Backtick-quoted code spans per line of a markdown document.
+fn backticked_spans(text: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        for (c, chunk) in line.split('`').enumerate() {
+            if c % 2 == 1 && !chunk.is_empty() {
+                out.push((chunk.to_string(), idx as u32 + 1));
+            }
+        }
+    }
+    out
+}
+
+fn metric_coverage(ws: &Workspace, out: &mut Vec<Finding>) {
+    let Some(reg) = ws.file(METRICS_LIB) else {
+        return; // not a workspace with a metrics registry (e.g. fixtures)
+    };
+    let registered = registered_metrics(reg);
+    if registered.is_empty() {
+        return;
+    }
+    let names: Vec<&str> = registered.iter().map(|m| m.name.as_str()).collect();
+    let prefixes: Vec<&str> = {
+        let mut p: Vec<&str> = names.iter().filter_map(|n| n.split('.').next()).collect();
+        p.sort_unstable();
+        p.dedup();
+        p
+    };
+
+    let design = ws.design_md.as_deref().unwrap_or("");
+    let pinned = ws.file(METRICS_REGRESSION);
+    let pinned_variants: Vec<(String, u32)> = pinned.map(metric_paths).unwrap_or_default();
+
+    // Registry -> docs/tests: every registered metric must be documented
+    // and pinned.
+    for m in &registered {
+        if !design.contains(&format!("`{}`", m.name)) && !reg.is_allowed("metric-coverage", m.line)
+        {
+            out.push(Finding {
+                rule: "metric-coverage",
+                path: reg.rel_path.clone(),
+                line: m.line,
+                message: format!("metric `{}` is not documented in DESIGN.md", m.name),
+                key: format!("undocumented {}", m.name),
+            });
+        }
+        let is_pinned = pinned_variants.iter().any(|(v, _)| v == &m.variant);
+        if !is_pinned && !reg.is_allowed("metric-coverage", m.line) {
+            out.push(Finding {
+                rule: "metric-coverage",
+                path: reg.rel_path.clone(),
+                line: m.line,
+                message: format!(
+                    "metric `{}` ({}) is not pinned in {METRICS_REGRESSION}",
+                    m.name, m.variant
+                ),
+                key: format!("unpinned {}", m.name),
+            });
+        }
+    }
+
+    // Docs -> registry: a documented name that is not registered is a
+    // phantom counter (stale docs or a typo'd rename).
+    const NON_METRIC_SUFFIXES: &[&str] = &[
+        "rs", "md", "toml", "json", "tsv", "yml", "yaml", "lock", "xml", "axql", "log", "txt",
+    ];
+    for (span, line) in backticked_spans(design) {
+        if !is_dotted_name(&span) {
+            continue;
+        }
+        let (Some(prefix), Some(suffix)) = (span.split('.').next(), span.split('.').nth(1)) else {
+            continue;
+        };
+        if !prefixes.contains(&prefix) || NON_METRIC_SUFFIXES.contains(&suffix) {
+            continue;
+        }
+        if !names.contains(&span.as_str()) {
+            out.push(Finding {
+                rule: "metric-coverage",
+                path: "DESIGN.md".to_string(),
+                line,
+                message: format!("`{span}` is documented but not registered in crates/metrics"),
+                key: format!("phantom {span}"),
+            });
+        }
+    }
+
+    // Tests -> registry: a pinned variant that does not exist is a phantom.
+    let variants: Vec<&str> = registered.iter().map(|m| m.variant.as_str()).collect();
+    if let Some(p) = pinned {
+        for (v, line) in &pinned_variants {
+            if !variants.contains(&v.as_str()) && !p.is_allowed("metric-coverage", *line) {
+                out.push(Finding {
+                    rule: "metric-coverage",
+                    path: p.rel_path.clone(),
+                    line: *line,
+                    message: format!("`{v}` is pinned but not registered in crates/metrics"),
+                    key: format!("phantom {v}"),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// fs-outside-pager
+// ---------------------------------------------------------------------------
+
+/// Files that may talk to the filesystem / backend directly: the pager owns
+/// all page I/O, the fault backend wraps it for crash injection, and the
+/// lint tool itself reads sources and rewrites its baseline.
+const FS_ALLOWED: &[&str] = &[
+    "crates/storage/src/pager.rs",
+    "crates/storage/src/fault.rs",
+    "crates/lint/src/",
+];
+
+/// `std::fs` functions that mutate the filesystem.
+const FS_WRITE_FNS: &[&str] = &[
+    "write",
+    "create_dir",
+    "create_dir_all",
+    "remove_file",
+    "remove_dir",
+    "remove_dir_all",
+    "rename",
+    "copy",
+    "hard_link",
+    "set_permissions",
+];
+
+fn fs_outside_pager(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in &ws.files {
+        if in_any(&f.rel_path, FS_ALLOWED) {
+            continue;
+        }
+        let toks = &f.tokens;
+        for i in 0..toks.len() {
+            let Some(id) = toks[i].ident() else { continue };
+            let line = toks[i].line;
+            if f.is_test_line(line) {
+                continue;
+            }
+            let path_call = |module: &str, fns: &[&str]| {
+                id == module
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                    && toks
+                        .get(i + 3)
+                        .and_then(Token::ident)
+                        .is_some_and(|m| fns.contains(&m))
+            };
+            let hit = if path_call("fs", FS_WRITE_FNS) {
+                Some(format!("fs::{}", toks[i + 3].ident().unwrap_or_default()))
+            } else if path_call("File", &["create", "create_new", "options"]) {
+                Some(format!("File::{}", toks[i + 3].ident().unwrap_or_default()))
+            } else if id == "OpenOptions" {
+                Some("OpenOptions".to_string())
+            } else if matches!(id, "set_len" | "sync_all" | "sync_data" | "write_page")
+                && i > 0
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            {
+                Some(format!(".{id}()"))
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                f.finding(
+                    "fs-outside-pager",
+                    line,
+                    format!("direct filesystem/backend write `{what}`; all page I/O goes through the pager"),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// lock-across-spawn
+// ---------------------------------------------------------------------------
+
+/// Lines a Mutex guard may live before a spawn in the same window counts
+/// as "held across" it. A held guard inside `Scope::map` fan-out is a
+/// deadlock waiting for a work-stealing schedule that never drains.
+const LOCK_WINDOW: u32 = 10;
+
+/// Receivers whose `.map(...)` is an executor fan-out, not iterator `map`.
+const SCOPE_RECEIVERS: &[&str] = &["scope", "sc"];
+
+fn lock_across_spawn(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in &ws.files {
+        let toks = &f.tokens;
+
+        // `let [mut] NAME = … .lock() … ;` bindings (guard lives past the
+        // statement). Expression-statement locks create a temporary that
+        // drops at the `;`, so only `let` bindings are tracked.
+        let mut bindings: Vec<(String, u32)> = Vec::new();
+        let mut i = 0usize;
+        while i < toks.len() {
+            if toks[i].ident() != Some("let") {
+                i += 1;
+                continue;
+            }
+            let mut j = i + 1;
+            if toks.get(j).and_then(Token::ident) == Some("mut") {
+                j += 1;
+            }
+            let Some(name) = toks.get(j).and_then(Token::ident) else {
+                i += 1;
+                continue;
+            };
+            let (name, let_line) = (name.to_string(), toks[i].line);
+            let mut locked = false;
+            while j < toks.len() && !toks[j].is_punct(';') {
+                if toks[j].ident() == Some("lock")
+                    && j > 0
+                    && toks[j - 1].is_punct('.')
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct('('))
+                {
+                    locked = true;
+                }
+                j += 1;
+            }
+            if locked && !f.is_test_line(let_line) {
+                bindings.push((name, let_line));
+            }
+            i = j;
+        }
+        if bindings.is_empty() {
+            continue;
+        }
+
+        // `drop(NAME)` releases a guard early.
+        let drops: Vec<(&str, u32)> = toks
+            .windows(3)
+            .filter_map(|w| {
+                (w[0].ident() == Some("drop") && w[1].is_punct('(')).then_some(())?;
+                Some((w[2].ident()?, w[2].line))
+            })
+            .collect();
+
+        // Executor fan-outs: `.spawn(` / `.map_deferred(` on anything,
+        // `.map(` only on a scope-shaped receiver.
+        for i in 0..toks.len() {
+            let Some(id) = toks[i].ident() else { continue };
+            let line = toks[i].line;
+            let is_call = i > 0
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+            let spawnish = match id {
+                "spawn" | "map_deferred" => is_call,
+                "map" => {
+                    is_call
+                        && i >= 2
+                        && toks[i - 2]
+                            .ident()
+                            .is_some_and(|r| SCOPE_RECEIVERS.contains(&r))
+                }
+                _ => false,
+            };
+            if !spawnish {
+                continue;
+            }
+            for (name, let_line) in &bindings {
+                if *let_line <= line && line <= let_line + LOCK_WINDOW {
+                    let released = drops
+                        .iter()
+                        .any(|(d, dl)| d == name && *let_line <= *dl && *dl < line);
+                    if !released {
+                        f.finding(
+                            "lock-across-spawn",
+                            line,
+                            format!(
+                                "`.{id}(…)` while Mutex guard `{name}` (bound on line {let_line}) \
+                                 may still be held; drop the guard before fanning out"
+                            ),
+                            out,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workspace;
+    use std::path::PathBuf;
+
+    fn ws_with(files: Vec<(&str, &str)>, design: Option<&str>) -> Workspace {
+        Workspace {
+            root: PathBuf::new(),
+            files: files
+                .into_iter()
+                .map(|(p, s)| SourceFile::parse(p.to_string(), s))
+                .collect(),
+            design_md: design.map(str::to_string),
+        }
+    }
+
+    fn run_one(ws: &Workspace, id: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        (rule(id).unwrap().run)(ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn no_panic_flags_methods_and_macros_in_scope_only() {
+        let ws = ws_with(
+            vec![
+                (
+                    "crates/storage/src/pager.rs",
+                    "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"n\"); unreachable!(); \
+                     z.unwrap_or(0); }\n#[cfg(test)]\nmod t { fn g() { q.unwrap(); } }\n",
+                ),
+                ("crates/cli/src/main.rs", "fn main() { x.unwrap(); }"),
+            ],
+            None,
+        );
+        let f = run_one(&ws, "no-panic");
+        assert_eq!(f.len(), 4, "{f:?}");
+        assert!(f.iter().all(|x| x.path == "crates/storage/src/pager.rs"));
+    }
+
+    #[test]
+    fn forbid_unsafe_checks_crate_roots_only() {
+        let ws = ws_with(
+            vec![
+                ("crates/a/src/lib.rs", "#![forbid(unsafe_code)]\nfn a() {}"),
+                ("crates/b/src/lib.rs", "fn b() {}"),
+                ("crates/b/src/util.rs", "fn helper() {}"),
+                ("crates/c/src/bin/tool.rs", "fn main() {}"),
+            ],
+            None,
+        );
+        let f = run_one(&ws, "forbid-unsafe");
+        let paths: Vec<&str> = f.iter().map(|x| x.path.as_str()).collect();
+        assert_eq!(paths, ["crates/b/src/lib.rs", "crates/c/src/bin/tool.rs"]);
+    }
+
+    #[test]
+    fn no_rc_is_scoped_and_once_per_line() {
+        let ws = ws_with(
+            vec![
+                (
+                    "crates/core/src/topk.rs",
+                    "use std::rc::Rc;\nfn f(x: Rc<u8>) -> Rc<u8> { x }\n",
+                ),
+                ("crates/storage/src/fault.rs", "use std::rc::Rc;\n"),
+            ],
+            None,
+        );
+        let f = run_one(&ws, "no-rc");
+        assert_eq!(f.len(), 2, "{f:?}"); // line 1 and line 2, storage exempt
+    }
+
+    #[test]
+    fn metric_coverage_cross_checks_all_three_surfaces() {
+        let reg = r#"
+metrics! {
+    GoodReads => (Pager, "pager.good_reads", "doc"),
+    Ghost => (Pager, "pager.ghost", "doc"),
+}
+timer_metrics! {
+    Commit => ("store.commit_t", "doc"),
+}
+"#;
+        let pinned = "fn t() { use_it(Metric::GoodReads); check(Metric::Phantom); \
+                      tm(TimerMetric::Commit); }";
+        let design = "counters: `pager.good_reads` and `store.commit_t`; \
+                      stale: `pager.vanished`.";
+        let ws = ws_with(
+            vec![
+                ("crates/metrics/src/lib.rs", reg),
+                ("tests/metrics_regression.rs", pinned),
+            ],
+            Some(design),
+        );
+        let f = run_one(&ws, "metric-coverage");
+        let keys: Vec<&str> = f.iter().map(|x| x.key.as_str()).collect();
+        assert!(keys.contains(&"undocumented pager.ghost"), "{keys:?}");
+        assert!(keys.contains(&"unpinned pager.ghost"), "{keys:?}");
+        assert!(keys.contains(&"phantom pager.vanished"), "{keys:?}");
+        assert!(keys.contains(&"phantom Phantom"), "{keys:?}");
+        assert_eq!(f.len(), 4, "{f:?}");
+    }
+
+    #[test]
+    fn metric_coverage_ignores_file_names_in_docs() {
+        let reg = "metrics! { A => (Pager, \"pager.reads\", \"d\") }";
+        let pinned = "fn t() { p(Metric::A0a); }"; // A0a ≠ A but CamelCase-ish
+        let design = "see `pager.rs` and `pager.reads`; also `list.rs`.";
+        let ws = ws_with(
+            vec![
+                ("crates/metrics/src/lib.rs", reg),
+                ("tests/metrics_regression.rs", pinned),
+            ],
+            Some(design),
+        );
+        let f = run_one(&ws, "metric-coverage");
+        // pager.rs / list.rs are file names, not phantom metrics; A is
+        // unpinned, A0a is phantom.
+        let keys: Vec<&str> = f.iter().map(|x| x.key.as_str()).collect();
+        assert_eq!(keys, ["unpinned pager.reads", "phantom A0a"], "{f:?}");
+    }
+
+    #[test]
+    fn fs_rule_allows_pager_and_test_code() {
+        let ws = ws_with(
+            vec![
+                (
+                    "crates/cli/src/commands.rs",
+                    "fn w() { std::fs::write(p, b)?; std::fs::read_to_string(p)?; }\n\
+                     #[cfg(test)]\nmod t { fn x() { std::fs::write(p, b).unwrap(); } }\n",
+                ),
+                (
+                    "crates/storage/src/pager.rs",
+                    "fn w() { std::fs::write(p, b)?; }",
+                ),
+            ],
+            None,
+        );
+        let f = run_one(&ws, "fs-outside-pager");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].path, "crates/cli/src/commands.rs");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn lock_across_spawn_window_and_drop() {
+        let bad = "fn f(scope: &S) {\n\
+                   let guard = m.lock().unwrap();\n\
+                   scope.map(items, work);\n\
+                   }\n";
+        let ok_drop = "fn f(scope: &S) {\n\
+                       let guard = m.lock().unwrap();\n\
+                       drop(guard);\n\
+                       scope.map(items, work);\n\
+                       }\n";
+        let ok_iter = "fn f() {\n\
+                       let guard = m.lock().unwrap();\n\
+                       let v: Vec<_> = items.iter().map(|x| x + 1).collect();\n\
+                       }\n";
+        let ws = ws_with(
+            vec![
+                ("crates/core/src/a.rs", bad),
+                ("crates/core/src/b.rs", ok_drop),
+                ("crates/core/src/c.rs", ok_iter),
+            ],
+            None,
+        );
+        let f = run_one(&ws, "lock-across-spawn");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].path, "crates/core/src/a.rs");
+        assert_eq!(f[0].line, 3);
+    }
+}

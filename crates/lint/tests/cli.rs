@@ -1,0 +1,156 @@
+//! End-to-end tests of the `approxql-lint` binary: exit codes, finding
+//! counts per rule, and the self-check that the real workspace is clean
+//! under its committed baseline.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_approxql-lint"))
+        .args(args)
+        .output()
+        .expect("spawn approxql-lint")
+}
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("exit code")
+}
+
+#[test]
+fn clean_fixture_exits_zero() {
+    let root = fixture("clean");
+    let out = lint(&["--workspace", "--root", root.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(code(&out), 0, "stdout: {stdout}");
+    assert!(stdout.contains("approxql-lint: clean"), "{stdout}");
+}
+
+#[test]
+fn violations_fixture_fires_every_rule() {
+    let root = fixture("violations");
+    let out = lint(&["--workspace", "--root", root.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(code(&out), 3, "stdout: {stdout}");
+
+    let count_of = |rule: &str| {
+        stdout
+            .lines()
+            .filter(|l| l.contains(&format!("[{rule}]")))
+            .count()
+    };
+    assert_eq!(count_of("no-panic"), 1, "{stdout}");
+    assert_eq!(count_of("forbid-unsafe"), 1, "{stdout}");
+    assert_eq!(count_of("no-rc"), 2, "{stdout}");
+    assert_eq!(count_of("metric-coverage"), 3, "{stdout}");
+    assert_eq!(count_of("fs-outside-pager"), 1, "{stdout}");
+    assert_eq!(count_of("lock-across-spawn"), 1, "{stdout}");
+    assert!(
+        stdout.contains("approxql-lint: 9 finding(s) not in baseline"),
+        "{stdout}"
+    );
+
+    // The specific sites, not just the counts.
+    assert!(
+        stdout.contains("crates/storage/src/lib.rs:3: [no-panic]"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/cli/src/main.rs:1: [forbid-unsafe]"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/cli/src/main.rs:2: [fs-outside-pager]"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/exec/src/lib.rs:4: [lock-across-spawn]"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("`pager.bad` is not documented"), "{stdout}");
+    assert!(stdout.contains("is not pinned"), "{stdout}");
+    assert!(
+        stdout.contains("`pager.phantom_ctr` is documented but not registered"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn violations_are_absorbed_by_a_matching_baseline() {
+    // --update-baseline, then a second run against the written file, must
+    // be clean: the baseline grandfathers exactly the current findings.
+    let root = fixture("violations");
+    let dir = std::env::temp_dir().join(format!("axql-lint-baseline-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("baseline.txt");
+    let out = lint(&[
+        "--workspace",
+        "--root",
+        root.to_str().unwrap(),
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--update-baseline",
+    ]);
+    assert_eq!(code(&out), 0);
+    let out = lint(&[
+        "--workspace",
+        "--root",
+        root.to_str().unwrap(),
+        "--baseline",
+        baseline.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    std::fs::remove_dir_all(&dir).unwrap();
+    assert_eq!(code(&out), 0, "stdout: {stdout}");
+    assert!(stdout.contains("9 grandfathered"), "{stdout}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    // No --workspace.
+    assert_eq!(code(&lint(&[])), 2);
+    // Unknown flag.
+    assert_eq!(code(&lint(&["--workspace", "--bogus"])), 2);
+    // Missing flag value.
+    assert_eq!(code(&lint(&["--workspace", "--root"])), 2);
+}
+
+#[test]
+fn list_rules_names_all_six() {
+    let out = lint(&["--list-rules"]);
+    assert_eq!(code(&out), 0);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "no-panic",
+        "forbid-unsafe",
+        "no-rc",
+        "metric-coverage",
+        "fs-outside-pager",
+        "lock-across-spawn",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule} in {stdout}");
+    }
+}
+
+#[test]
+fn real_workspace_is_clean_under_committed_baseline() {
+    // The repo root is two levels above this crate.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap();
+    let out = lint(&["--workspace", "--root", root.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(code(&out), 0, "stdout: {stdout}\nstderr: {stderr}");
+    // The committed baseline must be fully live: no stale entries.
+    assert!(
+        !stderr.contains("unused baseline entry"),
+        "stale baseline entries:\n{stderr}"
+    );
+}

@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+metrics! {
+    Good => (Pager, "pager.good", "the one counter"),
+}

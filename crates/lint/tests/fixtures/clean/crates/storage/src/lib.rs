@@ -1,0 +1,12 @@
+#![forbid(unsafe_code)]
+pub fn read(x: Option<u8>) -> Result<u8, ()> {
+    x.ok_or(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        super::read(Some(1)).unwrap();
+    }
+}

@@ -1,0 +1,3 @@
+fn main() {
+    let _ = std::fs::write("out.txt", b"x");
+}

@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+pub fn fan_out(scope: &Scope, m: &Mutex, items: Items) {
+    let guard = m.lock();
+    scope.map(items, work);
+}

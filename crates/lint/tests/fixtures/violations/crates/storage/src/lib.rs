@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+pub fn torn(x: Option<u8>) -> u8 {
+    x.unwrap()
+}

@@ -1,0 +1,3 @@
+fn pin() {
+    record(Metric::Good);
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Operation metrics for every evaluation layer.
 //!
 //! The paper's experimental section (Figure 7) argues in terms of *work

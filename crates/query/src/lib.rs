@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The approXQL query language (Section 3 of the paper) and its
 //! representations.
 //!

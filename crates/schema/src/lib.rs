@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The schema (DataGuide-style structural summary) of a data tree
 //! (Section 7.1 of the paper).
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline drop-in subset of the `criterion` API.
 //!
 //! The build environment has no registry access, so the workspace vendors

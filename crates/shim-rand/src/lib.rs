@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline drop-in subset of the `rand` 0.8 API.
 //!
 //! The build environment has no registry access, so the workspace vendors

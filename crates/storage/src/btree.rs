@@ -50,7 +50,7 @@ impl Node {
         }
     }
 
-    fn write_page(&self, buf: &mut [u8; PAGE_SIZE]) {
+    fn serialize_into(&self, buf: &mut [u8; PAGE_SIZE]) {
         debug_assert!(self.serialized_size() <= PAGE_DATA);
         buf.fill(0);
         let mut pos = 0;
@@ -94,35 +94,35 @@ impl Node {
             Ok(s)
         };
         let tag = take(1, &mut pos)?[0];
-        let n = u16::from_le_bytes(take(2, &mut pos)?.try_into().unwrap()) as usize;
+        let n = u16::from_le_bytes(crate::le_array(take(2, &mut pos)?)) as usize;
         match tag {
             TAG_INTERNAL => {
-                let mut children = vec![PageId(u32::from_le_bytes(
-                    take(4, &mut pos)?.try_into().unwrap(),
-                ))];
+                let mut children = vec![PageId(u32::from_le_bytes(crate::le_array(take(
+                    4, &mut pos,
+                )?)))];
                 let mut keys = Vec::with_capacity(n);
                 for _ in 0..n {
-                    let klen = u16::from_le_bytes(take(2, &mut pos)?.try_into().unwrap()) as usize;
+                    let klen = u16::from_le_bytes(crate::le_array(take(2, &mut pos)?)) as usize;
                     if klen > MAX_KEY_LEN {
                         return Err(corrupt("key too long"));
                     }
                     keys.push(take(klen, &mut pos)?.to_vec());
-                    children.push(PageId(u32::from_le_bytes(
-                        take(4, &mut pos)?.try_into().unwrap(),
-                    )));
+                    children.push(PageId(u32::from_le_bytes(crate::le_array(take(
+                        4, &mut pos,
+                    )?))));
                 }
                 Ok(Node::Internal { keys, children })
             }
             TAG_LEAF => {
                 let mut entries = Vec::with_capacity(n);
                 for _ in 0..n {
-                    let klen = u16::from_le_bytes(take(2, &mut pos)?.try_into().unwrap()) as usize;
+                    let klen = u16::from_le_bytes(crate::le_array(take(2, &mut pos)?)) as usize;
                     if klen > MAX_KEY_LEN {
                         return Err(corrupt("key too long"));
                     }
                     let key = take(klen, &mut pos)?.to_vec();
-                    let first = u32::from_le_bytes(take(4, &mut pos)?.try_into().unwrap());
-                    let len = u32::from_le_bytes(take(4, &mut pos)?.try_into().unwrap());
+                    let first = u32::from_le_bytes(crate::le_array(take(4, &mut pos)?));
+                    let len = u32::from_le_bytes(crate::le_array(take(4, &mut pos)?));
                     entries.push((
                         key,
                         ValueRef {
@@ -144,7 +144,7 @@ pub(crate) fn read_node(pager: &mut Pager, id: PageId) -> Result<Node> {
 }
 
 fn write_node(pager: &mut Pager, id: PageId, node: &Node) -> Result<()> {
-    node.write_page(pager.write(id)?);
+    node.serialize_into(pager.write(id)?);
     Ok(())
 }
 
@@ -276,9 +276,11 @@ impl BTree {
                 }
                 // Split: move the upper half to a fresh right sibling.
                 Metric::BtreeNodeSplits.incr();
-                let mut entries = match node {
-                    Node::Leaf { entries } => entries,
-                    _ => unreachable!(),
+                let Node::Leaf { mut entries } = node else {
+                    return Err(StorageError::CorruptPage(
+                        page,
+                        "leaf changed shape in split",
+                    ));
                 };
                 let mid = entries.len() / 2;
                 let right_entries = entries.split_off(mid);
@@ -324,9 +326,15 @@ impl BTree {
                             return Ok(InsertResult::Done { id: new_id });
                         }
                         Metric::BtreeNodeSplits.incr();
-                        let (mut keys, mut children) = match node {
-                            Node::Internal { keys, children } => (keys, children),
-                            _ => unreachable!(),
+                        let Node::Internal {
+                            mut keys,
+                            mut children,
+                        } = node
+                        else {
+                            return Err(StorageError::CorruptPage(
+                                page,
+                                "internal node changed shape in split",
+                            ));
                         };
                         // Push up the middle key; right sibling takes the
                         // upper halves.
@@ -456,7 +464,9 @@ impl Cursor {
                 Node::Leaf { entries } => {
                     if idx < entries.len() {
                         Metric::BtreeScanSteps.incr();
-                        self.stack.last_mut().unwrap().1 += 1;
+                        if let Some(top) = self.stack.last_mut() {
+                            top.1 += 1;
+                        }
                         return Ok(Some(entries[idx].clone()));
                     }
                     // Leaf exhausted (possibly empty after deletions):
@@ -479,7 +489,9 @@ impl Cursor {
             match read_node(pager, page)? {
                 Node::Internal { children, .. } => {
                     if idx + 1 < children.len() {
-                        self.stack.last_mut().unwrap().1 = idx + 1;
+                        if let Some(top) = self.stack.last_mut() {
+                            top.1 = idx + 1;
+                        }
                         return self.descend_first(pager, children[idx + 1]);
                     }
                     self.stack.pop();
@@ -737,13 +749,13 @@ mod tests {
             children: vec![PageId(3), PageId(4)],
         };
         let mut buf = [0u8; PAGE_SIZE];
-        internal.write_page(&mut buf);
+        internal.serialize_into(&mut buf);
         assert_eq!(Node::parse(PageId(9), &buf).unwrap(), internal);
 
         let leaf = Node::Leaf {
             entries: vec![(b"a".to_vec(), vr(7))],
         };
-        leaf.write_page(&mut buf);
+        leaf.serialize_into(&mut buf);
         assert_eq!(Node::parse(PageId(9), &buf).unwrap(), leaf);
     }
 

@@ -6,7 +6,7 @@
 //! immutable once written — overwriting a key writes a fresh run.
 
 use crate::pager::{PageId, Pager, PAGE_DATA};
-use crate::Result;
+use crate::{Result, StorageError};
 
 /// Location of a stored value.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -26,7 +26,9 @@ impl ValueRef {
 
 /// Writes `value` into freshly allocated pages.
 pub fn write_value(pager: &mut Pager, value: &[u8]) -> Result<ValueRef> {
-    let len = u32::try_from(value.len()).expect("values larger than 4 GiB are unsupported");
+    let Ok(len) = u32::try_from(value.len()) else {
+        return Err(StorageError::ValueTooLarge(value.len()));
+    };
     if value.is_empty() {
         return Ok(ValueRef {
             first_page: PageId(0),

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! A small single-file key/value store with ordered range scans and
 //! crash-safe commits.
 //!
@@ -114,6 +115,8 @@ pub enum StorageError {
     },
     /// The key exceeds [`MAX_KEY_LEN`].
     KeyTooLong(usize),
+    /// The value exceeds the format's 4 GiB-per-value limit.
+    ValueTooLarge(usize),
 }
 
 impl fmt::Display for StorageError {
@@ -134,6 +137,9 @@ impl fmt::Display for StorageError {
             ),
             StorageError::KeyTooLong(n) => {
                 write!(f, "key of {n} bytes exceeds the {MAX_KEY_LEN}-byte limit")
+            }
+            StorageError::ValueTooLarge(n) => {
+                write!(f, "value of {n} bytes exceeds the 4 GiB per-value limit")
             }
         }
     }
@@ -156,3 +162,15 @@ impl From<std::io::Error> for StorageError {
 
 /// Shorthand result type.
 pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Copies the first `N` bytes of `s` into a fixed array, zero-padding when
+/// `s` is shorter. Deserialization callers always pass exactly `N` bytes
+/// (their `take(N)` already bounds-checked); this helper just expresses
+/// that without a panicking `try_into().unwrap()`.
+pub(crate) fn le_array<const N: usize>(s: &[u8]) -> [u8; N] {
+    let mut a = [0u8; N];
+    for (d, b) in a.iter_mut().zip(s) {
+        *d = *b;
+    }
+    a
+}

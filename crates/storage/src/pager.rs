@@ -40,8 +40,20 @@ pub(crate) fn stamp_trailer(buf: &mut [u8; PAGE_SIZE]) {
 
 /// Checks the trailer checksum of a page read from a backend.
 pub(crate) fn trailer_ok(buf: &[u8; PAGE_SIZE]) -> bool {
-    let stored = u64::from_le_bytes(buf[PAGE_DATA..].try_into().unwrap());
+    let stored = u64::from_le_bytes(crate::le_array(&buf[PAGE_DATA..]));
     stored == fnv64(&buf[..PAGE_DATA])
+}
+
+/// The cached frame for `id`, which the caller has just ensured is present.
+/// A missing frame is an internal invariant failure; the storage layer
+/// promises typed errors, never a panic, so it surfaces as a corrupt-page
+/// error instead of an `unwrap`. Free function (not a method) so callers
+/// keep field-level borrows on the rest of the pager.
+fn frame_mut(cache: &mut HashMap<PageId, Frame>, id: PageId) -> Result<&mut Frame> {
+    cache.get_mut(&id).ok_or(StorageError::CorruptPage(
+        id,
+        "page frame missing from cache",
+    ))
 }
 
 /// A page number within the store file. Pages 0 and 1 are the header slots.
@@ -385,7 +397,7 @@ impl Pager {
                 },
             );
         }
-        let frame = self.cache.get_mut(&id).unwrap();
+        let frame = frame_mut(&mut self.cache, id)?;
         frame.referenced = true;
         Ok(&frame.buf)
     }
@@ -410,7 +422,7 @@ impl Pager {
                 },
             );
         }
-        let frame = self.cache.get_mut(&id).unwrap();
+        let frame = frame_mut(&mut self.cache, id)?;
         frame.dirty = true;
         frame.referenced = true;
         Ok(&mut frame.buf)
@@ -438,14 +450,14 @@ impl Pager {
                 !self.is_committed(id),
                 "flush would overwrite committed page {id}"
             );
-            let frame = self.cache.get_mut(&id).unwrap();
+            let frame = frame_mut(&mut self.cache, id)?;
             stamp_trailer(&mut frame.buf);
             self.backend.write_page(id, &frame.buf)?;
             Metric::PagerBackendWrites.incr();
         }
         self.backend.sync()?;
         for id in dirty {
-            self.cache.get_mut(&id).unwrap().dirty = false;
+            frame_mut(&mut self.cache, id)?.dirty = false;
         }
         Ok(())
     }

@@ -77,16 +77,16 @@ fn read_slot(pager: &mut Pager, index: u32, backend_pages: u32) -> Result<SlotSt
     if &buf[0..8] != MAGIC {
         return Ok(SlotState::BadMagic);
     }
-    let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+    let version = u32::from_le_bytes(crate::le_array(&buf[8..12]));
     if version != FORMAT_VERSION {
         return Ok(SlotState::WrongVersion(version));
     }
     if !trailer_ok(&buf) {
         return Ok(SlotState::Corrupt);
     }
-    let root = u32::from_le_bytes(buf[12..16].try_into().unwrap());
-    let csn = u64::from_le_bytes(buf[16..24].try_into().unwrap());
-    let pages = u32::from_le_bytes(buf[24..28].try_into().unwrap());
+    let root = u32::from_le_bytes(crate::le_array(&buf[12..16]));
+    let csn = u64::from_le_bytes(crate::le_array(&buf[16..24]));
+    let pages = u32::from_le_bytes(crate::le_array(&buf[24..28]));
     if pages > backend_pages {
         return Ok(SlotState::Truncated { claimed: pages });
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The data-tree model of approXQL (Sections 4 and 6.2 of the paper).
 //!
 //! XML documents are modeled as labeled trees with two node types:

@@ -277,3 +277,71 @@ fn repeated_runs_count_identically() {
     assert_eq!(first_counts, second_counts);
     assert!(!first.is_zero());
 }
+
+#[test]
+fn registry_is_exactly_the_documented_catalogue() {
+    // Pins the *names* of every counter and timer, in registry order. The
+    // `metric-coverage` lint rule cross-checks this same set against the
+    // registry in `crates/metrics` and the catalogue in DESIGN.md §8.1;
+    // together they guarantee no metric can be added, renamed, or removed
+    // without touching all three surfaces in one reviewed diff.
+    use approxql::TimerMetric;
+    let counters: Vec<&str> = Metric::ALL.iter().map(|m| m.name()).collect();
+    assert_eq!(
+        counters,
+        [
+            (Metric::PagerPageReads, "pager.page_reads"),
+            (Metric::PagerCacheMisses, "pager.cache_misses"),
+            (Metric::PagerPageWrites, "pager.page_writes"),
+            (Metric::PagerPageAllocs, "pager.page_allocs"),
+            (Metric::PagerBackendWrites, "pager.backend_writes"),
+            (Metric::PagerFlushes, "pager.flushes"),
+            (Metric::PagerEvictions, "pager.evictions"),
+            (Metric::PagerChecksumFailures, "pager.checksum_failures"),
+            (Metric::StoreCommits, "store.commits"),
+            (Metric::StoreRecoveryRollbacks, "store.recovery_rollbacks"),
+            (Metric::BtreeGets, "btree.gets"),
+            (Metric::BtreeInserts, "btree.inserts"),
+            (Metric::BtreeDeletes, "btree.deletes"),
+            (Metric::BtreeNodeReads, "btree.node_reads"),
+            (Metric::BtreeNodeSplits, "btree.node_splits"),
+            (Metric::BtreeScanSteps, "btree.scan_steps"),
+            (Metric::IndexLabelFetches, "index.label_fetches"),
+            (Metric::IndexPostingsFetched, "index.postings_fetched"),
+            (Metric::IndexSecondaryFetches, "index.secondary_fetches"),
+            (Metric::IndexSecondaryRows, "index.secondary_rows"),
+            (Metric::IndexBytesDecoded, "index.bytes_decoded"),
+            (Metric::ListFetchOps, "list.fetch_ops"),
+            (Metric::ListShiftOps, "list.shift_ops"),
+            (Metric::ListMergeOps, "list.merge_ops"),
+            (Metric::ListJoinOps, "list.join_ops"),
+            (Metric::ListOuterjoinOps, "list.outerjoin_ops"),
+            (Metric::ListIntersectOps, "list.intersect_ops"),
+            (Metric::ListUnionOps, "list.union_ops"),
+            (Metric::ListSortOps, "list.sort_ops"),
+            (Metric::ListEntriesProduced, "list.entries_produced"),
+            (Metric::TopkOps, "topk.ops"),
+            (Metric::TopkEntriesProduced, "topk.entries_produced"),
+            (Metric::EvalDirectRuns, "eval.direct_runs"),
+            (Metric::EvalDirectFetches, "eval.direct_fetches"),
+            (Metric::EvalMemoHits, "eval.memo_hits"),
+            (Metric::EvalSchemaRuns, "eval.schema_runs"),
+            (Metric::EvalSchemaRounds, "eval.schema_rounds"),
+            (Metric::EvalSecondLevelQueries, "eval.second_level_queries"),
+            (Metric::EvalSecondaryRows, "eval.secondary_rows"),
+        ]
+        .map(|(_, name)| name)
+    );
+    let timers: Vec<&str> = TimerMetric::ALL.iter().map(|t| t.name()).collect();
+    assert_eq!(
+        timers,
+        [
+            (TimerMetric::EvalDirect, "eval.direct"),
+            (TimerMetric::EvalSchema, "eval.schema"),
+            (TimerMetric::SecondLevel, "eval.second_level"),
+            (TimerMetric::StoreCommit, "storage.commit"),
+            (TimerMetric::IndexBuild, "index.build"),
+        ]
+        .map(|(_, name)| name)
+    );
+}
