@@ -1,6 +1,6 @@
 //! End-to-end evaluation benchmarks: direct vs. schema-driven best-n on a
 //! generated collection (a criterion-sized slice of Figure 7), plus the
-//! dynamic-programming ablation (memoization on/off).
+//! physical-plan pipeline (compile cost vs. reusing a cached plan).
 
 use approxql_bench::{build_collection, make_queries, PATTERNS};
 use approxql_core::direct;
@@ -46,52 +46,53 @@ fn bench_direct_vs_schema(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_memo_ablation(c: &mut Criterion) {
+/// The plan pipeline: compilation alone, evaluation with compile-on-use,
+/// and evaluation over a pre-compiled (cache-hit) plan. The difference
+/// between the last two is what the keyed plan cache saves per request.
+fn bench_plan_pipeline(c: &mut Criterion) {
     let col = build_collection(100, 5);
     let queries = make_queries(&col, PATTERNS[2].1, 5, 3, 23);
-    let mut group = c.benchmark_group("memo_ablation");
+    let plans: Vec<_> = queries
+        .iter()
+        .map(|(_, ex)| approxql_plan::compile(ex).unwrap())
+        .collect();
+    let mut group = c.benchmark_group("plan_pipeline");
     group.sample_size(20);
-    for (label, use_memo) in [("memo_on", true), ("memo_off", false)] {
-        let opts = EvalOptions {
-            use_memo,
-            ..EvalOptions::default()
-        };
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                for (_, ex) in &queries {
-                    let _ = direct::best_n(ex, &col.labels, col.tree.interner(), None, opts);
-                }
-            })
-        });
-    }
+    group.bench_function("compile", |b| {
+        b.iter(|| {
+            for (_, ex) in &queries {
+                let _ = approxql_plan::compile(ex);
+            }
+        })
+    });
+    group.bench_function("compile_and_eval", |b| {
+        b.iter(|| {
+            for (_, ex) in &queries {
+                let _ = direct::best_n(
+                    ex,
+                    &col.labels,
+                    col.tree.interner(),
+                    None,
+                    EvalOptions::default(),
+                );
+            }
+        })
+    });
+    group.bench_function("cached_plan_eval", |b| {
+        b.iter(|| {
+            for plan in &plans {
+                let _ = direct::best_n_plan(
+                    plan,
+                    &col.labels,
+                    col.tree.interner(),
+                    None,
+                    EvalOptions::default(),
+                );
+            }
+        })
+    });
     group.finish();
 }
 
-fn bench_join_ablation_end_to_end(c: &mut Criterion) {
-    let col = build_collection(100, 5);
-    let queries = make_queries(&col, PATTERNS[1].1, 10, 3, 29);
-    let mut group = c.benchmark_group("join_ablation");
-    group.sample_size(20);
-    for (label, use_paper_joins) in [("fold_on_pop", false), ("paper_rescan", true)] {
-        let opts = EvalOptions {
-            use_paper_joins,
-            ..EvalOptions::default()
-        };
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                for (_, ex) in &queries {
-                    let _ = direct::best_n(ex, &col.labels, col.tree.interner(), None, opts);
-                }
-            })
-        });
-    }
-    group.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_direct_vs_schema,
-    bench_memo_ablation,
-    bench_join_ablation_end_to_end
-);
+criterion_group!(benches, bench_direct_vs_schema, bench_plan_pipeline);
 criterion_main!(benches);

@@ -16,10 +16,14 @@ usage:
 
   approxql query   <db.axql> <QUERY> [-n N] [--direct|--schema]
                    [--costs FILE] [--threads N] [--xml] [--stats] [--stats-json]
+                   [--explain] [--repeat N]
       run an approximate query; results are ranked by transformation cost
       (--stats prints per-layer operation counters to stderr,
        --stats-json the same as one JSON object; --threads defaults to the
-       available parallelism and 1 reproduces the sequential path exactly)
+       available parallelism and 1 reproduces the sequential path exactly;
+       --explain prints the compiled physical plan with per-operator entry
+       counts instead of results; --repeat re-runs the query N times in
+       one process to exercise the compiled-plan cache)
 
   approxql stats   <db.axql>
       print collection, index, and schema statistics
@@ -111,6 +115,7 @@ const VALUE_OPTIONS: &[&str] = &[
     "--words",
     "--seed",
     "--docs",
+    "--repeat",
 ];
 
 fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
@@ -244,6 +249,11 @@ fn cmd_query(flags: &Flags) -> Result<(), CliError> {
         return Err(usage("--direct and --schema are mutually exclusive"));
     }
     let use_direct = flags.switch("--direct");
+    let explain = flags.switch("--explain");
+    let repeat: usize = flags.option_parsed("--repeat")?.unwrap_or(1);
+    if repeat == 0 {
+        return Err(usage("--repeat must be at least 1"));
+    }
     let threads: usize = flags
         .option_parsed("--threads")?
         .unwrap_or_else(approxql_exec::default_threads);
@@ -266,27 +276,45 @@ fn cmd_query(flags: &Flags) -> Result<(), CliError> {
     // The registry is process-wide; diff against a baseline so the report
     // covers exactly this query's evaluation.
     let before = approxql_metrics::snapshot();
-    if use_direct {
-        let (hits, stats) = db.query_direct_with(query, Some(n), opts)?;
-        for (rank, hit) in hits.iter().enumerate() {
-            print_hit(&db, rank, *hit, as_xml)?;
-        }
-        if show_stats {
-            eprintln!(
-                "direct: {} fetches, {} list ops, {} entries, {} memo hits",
-                stats.fetches, stats.ops, stats.list_entries, stats.memo_hits
-            );
-        }
-    } else {
-        let (hits, stats) = db.query_schema_with(query, n, opts, SchemaEvalConfig::default())?;
-        for (rank, hit) in hits.iter().enumerate() {
-            print_hit(&db, rank, *hit, as_xml)?;
-        }
-        if show_stats {
-            eprintln!(
-                "schema: {} rounds (k={}), {} second-level queries, {} rows",
-                stats.rounds, stats.k_final, stats.second_level_queries, stats.secondary_rows
-            );
+    for round in 0..repeat {
+        // Repeat rounds re-execute through the plan cache (visible in the
+        // plan.cache_hits counter) but print only once.
+        let printing = round == 0;
+        if explain {
+            let text = db.explain_direct(query, Some(n), opts)?;
+            if printing {
+                print!("{text}");
+            }
+        } else if use_direct {
+            let (hits, stats) = db.query_direct_with(query, Some(n), opts)?;
+            if printing {
+                for (rank, hit) in hits.iter().enumerate() {
+                    print_hit(&db, rank, *hit, as_xml)?;
+                }
+                if show_stats {
+                    eprintln!(
+                        "direct: {} fetches, {} plan ops, {} entries, {} cse reuses",
+                        stats.fetches, stats.ops, stats.list_entries, stats.cse_reuses
+                    );
+                }
+            }
+        } else {
+            let (hits, stats) =
+                db.query_schema_with(query, n, opts, SchemaEvalConfig::default())?;
+            if printing {
+                for (rank, hit) in hits.iter().enumerate() {
+                    print_hit(&db, rank, *hit, as_xml)?;
+                }
+                if show_stats {
+                    eprintln!(
+                        "schema: {} rounds (k={}), {} second-level queries, {} rows",
+                        stats.rounds,
+                        stats.k_final,
+                        stats.second_level_queries,
+                        stats.secondary_rows
+                    );
+                }
+            }
         }
     }
     if show_stats || stats_json {
@@ -524,6 +552,37 @@ mod tests {
                 "--threads",
                 "0",
             ]),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn query_explain_and_repeat() {
+        let dir = tmpdir("explain");
+        let doc = dir.join("catalog.xml");
+        std::fs::write(
+            &doc,
+            "<catalog><cd><title>piano concerto</title></cd></catalog>",
+        )
+        .unwrap();
+        let db = dir.join("db.axql");
+        run_words(&["build", db.to_str().unwrap(), doc.to_str().unwrap()]).unwrap();
+        let q = r#"cd[title["piano"]]"#;
+        run_words(&["query", db.to_str().unwrap(), q, "--explain"]).unwrap();
+        // Repeat rounds drive the plan cache; combined with --stats-json
+        // this is what the CI smoke greps for `plan.cache_hits`.
+        run_words(&[
+            "query",
+            db.to_str().unwrap(),
+            q,
+            "--repeat",
+            "3",
+            "--stats-json",
+        ])
+        .unwrap();
+        assert!(matches!(
+            run_words(&["query", db.to_str().unwrap(), q, "--repeat", "0"]),
             Err(CliError::Usage(_))
         ));
         std::fs::remove_dir_all(&dir).unwrap();

@@ -7,6 +7,8 @@ use approxql_index::persist::{
     load_blob, load_label_index, save_blob, save_label_index, PersistError,
 };
 use approxql_index::LabelIndex;
+use approxql_metrics::Metric;
+use approxql_plan::{self as plan, Plan};
 use approxql_query::expand::ExpandedQuery;
 use approxql_query::{parse_query, ParseError, Query};
 use approxql_schema::Schema;
@@ -15,6 +17,7 @@ use approxql_tree::{DataTree, DataTreeBuilder, NodeId, TreeDecodeError, TreeErro
 use approxql_xml::{parse_document, Document, Element, XmlError};
 use std::fmt;
 use std::path::Path;
+use std::sync::{Arc, Mutex};
 
 /// Errors raised by [`Database`] operations.
 #[derive(Debug)]
@@ -79,6 +82,46 @@ pub struct QueryHit {
     pub cost: Cost,
 }
 
+/// Capacity of the per-database compiled-plan LRU cache. Production
+/// workloads repeat a small set of query shapes (the ROADMAP's serving
+/// scenario); 32 plans cover them while bounding memory.
+const PLAN_CACHE_CAP: usize = 32;
+
+/// The keyed plan cache: most-recently-used first. Keys pair the
+/// normalized query text (the parsed query's canonical rendering) with
+/// the cost-model fingerprint, so a plan is only reused when both the
+/// structure *and* the expansion-driving costs are unchanged.
+struct PlanCache {
+    entries: Vec<((u64, String), Arc<Plan>)>,
+}
+
+impl PlanCache {
+    fn get(&mut self, key: &(u64, String)) -> Option<Arc<Plan>> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        let hit = self.entries.remove(pos);
+        let plan = Arc::clone(&hit.1);
+        self.entries.insert(0, hit);
+        Some(plan)
+    }
+
+    fn insert(&mut self, key: (u64, String), plan: Arc<Plan>) {
+        self.entries.retain(|(k, _)| *k != key);
+        self.entries.insert(0, (key, plan));
+        self.entries.truncate(PLAN_CACHE_CAP);
+    }
+}
+
+/// FNV-1a over the canonical cost-file rendering: a stable fingerprint of
+/// everything that influences query expansion.
+fn cost_fingerprint(costs: &CostModel) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in write_cost_file(costs).as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// An approXQL database: the data tree with its label indexes, schema, and
 /// cost model. See the crate docs for an end-to-end example.
 pub struct Database {
@@ -86,20 +129,33 @@ pub struct Database {
     costs: CostModel,
     labels: LabelIndex,
     schema: Schema,
+    /// Fingerprint of `costs` (part of every plan-cache key).
+    costs_fp: u64,
+    /// Compiled physical plans keyed by (cost fingerprint, query text).
+    plan_cache: Mutex<PlanCache>,
 }
 
 impl Database {
-    /// Builds a database from an already-constructed data tree. The tree
-    /// must have been encoded with the same cost model.
-    pub fn from_tree(tree: DataTree, costs: CostModel) -> Database {
-        let labels = LabelIndex::build(&tree);
-        let schema = Schema::build(&tree, &costs);
+    fn assemble(tree: DataTree, costs: CostModel, labels: LabelIndex, schema: Schema) -> Database {
+        let costs_fp = cost_fingerprint(&costs);
         Database {
             tree,
             costs,
             labels,
             schema,
+            costs_fp,
+            plan_cache: Mutex::new(PlanCache {
+                entries: Vec::new(),
+            }),
         }
+    }
+
+    /// Builds a database from an already-constructed data tree. The tree
+    /// must have been encoded with the same cost model.
+    pub fn from_tree(tree: DataTree, costs: CostModel) -> Database {
+        let labels = LabelIndex::build(&tree);
+        let schema = Schema::build(&tree, &costs);
+        Database::assemble(tree, costs, labels, schema)
     }
 
     /// Parses one XML document and builds a database over it.
@@ -154,6 +210,35 @@ impl Database {
         Ok((q, ex))
     }
 
+    /// The compiled physical plan for a parsed query, through the keyed
+    /// LRU cache: a hit skips compilation entirely (`plan.cache_hits`),
+    /// a miss compiles from `ex` and caches the result. `None` only for
+    /// expanded queries that do not compile (not producible by the
+    /// parser).
+    pub fn plan_for(&self, q: &Query, ex: &ExpandedQuery) -> Option<Arc<Plan>> {
+        let key = (self.costs_fp, q.to_string());
+        {
+            let mut cache = self
+                .plan_cache
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            if let Some(hit) = cache.get(&key) {
+                Metric::PlanCacheHits.incr();
+                return Some(hit);
+            }
+        }
+        // Compile outside the lock: concurrent misses may both compile,
+        // but queries never serialize behind a compilation.
+        Metric::PlanCacheMisses.incr();
+        let compiled = Arc::new(plan::compile(ex).ok()?);
+        let mut cache = self
+            .plan_cache
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        cache.insert(key, Arc::clone(&compiled));
+        Some(compiled)
+    }
+
     /// Direct evaluation (Section 6): finds **all** approximate results,
     /// sorts them by cost, prunes after `n` (`None` = return everything).
     pub fn query_direct(
@@ -171,8 +256,11 @@ impl Database {
         n: Option<usize>,
         opts: EvalOptions,
     ) -> Result<(Vec<QueryHit>, DirectStats), DatabaseError> {
-        let (_, ex) = self.compile(query)?;
-        let (pairs, stats) = direct::best_n(&ex, &self.labels, self.tree.interner(), n, opts);
+        let (q, ex) = self.compile(query)?;
+        let (pairs, stats) = match self.plan_for(&q, &ex) {
+            Some(p) => direct::best_n_plan(&p, &self.labels, self.tree.interner(), n, opts),
+            None => (Vec::new(), DirectStats::default()),
+        };
         Ok((
             pairs
                 .into_iter()
@@ -207,9 +295,17 @@ impl Database {
         opts: EvalOptions,
         cfg: SchemaEvalConfig,
     ) -> Result<(Vec<QueryHit>, EvalStats), DatabaseError> {
-        let (_, ex) = self.compile(query)?;
-        let (pairs, stats) =
-            schema_eval::best_n_schema(&ex, &self.schema, self.tree.interner(), n, opts, cfg);
+        let (q, ex) = self.compile(query)?;
+        let plan = self.plan_for(&q, &ex);
+        let (pairs, stats) = schema_eval::best_n_schema_with_plan(
+            &ex,
+            plan,
+            &self.schema,
+            self.tree.interner(),
+            n,
+            opts,
+            cfg,
+        );
         Ok((
             pairs
                 .into_iter()
@@ -238,14 +334,39 @@ impl Database {
         &self,
         query: &str,
     ) -> Result<crate::schema_eval::ResultStream<'_>, DatabaseError> {
-        let (_, ex) = self.compile(query)?;
-        Ok(crate::schema_eval::ResultStream::new(
-            ex,
+        let (q, ex) = self.compile(query)?;
+        let plan = self.plan_for(&q, &ex);
+        Ok(crate::schema_eval::ResultStream::with_plan(
+            &ex,
+            plan,
             &self.schema,
             self.tree.interner(),
             EvalOptions::default(),
             SchemaEvalConfig::default(),
         ))
+    }
+
+    /// Renders the compiled physical plan of a query — with per-operator
+    /// output entry counts from one direct execution — for
+    /// `approxql query --explain`. Goes through the plan cache like any
+    /// other query.
+    pub fn explain_direct(
+        &self,
+        query: &str,
+        n: Option<usize>,
+        opts: EvalOptions,
+    ) -> Result<String, DatabaseError> {
+        let (q, ex) = self.compile(query)?;
+        match self.plan_for(&q, &ex) {
+            Some(p) => Ok(direct::explain(
+                &p,
+                &self.labels,
+                self.tree.interner(),
+                n,
+                opts,
+            )),
+            None => Ok(String::from("(query has no executable plan)\n")),
+        }
     }
 
     /// Materializes the result subtree of a hit as an XML element
@@ -275,12 +396,7 @@ impl Database {
         let costs = parse_cost_file(&String::from_utf8_lossy(&cost_bytes))?;
         let labels = load_label_index(&mut store, tree.interner())?;
         let schema = Schema::build(&tree, &costs);
-        Ok(Database {
-            tree,
-            costs,
-            labels,
-            schema,
-        })
+        Ok(Database::assemble(tree, costs, labels, schema))
     }
 
     /// Verifies the on-disk integrity of a database file without loading
@@ -361,6 +477,48 @@ mod tests {
         let via_schema = db2.query_schema(r#"cd[title["piano"]]"#, 2).unwrap();
         assert_eq!(before, via_schema);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_plan_cache() {
+        let db = Database::from_xml_str(CATALOG, paper_section6_costs()).unwrap();
+        let before = approxql_metrics::snapshot();
+        let first = db.query_direct(r#"cd[title["piano"]]"#, None).unwrap();
+        let mid = approxql_metrics::snapshot().diff(&before);
+        assert_eq!(mid.get(Metric::PlanCacheMisses), 1);
+        assert_eq!(mid.get(Metric::PlanCacheHits), 0);
+        // Same query again — and via the schema evaluator, which shares
+        // the cache: no further compilation.
+        let second = db.query_direct(r#"cd[title["piano"]]"#, None).unwrap();
+        let via_schema = db
+            .query_schema(r#"cd[title["piano"]]"#, first.len())
+            .unwrap();
+        let after = approxql_metrics::snapshot().diff(&before);
+        assert_eq!(after.get(Metric::PlanCacheMisses), 1);
+        assert_eq!(after.get(Metric::PlanCacheHits), 2);
+        assert_eq!(after.get(Metric::PlanCompile), 1);
+        assert_eq!(first, second);
+        assert_eq!(first, via_schema);
+        // Whitespace-insensitive: normalization maps to the same key.
+        let _ = db.query_direct(r#"cd[ title [ "piano" ] ]"#, None).unwrap();
+        let norm = approxql_metrics::snapshot().diff(&before);
+        assert_eq!(norm.get(Metric::PlanCacheHits), 3);
+    }
+
+    #[test]
+    fn explain_goes_through_the_cache() {
+        let db = Database::from_xml_str(CATALOG, paper_section6_costs()).unwrap();
+        let text = db
+            .explain_direct(r#"cd[title["piano"]]"#, Some(10), EvalOptions::default())
+            .unwrap();
+        assert!(text.contains("sort_best"), "missing root op:\n{text}");
+        assert!(text.contains("entries"), "missing counts:\n{text}");
+        let before = approxql_metrics::snapshot();
+        let _ = db
+            .explain_direct(r#"cd[title["piano"]]"#, Some(10), EvalOptions::default())
+            .unwrap();
+        let delta = approxql_metrics::snapshot().diff(&before);
+        assert_eq!(delta.get(Metric::PlanCacheHits), 1);
     }
 
     #[test]

@@ -1,25 +1,26 @@
 //! Algorithm `primary` (Section 6.5, Figure 4): direct evaluation.
 //!
-//! The evaluator walks the expanded query representation bottom-up and
-//! computes, for every query node and every candidate data node, the best
-//! embedding cost of the query subtree — entirely through the list algebra
-//! of [`crate::list`]. The full version's two refinements are included:
+//! The expanded query is compiled once into the physical-plan IR of
+//! [`approxql_plan`] — an operator DAG whose common-subexpression pass
+//! plays the role of the paper's dynamic programming (deletion `or`s and
+//! renaming expansions share their bridged subtrees structurally instead
+//! of through a per-run memo) — and then executed against the label index
+//! through the Section 6 list algebra of [`crate::list`]. The full
+//! version's two refinements are included:
 //!
 //! * **Leaf rule** — entries track a second cost channel for embeddings
 //!   that match at least one original query leaf (see crate docs).
-//! * **Dynamic programming** — deletion `or`s share their bridged subtree
-//!   in the expanded DAG; evaluation results are memoized per
-//!   `(query node, ancestor list identity)`, and the pending edge cost is
-//!   applied as a *post-shift* so it does not fragment the memo key.
+//! * **Subplan sharing** — structurally identical subplans compile to one
+//!   DAG node and execute exactly once; pending edge costs are applied as
+//!   a *post-shift* so they do not fragment the shared structure.
 
 use crate::list::{self, List};
-use approxql_exec::{Executor, OnceMap, Scope};
 use approxql_index::LabelIndex;
 use approxql_metrics::{time, Metric, TimerMetric};
-use approxql_query::expand::{ExpandedNode, ExpandedQuery};
-use approxql_tree::{Cost, Interner, LabelId, NodeType};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use approxql_plan::{self as plan, Plan, PlanAlgebra};
+use approxql_query::expand::ExpandedQuery;
+use approxql_tree::{Cost, Interner, NodeType};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Evaluation options shared by the direct and schema-driven algorithms.
 #[derive(Debug, Clone, Copy)]
@@ -27,16 +28,10 @@ pub struct EvalOptions {
     /// Enforce the leaf rule: results must match at least one original
     /// query leaf (the paper's full version). Default `true`.
     pub enforce_leaf_match: bool,
-    /// Memoize shared subtree evaluations (the paper's dynamic
-    /// programming). Default `true`; switchable for the ablation bench.
-    pub use_memo: bool,
-    /// Use the literal O(s·l)-style join formulation instead of the
-    /// fold-on-pop structural merge (ablation). Default `false`.
-    pub use_paper_joins: bool,
     /// Worker threads for the evaluation. 1 (the default, unless the
     /// `APPROXQL_THREADS` environment variable overrides it) runs the
-    /// sequential path; `N > 1` fans independent subtree evaluations out
-    /// over a work-stealing pool with identical results and counters.
+    /// sequential path; `N > 1` fans independent plan-DAG waves out over
+    /// a work-stealing pool with identical results and counters.
     pub threads: usize,
 }
 
@@ -44,8 +39,6 @@ impl Default for EvalOptions {
     fn default() -> Self {
         EvalOptions {
             enforce_leaf_match: true,
-            use_memo: true,
-            use_paper_joins: false,
             threads: approxql_exec::threads_from_env().unwrap_or(1),
         }
     }
@@ -58,262 +51,130 @@ pub struct DirectStats {
     pub fetches: usize,
     /// Total entries produced by all list operations.
     pub list_entries: usize,
-    /// Number of list operations executed.
+    /// Number of physical operators executed.
     pub ops: usize,
-    /// Memoization hits (shared subtree evaluations avoided).
-    pub memo_hits: usize,
+    /// Structurally shared subplans merged by the compiler's CSE pass
+    /// (each one a subtree evaluation avoided at execution time).
+    pub cse_reuses: usize,
 }
 
-/// A list with a stable identity (for memo keys).
-struct LRef {
-    id: u64,
-    list: List,
-}
-
-struct Evaluator<'a> {
-    ex: &'a ExpandedQuery,
+/// The Section 6.4 list algebra over the data indexes: the backend the
+/// compiled plan executes against for direct evaluation.
+struct IndexAlgebra<'a> {
     index: &'a LabelIndex,
     interner: &'a Interner,
-    opts: EvalOptions,
-    memo: OnceMap<(usize, u64), Arc<LRef>>,
-    /// Fetched candidate lists per `(type, label, is_leaf)`. Sharing the
-    /// list identity is what makes the `(query node, ancestor list)` memo
-    /// effective: both branches of a deletion `or` see the same lists —
-    /// and repeated renaming occurrences of the same label fetch once.
-    fetch_cache: OnceMap<(NodeType, String, bool), Arc<LRef>>,
-    next_id: AtomicU64,
     fetches: AtomicUsize,
-    list_entries: AtomicUsize,
-    ops: AtomicUsize,
-    memo_hits: AtomicUsize,
 }
 
-impl<'a> Evaluator<'a> {
-    fn wrap(&self, list: List) -> Arc<LRef> {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
-        self.list_entries.fetch_add(list.len(), Ordering::Relaxed);
-        self.ops.fetch_add(1, Ordering::Relaxed);
-        Arc::new(LRef { id, list })
-    }
+impl PlanAlgebra for IndexAlgebra<'_> {
+    type L = List;
 
-    fn lookup(&self, label: &str) -> Option<LabelId> {
-        self.interner.get(label)
+    fn empty(&self) -> List {
+        Vec::new()
     }
 
     fn fetch(&self, label: &str, ty: NodeType, is_leaf: bool) -> List {
         self.fetches.fetch_add(1, Ordering::Relaxed);
         Metric::EvalDirectFetches.incr();
-        match self.lookup(label) {
+        match self.interner.get(label) {
             Some(id) => list::fetch(self.index, ty, id, is_leaf),
             None => Vec::new(),
         }
     }
 
-    /// Fetches with a stable list identity (see `fetch_cache`). Each
-    /// `(type, label, is_leaf)` posting is fetched from the index exactly
-    /// once per evaluation, at any thread count.
-    fn fetch_cached(&self, label: &str, ty: NodeType, is_leaf: bool) -> Arc<LRef> {
-        let key = (ty, label.to_owned(), is_leaf);
-        let (wrapped, _hit) = self
-            .fetch_cache
-            .get_or_compute(key, || self.wrap(self.fetch(label, ty, is_leaf)));
-        wrapped
+    fn shift(&self, l: &List, cost: Cost) -> List {
+        list::shift(l.clone(), cost)
     }
 
-    /// The leaf/node candidate list: the original label's posting merged
-    /// with all renamed labels' postings (rename costs applied). Goes
-    /// through the fetch memo, so a label that occurs in several renaming
-    /// sets (or as both an original and a renaming) is fetched once.
-    fn fetch_with_renamings(
-        &self,
-        label: &str,
-        ty: NodeType,
-        renamings: &[(String, Cost)],
-        is_leaf: bool,
-    ) -> List {
-        let mut l = self.fetch_cached(label, ty, is_leaf).list.clone();
-        for (ren, c_ren) in renamings {
-            let lt = self.fetch_cached(ren, ty, is_leaf);
-            l = list::merge(&l, &lt.list, *c_ren);
-        }
-        l
+    fn merge(&self, l: &List, r: &List, c_ren: Cost) -> List {
+        list::merge(l, r, c_ren)
     }
 
-    fn join(&self, ancestors: &List, descendants: &List) -> List {
-        if self.opts.use_paper_joins {
-            list::join_paper(ancestors, descendants, Cost::ZERO)
-        } else {
-            list::join(ancestors, descendants, Cost::ZERO)
-        }
+    fn join(&self, anc: &List, desc: &List) -> List {
+        list::join(anc, desc, Cost::ZERO)
     }
 
-    fn outerjoin(&self, ancestors: &List, descendants: &List, c_del: Cost) -> List {
-        if self.opts.use_paper_joins {
-            list::outerjoin_paper(ancestors, descendants, Cost::ZERO, c_del)
-        } else {
-            list::outerjoin(ancestors, descendants, Cost::ZERO, c_del)
-        }
+    fn outerjoin(&self, anc: &List, desc: &List, delcost: Cost) -> List {
+        list::outerjoin(anc, desc, Cost::ZERO, delcost)
     }
 
-    /// Evaluates the child subtree below every ancestor candidate list in
-    /// `ancs` (the original label's plus one per renaming) — in parallel
-    /// when the scope has workers — and merges the results in renaming
-    /// order, which keeps the outcome deterministic.
-    fn eval_under_renamings<'s>(
-        &'s self,
-        child: usize,
-        ancs: Vec<Arc<LRef>>,
-        renamings: &[(String, Cost)],
-        scope: &Scope<'s>,
-    ) -> List {
-        let sc = scope.clone();
-        let evals = scope.map(ancs, move |a: Arc<LRef>| self.eval(child, &a, &sc));
-        let mut res = evals[0].list.clone();
-        for ((_, c_ren), lt_res) in renamings.iter().zip(&evals[1..]) {
-            res = list::merge(&res, &lt_res.list, *c_ren);
-        }
-        res
+    fn intersect(&self, l: &List, r: &List) -> List {
+        list::intersect(l, r, Cost::ZERO)
     }
 
-    /// The ancestor candidate lists for a `Node`: the original label's
-    /// posting followed by each renaming's, all identity-shared.
-    fn ancestor_lists(
-        &self,
-        label: &str,
-        ty: NodeType,
-        renamings: &[(String, Cost)],
-    ) -> Vec<Arc<LRef>> {
-        let mut ancs = Vec::with_capacity(1 + renamings.len());
-        ancs.push(self.fetch_cached(label, ty, false));
-        for (ren, _) in renamings {
-            ancs.push(self.fetch_cached(ren, ty, false));
-        }
-        ancs
+    fn union(&self, l: &List, r: &List) -> List {
+        list::union(l, r, Cost::ZERO)
     }
 
-    /// Evaluates query node `u` against ancestor candidates `anc`,
-    /// returning a list over (copies of) the ancestors whose costs are the
-    /// best embedding costs of `u`'s subtree below each ancestor. Edge
-    /// costs are *not* applied here — callers shift afterwards, keeping
-    /// the memo key independent of the incoming edge.
-    fn eval<'s>(&'s self, u: usize, anc: &Arc<LRef>, scope: &Scope<'s>) -> Arc<LRef> {
-        if self.opts.use_memo {
-            let (wrapped, hit) = self
-                .memo
-                .get_or_compute((u, anc.id), || self.eval_uncached(u, anc, scope));
-            if hit {
-                self.memo_hits.fetch_add(1, Ordering::Relaxed);
-                Metric::EvalMemoHits.incr();
-            }
-            wrapped
-        } else {
-            self.eval_uncached(u, anc, scope)
-        }
+    fn len(l: &List) -> usize {
+        l.len()
     }
+}
 
-    fn eval_uncached<'s>(&'s self, u: usize, anc: &Arc<LRef>, scope: &Scope<'s>) -> Arc<LRef> {
-        let result = match &self.ex.nodes[u] {
-            ExpandedNode::Leaf {
-                label,
-                ty,
-                renamings,
-                delcost,
-            } => {
-                let ld = self.fetch_with_renamings(label, *ty, renamings, true);
-                self.outerjoin(&anc.list, &ld, *delcost)
-            }
-            ExpandedNode::Node {
-                label,
-                ty,
-                renamings,
-                child,
-            } => {
-                let ancs = self.ancestor_lists(label, *ty, renamings);
-                let res = self.eval_under_renamings(*child, ancs, renamings, scope);
-                self.join(&anc.list, &res)
-            }
-            ExpandedNode::And { left, right } => {
-                let (sc, anc2) = (scope.clone(), Arc::clone(anc));
-                let evals = scope.map(vec![*left, *right], move |v| self.eval(v, &anc2, &sc));
-                list::intersect(&evals[0].list, &evals[1].list, Cost::ZERO)
-            }
-            ExpandedNode::Or {
-                left,
-                right,
-                edgecost,
-            } => {
-                let (sc, anc2) = (scope.clone(), Arc::clone(anc));
-                let evals = scope.map(vec![*left, *right], move |v| self.eval(v, &anc2, &sc));
-                let shifted = list::shift(evals[1].list.clone(), *edgecost);
-                list::union(&evals[0].list, &shifted, Cost::ZERO)
-            }
-        };
-        self.wrap(result)
-    }
+/// Executes a compiled plan against the data indexes, returning the root
+/// list, evaluation counters, and the per-operator output entry counts
+/// (indexed by plan handle; the terminal `SortBest` slot stays 0).
+pub fn evaluate_plan_counted(
+    plan: &Plan,
+    index: &LabelIndex,
+    interner: &Interner,
+    opts: EvalOptions,
+) -> (List, DirectStats, Vec<u64>) {
+    Metric::EvalDirectRuns.incr();
+    let _timer = time(TimerMetric::EvalDirect);
+    let alg = IndexAlgebra {
+        index,
+        interner,
+        fetches: AtomicUsize::new(0),
+    };
+    let slots = plan::execute(plan, &alg, opts.threads);
+    let counts: Vec<u64> = slots
+        .iter()
+        .map(|s| s.get().map_or(0, |l| l.len() as u64))
+        .collect();
+    let result = slots
+        .get(plan.root_list())
+        .and_then(|s| s.get())
+        .cloned()
+        .unwrap_or_default();
+    let executed: usize = plan.waves().iter().map(|w| w.len()).sum();
+    let stats = DirectStats {
+        fetches: alg.fetches.load(Ordering::Relaxed),
+        list_entries: counts.iter().sum::<u64>() as usize + result.len(),
+        ops: executed,
+        cse_reuses: plan.cse_reuses() as usize,
+    };
+    (result, stats, counts)
+}
 
-    /// Top-level evaluation: the root is never joined with an ancestor
-    /// list (Figure 4's "if u has no parent then return L_D").
-    fn eval_root<'s>(&'s self, scope: &Scope<'s>) -> List {
-        match &self.ex.nodes[self.ex.root] {
-            ExpandedNode::Leaf {
-                label,
-                ty,
-                renamings,
-                ..
-            } => {
-                // A bare-selector query: candidates with zero cost (plus
-                // rename costs); the root leaf is never deletable.
-                self.fetch_with_renamings(label, *ty, renamings, true)
-            }
-            ExpandedNode::Node {
-                label,
-                ty,
-                renamings,
-                child,
-            } => {
-                let ancs = self.ancestor_lists(label, *ty, renamings);
-                self.eval_under_renamings(*child, ancs, renamings, scope)
-            }
-            other => unreachable!("query root must be a selector, got {other:?}"),
-        }
-    }
-
-    fn stats(&self) -> DirectStats {
-        DirectStats {
-            fetches: self.fetches.load(Ordering::Relaxed),
-            list_entries: self.list_entries.load(Ordering::Relaxed),
-            ops: self.ops.load(Ordering::Relaxed),
-            memo_hits: self.memo_hits.load(Ordering::Relaxed),
-        }
-    }
+/// Executes a compiled plan against the data indexes.
+pub fn evaluate_plan(
+    plan: &Plan,
+    index: &LabelIndex,
+    interner: &Interner,
+    opts: EvalOptions,
+) -> (List, DirectStats) {
+    let (result, stats, _) = evaluate_plan_counted(plan, index, interner, opts);
+    (result, stats)
 }
 
 /// Runs algorithm `primary` against the data indexes, returning the list of
 /// all embedding roots with their cost channels plus evaluation counters.
+///
+/// Compiles the expanded query on the spot; callers holding a cached
+/// [`Plan`] (see `Database`) use [`evaluate_plan`] instead. An expanded
+/// query whose root is not a selector cannot be produced by the parser and
+/// evaluates to no results.
 pub fn evaluate(
     expanded: &ExpandedQuery,
     index: &LabelIndex,
     interner: &Interner,
     opts: EvalOptions,
 ) -> (List, DirectStats) {
-    Metric::EvalDirectRuns.incr();
-    let _timer = time(TimerMetric::EvalDirect);
-    let ev = Evaluator {
-        ex: expanded,
-        index,
-        interner,
-        opts,
-        memo: OnceMap::new(),
-        fetch_cache: OnceMap::new(),
-        next_id: AtomicU64::new(0),
-        fetches: AtomicUsize::new(0),
-        list_entries: AtomicUsize::new(0),
-        ops: AtomicUsize::new(0),
-        memo_hits: AtomicUsize::new(0),
-    };
-    let result = Executor::new(opts.threads).scope(|scope| ev.eval_root(scope));
-    ev.list_entries.fetch_add(result.len(), Ordering::Relaxed);
-    (result, ev.stats())
+    match plan::compile(expanded) {
+        Ok(p) => evaluate_plan(&p, index, interner, opts),
+        Err(_) => (Vec::new(), DirectStats::default()),
+    }
 }
 
 /// The best-n-pairs problem (Definition 12) by direct evaluation: find all
@@ -327,6 +188,36 @@ pub fn best_n(
 ) -> (Vec<(u32, Cost)>, DirectStats) {
     let (result, stats) = evaluate(expanded, index, interner, opts);
     (list::sort_best(n, &result, opts.enforce_leaf_match), stats)
+}
+
+/// [`best_n`] over a pre-compiled plan (the `Database` plan-cache path).
+pub fn best_n_plan(
+    plan: &Plan,
+    index: &LabelIndex,
+    interner: &Interner,
+    n: Option<usize>,
+    opts: EvalOptions,
+) -> (Vec<(u32, Cost)>, DirectStats) {
+    let (result, stats) = evaluate_plan(plan, index, interner, opts);
+    (list::sort_best(n, &result, opts.enforce_leaf_match), stats)
+}
+
+/// Renders a compiled plan with per-operator output entry counts from one
+/// execution against the data indexes (the `--explain` backend). The
+/// terminal `SortBest` line carries the final result count for `n`.
+pub fn explain(
+    plan: &Plan,
+    index: &LabelIndex,
+    interner: &Interner,
+    n: Option<usize>,
+    opts: EvalOptions,
+) -> String {
+    let (result, _, mut counts) = evaluate_plan_counted(plan, index, interner, opts);
+    let sorted = list::sort_best(n, &result, opts.enforce_leaf_match);
+    if let Some(c) = counts.get_mut(plan.result()) {
+        *c = sorted.len() as u64;
+    }
+    plan::render(plan, Some(&counts))
 }
 
 #[cfg(test)]
@@ -533,7 +424,7 @@ mod tests {
     }
 
     #[test]
-    fn memoization_hits_on_deletion_bridges() {
+    fn cse_shares_deletion_bridges() {
         let costs = paper_section6_costs();
         let tree = catalog(&costs);
         let q = parse_query(r#"cd[track[title["piano"]]]"#).unwrap();
@@ -541,41 +432,40 @@ mod tests {
         let index = LabelIndex::build(&tree);
         let (_, stats) = evaluate(&ex, &index, tree.interner(), EvalOptions::default());
         // The bridged subtree below the deletable `track` and `title`
-        // nodes is shared; at least one evaluation must be saved.
-        assert!(stats.memo_hits > 0, "expected memo hits, got {stats:?}");
-        // Results identical without memoization.
-        let opts = EvalOptions {
-            use_memo: false,
-            ..Default::default()
-        };
-        let (with_memo, _) = best_n(&ex, &index, tree.interner(), None, EvalOptions::default());
-        let (without_memo, stats2) = best_n(&ex, &index, tree.interner(), None, opts);
-        assert_eq!(with_memo, without_memo);
-        assert_eq!(stats2.memo_hits, 0);
+        // nodes is shared; at least one subplan must be merged by CSE.
+        assert!(stats.cse_reuses > 0, "expected CSE reuses, got {stats:?}");
+        // A pre-compiled plan evaluates identically to the compile-on-use
+        // path at every thread count.
+        let p = approxql_plan::compile(&ex).unwrap();
+        let baseline = best_n(&ex, &index, tree.interner(), None, EvalOptions::default()).0;
+        for threads in [1, 2, 4] {
+            let opts = EvalOptions {
+                threads,
+                ..Default::default()
+            };
+            let (hits, _) = best_n_plan(&p, &index, tree.interner(), None, opts);
+            assert_eq!(hits, baseline, "thread count {threads} diverged");
+        }
     }
 
     #[test]
-    fn paper_joins_agree_with_fast_joins() {
+    fn explain_renders_counts_and_sharing() {
         let costs = paper_section6_costs();
         let tree = catalog(&costs);
-        let q =
-            parse_query(r#"cd[track[title["piano" and "concerto"]] and composer["rachmaninov"]]"#)
-                .unwrap();
+        let q = parse_query(r#"cd[track[title["piano"]]]"#).unwrap();
         let ex = ExpandedQuery::build(&q, &costs);
         let index = LabelIndex::build(&tree);
-        let fast = best_n(&ex, &index, tree.interner(), None, EvalOptions::default()).0;
-        let slow = best_n(
-            &ex,
+        let p = approxql_plan::compile(&ex).unwrap();
+        let text = explain(
+            &p,
             &index,
             tree.interner(),
-            None,
-            EvalOptions {
-                use_paper_joins: true,
-                ..Default::default()
-            },
-        )
-        .0;
-        assert_eq!(fast, slow);
+            Some(10),
+            EvalOptions::default(),
+        );
+        assert!(text.contains("sort_best"), "missing root op:\n{text}");
+        assert!(text.contains("entries"), "missing counts:\n{text}");
+        assert!(text.contains("shared ×"), "missing CSE annotation:\n{text}");
     }
 
     #[test]

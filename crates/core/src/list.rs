@@ -268,8 +268,10 @@ pub fn outerjoin(ancestors: &List, descendants: &List, c_edge: Cost, c_del: Cost
 
 /// Literal-complexity variant of [`join`] that, for every ancestor,
 /// rescans its descendant interval by binary search + linear scan — the
-/// O(s·l)-style formulation closest to the paper's description. Kept for
-/// the ablation benchmark; results are identical to [`join`].
+/// O(s·l)-style formulation closest to the paper's description. Only
+/// compiled for the ablation benchmarks (`--features ablation`, enabled
+/// by the bench crate); results are identical to [`join`].
+#[cfg(feature = "ablation")]
 pub fn join_paper(ancestors: &List, descendants: &List, c_edge: Cost) -> List {
     Metric::ListJoinOps.incr();
     let mut out = Vec::new();
@@ -298,6 +300,7 @@ pub fn join_paper(ancestors: &List, descendants: &List, c_edge: Cost) -> List {
 }
 
 /// Literal-complexity variant of [`outerjoin`]; see [`join_paper`].
+#[cfg(feature = "ablation")]
 pub fn outerjoin_paper(ancestors: &List, descendants: &List, c_edge: Cost, c_del: Cost) -> List {
     Metric::ListOuterjoinOps.incr();
     let mut out = Vec::new();
@@ -434,9 +437,18 @@ pub fn sort_best(n: Option<usize>, list: &List, use_leaf_channel: bool) -> Vec<(
         })
         .filter(|(_, c)| c.is_finite())
         .collect();
-    pairs.sort_by_key(|&(pre, c)| (c, pre));
-    if let Some(n) = n {
-        pairs.truncate(n);
+    // Top-n selection: partition the n best pairs to the front in O(len),
+    // then sort only those. (cost, pre) is a total order over distinct
+    // preorders, so the outcome is identical to a full sort + truncate —
+    // including the deterministic preorder tie-break.
+    match n {
+        Some(n) if n > 0 && n < pairs.len() => {
+            pairs.select_nth_unstable_by(n - 1, |a, b| (a.1, a.0).cmp(&(b.1, b.0)));
+            pairs.truncate(n);
+            pairs.sort_by_key(|&(pre, c)| (c, pre));
+        }
+        Some(0) => pairs.clear(),
+        _ => pairs.sort_by_key(|&(pre, c)| (c, pre)),
     }
     Metric::ListSortOps.incr();
     Metric::ListEntriesProduced.add(pairs.len() as u64);

@@ -11,6 +11,11 @@
 //! all results of one second-level query share its (exact, Section 7.1)
 //! cost, the first occurrence of each embedding root is its minimum cost —
 //! the driver only needs to deduplicate roots.
+//!
+//! The adapted `primary` executes the same compiled physical plan as the
+//! direct evaluation (see [`approxql_plan`]): only the algebra backend
+//! differs — segment-based top-k operations where `k` is a runtime
+//! parameter, so one compiled plan serves every incremental round.
 
 use crate::direct::EvalOptions;
 use crate::secondary;
@@ -18,10 +23,12 @@ use crate::topk::{self, KEntry, KList};
 use approxql_exec::Executor;
 use approxql_index::{InstancePosting, LabelIndex};
 use approxql_metrics::{time, Metric, MetricsSnapshot, TimerMetric};
+use approxql_plan::{self as plan, Plan, PlanAlgebra, PlanOp};
 use approxql_query::expand::{ExpandedNode, ExpandedQuery};
 use approxql_schema::Schema;
 use approxql_tree::{Cost, Interner, NodeType};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Tuning knobs of the incremental driver.
@@ -77,156 +84,75 @@ pub struct EvalStats {
     pub fetches: usize,
 }
 
-/// A schema-side list with identity (memo key).
-struct KLRef {
-    id: u64,
-    list: KList,
-}
-
-struct KEvaluator<'a> {
-    ex: &'a ExpandedQuery,
+/// The Section 7.2 top-k algebra over the schema's label index: the
+/// backend the compiled plan executes against for the adapted `primary`.
+/// `k` is a runtime parameter of every operation, so the same compiled
+/// plan is reused across incremental driver rounds.
+struct SchemaAlgebra<'a> {
     index: &'a LabelIndex,
     interner: &'a Interner,
     k: usize,
-    memo: HashMap<(usize, u64), Arc<KLRef>>,
-    /// Fetched lists per (type, label): stable identities make the
-    /// (query node, ancestor list) memo effective across deletion bridges.
-    fetch_cache: HashMap<(NodeType, String), Arc<KLRef>>,
-    next_id: u64,
-    entries: usize,
-    fetches: usize,
-    /// Whether any produced segment reached length `k` — a conservative
-    /// signal that the per-segment cap may have truncated embeddings. If
-    /// it never fires, the enumeration is provably complete at this `k`.
-    possibly_capped: bool,
+    fetches: AtomicUsize,
 }
 
-impl<'a> KEvaluator<'a> {
-    fn wrap(&mut self, list: KList) -> Arc<KLRef> {
-        self.next_id += 1;
-        self.entries += list.len();
-        if !self.possibly_capped {
-            self.possibly_capped = topk::segments(&list).any(|s| s.len() >= self.k);
-        }
-        Arc::new(KLRef {
-            id: self.next_id,
-            list,
-        })
+impl PlanAlgebra for SchemaAlgebra<'_> {
+    type L = KList;
+
+    fn empty(&self) -> KList {
+        Vec::new()
     }
 
-    fn fetch(&mut self, label: &str, ty: NodeType, is_leaf: bool) -> KList {
-        self.fetches += 1;
+    fn fetch(&self, label: &str, ty: NodeType, is_leaf: bool) -> KList {
+        self.fetches.fetch_add(1, Ordering::Relaxed);
         match self.interner.get(label) {
             Some(id) => topk::fetch_k(self.index, ty, id, is_leaf),
             None => Vec::new(),
         }
     }
 
-    fn fetch_cached(&mut self, label: &str, ty: NodeType) -> Arc<KLRef> {
-        let key = (ty, label.to_owned());
-        if let Some(hit) = self.fetch_cache.get(&key) {
-            return Arc::clone(hit);
-        }
-        let list = self.fetch(label, ty, false);
-        let wrapped = self.wrap(list);
-        self.fetch_cache.insert(key, Arc::clone(&wrapped));
-        wrapped
+    fn shift(&self, l: &KList, cost: Cost) -> KList {
+        topk::shift_k(l.clone(), cost)
     }
 
-    fn fetch_with_renamings(
-        &mut self,
-        label: &str,
-        ty: NodeType,
-        renamings: &[(String, Cost)],
-        is_leaf: bool,
-    ) -> KList {
-        let mut l = self.fetch(label, ty, is_leaf);
-        for (ren, c_ren) in renamings {
-            let lt = self.fetch(ren, ty, is_leaf);
-            l = topk::merge_k(&l, &lt, *c_ren, self.k);
-        }
-        l
+    fn merge(&self, l: &KList, r: &KList, c_ren: Cost) -> KList {
+        topk::merge_k(l, r, c_ren, self.k)
     }
 
-    fn eval(&mut self, u: usize, anc: &Arc<KLRef>) -> Arc<KLRef> {
-        if let Some(hit) = self.memo.get(&(u, anc.id)) {
-            return Arc::clone(hit);
-        }
-        let result = match &self.ex.nodes[u] {
-            ExpandedNode::Leaf {
-                label,
-                ty,
-                renamings,
-                delcost,
-            } => {
-                let ld = self.fetch_with_renamings(label, *ty, &renamings.clone(), true);
-                topk::outerjoin_k(&anc.list, &ld, Cost::ZERO, *delcost, self.k)
-            }
-            ExpandedNode::Node {
-                label,
-                ty,
-                renamings,
-                child,
-            } => {
-                let child = *child;
-                let la = self.fetch_cached(label, *ty);
-                let mut res = self.eval(child, &la).list.clone();
-                for (ren, c_ren) in renamings.clone() {
-                    let lt = self.fetch_cached(&ren, *ty);
-                    let lt_res = self.eval(child, &lt);
-                    res = topk::merge_k(&res, &lt_res.list, c_ren, self.k);
-                }
-                topk::join_k(&anc.list, &res, Cost::ZERO, self.k)
-            }
-            ExpandedNode::And { left, right } => {
-                let (left, right) = (*left, *right);
-                let ll = self.eval(left, anc);
-                let lr = self.eval(right, anc);
-                topk::intersect_k(&ll.list, &lr.list, Cost::ZERO, self.k)
-            }
-            ExpandedNode::Or {
-                left,
-                right,
-                edgecost,
-            } => {
-                let (left, right, edgecost) = (*left, *right, *edgecost);
-                let ll = self.eval(left, anc);
-                let lr = self.eval(right, anc);
-                let shifted = topk::shift_k(lr.list.clone(), edgecost);
-                topk::union_k(&ll.list, &shifted, Cost::ZERO, self.k)
-            }
-        };
-        let wrapped = self.wrap(result);
-        self.memo.insert((u, anc.id), Arc::clone(&wrapped));
-        wrapped
+    fn join(&self, anc: &KList, desc: &KList) -> KList {
+        topk::join_k(anc, desc, Cost::ZERO, self.k)
     }
 
-    fn eval_root(&mut self) -> KList {
-        match &self.ex.nodes[self.ex.root] {
-            ExpandedNode::Leaf {
-                label,
-                ty,
-                renamings,
-                ..
-            } => self.fetch_with_renamings(label, *ty, &renamings.clone(), true),
-            ExpandedNode::Node {
-                label,
-                ty,
-                renamings,
-                child,
-            } => {
-                let child = *child;
-                let la = self.fetch_cached(label, *ty);
-                let mut res = self.eval(child, &la).list.clone();
-                for (ren, c_ren) in renamings.clone() {
-                    let lt = self.fetch_cached(&ren, *ty);
-                    let lt_res = self.eval(child, &lt);
-                    res = topk::merge_k(&res, &lt_res.list, c_ren, self.k);
-                }
-                res
-            }
-            other => unreachable!("query root must be a selector, got {other:?}"),
-        }
+    fn outerjoin(&self, anc: &KList, desc: &KList, delcost: Cost) -> KList {
+        topk::outerjoin_k(anc, desc, Cost::ZERO, delcost, self.k)
+    }
+
+    fn intersect(&self, l: &KList, r: &KList) -> KList {
+        topk::intersect_k(l, r, Cost::ZERO, self.k)
+    }
+
+    fn union(&self, l: &KList, r: &KList) -> KList {
+        topk::union_k(l, r, Cost::ZERO, self.k)
+    }
+
+    fn len(l: &KList) -> usize {
+        l.len()
+    }
+}
+
+/// Whether an operator's output takes part in the entry/cap accounting.
+/// Leaf fetches and the intermediate merge/shift lists are building
+/// blocks whose content reappears in their consumer; counting the
+/// materialized candidate lists and combination results matches the
+/// completeness argument: a truncation can only originate in an operator
+/// that applies the per-segment cap to a combined list.
+fn counts_toward_entries(op: &PlanOp) -> bool {
+    match op {
+        PlanOp::Fetch { is_leaf, .. } => !is_leaf,
+        PlanOp::Join { .. }
+        | PlanOp::OuterJoin { .. }
+        | PlanOp::Intersect { .. }
+        | PlanOp::Union { .. } => true,
+        PlanOp::Merge { .. } | PlanOp::Shift { .. } | PlanOp::SortBest { .. } => false,
     }
 }
 
@@ -246,6 +172,11 @@ pub struct SecondLevelRun {
 
 /// Runs the adapted `primary` against the schema, returning the best `k`
 /// second-level queries (root entries of the flattened, cost-sorted list).
+///
+/// Compiles the expanded query on the spot; driver rounds and cache-hit
+/// paths use [`best_k_second_level_plan`] with a shared compiled plan. An
+/// expanded query whose root is not a selector cannot be produced by the
+/// parser and yields a (provably complete) empty run.
 pub fn best_k_second_level(
     expanded: &ExpandedQuery,
     schema: &Schema,
@@ -253,28 +184,63 @@ pub fn best_k_second_level(
     k: usize,
     opts: EvalOptions,
 ) -> SecondLevelRun {
+    match plan::compile(expanded) {
+        Ok(p) => best_k_second_level_plan(&p, schema, interner, k, opts),
+        Err(_) => SecondLevelRun {
+            queries: Vec::new(),
+            entries: 0,
+            fetches: 0,
+            complete: true,
+        },
+    }
+}
+
+/// [`best_k_second_level`] over a pre-compiled plan.
+pub fn best_k_second_level_plan(
+    plan: &Plan,
+    schema: &Schema,
+    interner: &Interner,
+    k: usize,
+    opts: EvalOptions,
+) -> SecondLevelRun {
     Metric::EvalSchemaRuns.incr();
     let _timer = time(TimerMetric::EvalSchema);
-    let mut ev = KEvaluator {
-        ex: expanded,
+    let alg = SchemaAlgebra {
         index: schema.labels(),
         interner,
         k,
-        memo: HashMap::new(),
-        fetch_cache: HashMap::new(),
-        next_id: 0,
-        entries: 0,
-        fetches: 0,
-        possibly_capped: false,
+        fetches: AtomicUsize::new(0),
     };
-    let root_list = ev.eval_root();
-    ev.entries += root_list.len();
+    let slots = plan::execute(plan, &alg, opts.threads);
+    let mut entries = 0usize;
+    // `possibly_capped`: whether any accounted segment reached length `k`
+    // — a conservative signal that the per-segment cap may have truncated
+    // embeddings. If it never fires, the enumeration is provably complete
+    // at this `k`.
+    let mut possibly_capped = false;
+    for (h, op) in plan.ops().iter().enumerate() {
+        if !counts_toward_entries(op) {
+            continue;
+        }
+        if let Some(list) = slots.get(h).and_then(|s| s.get()) {
+            entries += list.len();
+            if !possibly_capped {
+                possibly_capped = topk::segments(list).any(|s| s.len() >= k);
+            }
+        }
+    }
+    let root_list = slots
+        .get(plan.root_list())
+        .and_then(|s| s.get())
+        .cloned()
+        .unwrap_or_default();
+    entries += root_list.len();
     let best = topk::sort_k_best(k, &root_list, opts.enforce_leaf_match);
-    let complete = !ev.possibly_capped && best.len() < k;
+    let complete = !possibly_capped && best.len() < k;
     SecondLevelRun {
         queries: best,
-        entries: ev.entries,
-        fetches: ev.fetches,
+        entries,
+        fetches: alg.fetches.load(Ordering::Relaxed),
         complete,
     }
 }
@@ -333,12 +299,15 @@ fn possible_roots(expanded: &ExpandedQuery, schema: &Schema, interner: &Interner
 /// schema-driven approach ("the results can be sent immediately to the
 /// user", Section 9).
 ///
-/// The stream owns its expanded query and drives the Figure 6 loop on
+/// The stream compiles its query once and drives the Figure 6 loop on
 /// demand: second-level queries are generated in batches of `k` and
 /// executed one by one as the consumer pulls results; `k` grows (by `δ`
 /// or doubling) only when the current batch runs dry.
 pub struct ResultStream<'a> {
-    expanded: ExpandedQuery,
+    /// The compiled plan shared by all driver rounds (`k` is a runtime
+    /// parameter of the top-k algebra, not a plan constant). `None` when
+    /// the expanded query does not compile: the stream is empty.
+    plan: Option<Arc<Plan>>,
     schema: &'a Schema,
     interner: &'a Interner,
     opts: EvalOptions,
@@ -368,16 +337,31 @@ impl<'a> ResultStream<'a> {
     /// Creates a stream. When `cfg.initial_k` is `None`, the first batch
     /// size defaults to 16 (the stream cannot know the consumer's `n`).
     pub fn new(
-        expanded: ExpandedQuery,
+        expanded: &ExpandedQuery,
+        schema: &'a Schema,
+        interner: &'a Interner,
+        opts: EvalOptions,
+        cfg: SchemaEvalConfig,
+    ) -> ResultStream<'a> {
+        let plan = plan::compile(expanded).ok().map(Arc::new);
+        Self::with_plan(expanded, plan, schema, interner, opts, cfg)
+    }
+
+    /// Creates a stream over a pre-compiled plan (the `Database`
+    /// plan-cache path). `plan` must be compiled from `expanded`; `None`
+    /// yields an empty stream.
+    pub fn with_plan(
+        expanded: &ExpandedQuery,
+        plan: Option<Arc<Plan>>,
         schema: &'a Schema,
         interner: &'a Interner,
         opts: EvalOptions,
         cfg: SchemaEvalConfig,
     ) -> ResultStream<'a> {
         let k = cfg.initial_k.unwrap_or(16).min(cfg.max_k).max(1);
-        let max_roots = possible_roots(&expanded, schema, interner);
+        let max_roots = possible_roots(expanded, schema, interner);
         ResultStream {
-            expanded,
+            plan,
             schema,
             interner,
             opts,
@@ -403,18 +387,19 @@ impl<'a> ResultStream<'a> {
         self.stats
     }
 
-    /// Runs (or re-runs) the adapted primary at the current `k`.
+    /// Runs (or re-runs) the adapted primary at the current `k`, reusing
+    /// the plan compiled once at stream construction.
     fn refill(&mut self) {
+        let Some(plan) = self.plan.clone() else {
+            self.queries.clear();
+            self.started = true;
+            self.done = true;
+            return;
+        };
         self.stats.rounds += 1;
         Metric::EvalSchemaRounds.incr();
         self.stats.k_final = self.k;
-        let run = best_k_second_level(
-            &self.expanded,
-            self.schema,
-            self.interner,
-            self.k,
-            self.opts,
-        );
+        let run = best_k_second_level_plan(&plan, self.schema, self.interner, self.k, self.opts);
         self.stats.primary_entries += run.entries;
         self.stats.fetches += run.fetches;
         self.queries = run.queries;
@@ -540,6 +525,21 @@ pub fn best_n_schema(
     opts: EvalOptions,
     cfg: SchemaEvalConfig,
 ) -> (Vec<(u32, Cost)>, EvalStats) {
+    let plan = plan::compile(expanded).ok().map(Arc::new);
+    best_n_schema_with_plan(expanded, plan, schema, interner, n, opts, cfg)
+}
+
+/// [`best_n_schema`] over a pre-compiled plan (the `Database` plan-cache
+/// path); `plan` must be compiled from `expanded`.
+pub fn best_n_schema_with_plan(
+    expanded: &ExpandedQuery,
+    plan: Option<Arc<Plan>>,
+    schema: &Schema,
+    interner: &Interner,
+    n: usize,
+    opts: EvalOptions,
+    cfg: SchemaEvalConfig,
+) -> (Vec<(u32, Cost)>, EvalStats) {
     if n == 0 {
         return (Vec::new(), EvalStats::default());
     }
@@ -547,7 +547,7 @@ pub fn best_n_schema(
         initial_k: Some(cfg.initial_k.unwrap_or_else(|| (2 * n.min(1 << 20)).max(8))),
         ..cfg
     };
-    let mut stream = ResultStream::new(expanded.clone(), schema, interner, opts, cfg);
+    let mut stream = ResultStream::with_plan(expanded, plan, schema, interner, opts, cfg);
     let mut results: Vec<(u32, Cost)> = Vec::with_capacity(n.min(1024));
     for pair in stream.by_ref() {
         results.push(pair);
@@ -747,7 +747,7 @@ mod stream_tests {
         let ex = approxql_query::expand::ExpandedQuery::build(&q, &costs);
 
         let stream = ResultStream::new(
-            ex.clone(),
+            &ex,
             &schema,
             tree.interner(),
             EvalOptions::default(),
@@ -789,7 +789,7 @@ mod stream_tests {
         let q = parse_query(r#"cd[title["piano"]]"#).unwrap();
         let ex = approxql_query::expand::ExpandedQuery::build(&q, &costs);
         let mut stream = ResultStream::new(
-            ex,
+            &ex,
             &schema,
             tree.interner(),
             EvalOptions::default(),

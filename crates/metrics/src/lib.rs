@@ -48,6 +48,8 @@ pub enum Layer {
     List,
     /// The Section 7 best-k list algebra (schema evaluation).
     Topk,
+    /// Physical-plan compilation and the keyed plan cache.
+    Plan,
     /// Whole-evaluator events.
     Eval,
 }
@@ -61,6 +63,7 @@ impl Layer {
             Layer::Index => "index",
             Layer::List => "list",
             Layer::Topk => "topk",
+            Layer::Plan => "plan",
             Layer::Eval => "eval",
         }
     }
@@ -135,10 +138,14 @@ metrics! {
     // -- best-k list algebra (Section 7) ----------------------------------
     TopkOps => (Topk, "topk.ops", "Best-k list operations (fetch/shift/merge/join/…)."),
     TopkEntriesProduced => (Topk, "topk.entries_produced", "Entries in the output k-lists of all best-k ops."),
+    // -- physical plans ---------------------------------------------------
+    PlanCompile => (Plan, "plan.compile", "Physical-plan compilations from expanded queries."),
+    PlanCacheHits => (Plan, "plan.cache_hits", "Plan-cache lookups answered without compiling."),
+    PlanCacheMisses => (Plan, "plan.cache_misses", "Plan-cache lookups that had to compile."),
+    PlanCseReuses => (Plan, "plan.cse_reuses", "Subplans shared by common-subexpression elimination during compiles."),
     // -- evaluators -------------------------------------------------------
     EvalDirectRuns => (Eval, "eval.direct_runs", "Direct (algorithm `primary`) evaluations."),
     EvalDirectFetches => (Eval, "eval.direct_fetches", "Index fetches issued by the direct evaluator."),
-    EvalMemoHits => (Eval, "eval.memo_hits", "Subtree memoization hits in the direct evaluator."),
     EvalSchemaRuns => (Eval, "eval.schema_runs", "Schema-driven best-n evaluations."),
     EvalSchemaRounds => (Eval, "eval.schema_rounds", "k-escalation rounds across schema evaluations."),
     EvalSecondLevelQueries => (Eval, "eval.second_level_queries", "Second-level queries executed (Section 7.4)."),

@@ -1,0 +1,696 @@
+#![forbid(unsafe_code)]
+//! Compiled physical-plan IR shared by both evaluators.
+//!
+//! The expanded query representation (Section 6.1) is *interpreted* twice
+//! in the paper: once against the data indexes (the direct evaluation of
+//! Section 6.5) and once against the schema (the adapted `primary` of
+//! Section 7.2). Both walks drive the same eight-operator algebra, so this
+//! crate compiles the expanded DAG **once** into an explicit physical
+//! operator DAG — [`PlanOp`] nodes over shared subplan handles — that
+//! either evaluator executes through the [`PlanAlgebra`] trait.
+//!
+//! Compilation hash-conses every operator (common-subexpression
+//! elimination): structurally identical subplans get one node, so the
+//! per-renaming expansions of a label — which differ only in the ancestor
+//! side of their final `Join` — share their entire renaming-independent
+//! inner subtree instead of re-evaluating it per ancestor. The number of
+//! avoided duplicates is recorded in [`Plan::cse_reuses`] and the
+//! `plan.cse_reuses` metric.
+//!
+//! Execution schedules the DAG bottom-up in *topological waves*: every
+//! node of a wave depends only on earlier waves, so a wave's nodes run in
+//! parallel via `Scope::map` (worker metric deltas are absorbed in wave
+//! order, keeping all counters byte-identical at any thread count), and
+//! each node is executed exactly once however often it is referenced.
+
+use approxql_cost::{Cost, NodeType};
+use approxql_exec::Executor;
+use approxql_metrics::Metric;
+use approxql_query::expand::{ExpandedNode, ExpandedQuery};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+
+/// Index of a [`PlanOp`] inside [`Plan::ops`]. Children always have
+/// smaller handles than their parents (the DAG is built bottom-up).
+pub type PlanHandle = usize;
+
+/// One physical operator. Edge costs of `and`/`or` combinations are always
+/// zero in the expanded representation, so only the operators that carry a
+/// cost parameter (`Shift`, `Merge`, `OuterJoin`) store one.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PlanOp {
+    /// Materialize the posting list of a label from the catalog.
+    Fetch {
+        /// Label text (resolved against the interner at execution time).
+        label: String,
+        /// Struct or text posting space.
+        ty: NodeType,
+        /// Leaf fetches carry the zero leaf-cost channel (the leaf rule).
+        is_leaf: bool,
+    },
+    /// Add a pending edge cost to every entry (`or` right branches).
+    Shift {
+        /// Input list.
+        input: PlanHandle,
+        /// Cost added to both channels of every entry.
+        cost: Cost,
+    },
+    /// Merge a renamed variant into a candidate list (rename cost applied
+    /// to the right side).
+    Merge {
+        /// The running candidate list.
+        left: PlanHandle,
+        /// The renamed label's list.
+        right: PlanHandle,
+        /// Rename cost.
+        c_ren: Cost,
+    },
+    /// Structural join: ancestors that have a descendant in `descendants`.
+    Join {
+        /// Ancestor candidates.
+        ancestors: PlanHandle,
+        /// Descendant results.
+        descendants: PlanHandle,
+    },
+    /// Join with an optional (deletable) descendant.
+    OuterJoin {
+        /// Ancestor candidates.
+        ancestors: PlanHandle,
+        /// Descendant results.
+        descendants: PlanHandle,
+        /// Cost of deleting the descendant ([`Cost::INFINITY`] forbids).
+        delcost: Cost,
+    },
+    /// `and` combination of two subexpression results.
+    Intersect {
+        /// Left operand.
+        left: PlanHandle,
+        /// Right operand.
+        right: PlanHandle,
+    },
+    /// `or` combination of two subexpression results.
+    Union {
+        /// Left operand.
+        left: PlanHandle,
+        /// Right operand.
+        right: PlanHandle,
+    },
+    /// Terminal best-n selection over the root list. Its parameters
+    /// (`n`/`k`, the leaf rule) are runtime inputs, not plan constants, so
+    /// one compiled plan serves every request and driver round.
+    SortBest {
+        /// The root list.
+        input: PlanHandle,
+    },
+}
+
+impl PlanOp {
+    /// The operator's children, in evaluation-order.
+    pub fn inputs(&self) -> Vec<PlanHandle> {
+        match *self {
+            PlanOp::Fetch { .. } => vec![],
+            PlanOp::Shift { input, .. } | PlanOp::SortBest { input } => vec![input],
+            PlanOp::Merge { left, right, .. }
+            | PlanOp::Intersect { left, right }
+            | PlanOp::Union { left, right } => vec![left, right],
+            PlanOp::Join {
+                ancestors,
+                descendants,
+            }
+            | PlanOp::OuterJoin {
+                ancestors,
+                descendants,
+                ..
+            } => vec![ancestors, descendants],
+        }
+    }
+
+    /// Operator name as rendered by `--explain`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlanOp::Fetch { .. } => "fetch",
+            PlanOp::Shift { .. } => "shift",
+            PlanOp::Merge { .. } => "merge",
+            PlanOp::Join { .. } => "join",
+            PlanOp::OuterJoin { .. } => "outerjoin",
+            PlanOp::Intersect { .. } => "intersect",
+            PlanOp::Union { .. } => "union",
+            PlanOp::SortBest { .. } => "sort_best",
+        }
+    }
+}
+
+/// Why an [`ExpandedQuery`] could not be compiled. Queries built through
+/// the parser always compile; these cover hand-constructed arenas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The root of the expanded query is not a selector (`Node`/`Leaf`).
+    NonSelectorRoot,
+    /// A child index pointed outside the arena.
+    BadNodeIndex(usize),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::NonSelectorRoot => {
+                write!(f, "query root must be a selector (name or text)")
+            }
+            PlanError::BadNodeIndex(i) => write!(f, "expanded-query child index {i} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A compiled physical plan: an operator DAG plus its wave schedule.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    ops: Vec<PlanOp>,
+    result: PlanHandle,
+    root_list: PlanHandle,
+    waves: Vec<Vec<PlanHandle>>,
+    uses: Vec<u32>,
+    cse_reuses: u64,
+}
+
+impl Plan {
+    /// All operators, indexed by [`PlanHandle`].
+    pub fn ops(&self) -> &[PlanOp] {
+        &self.ops
+    }
+
+    /// The terminal [`PlanOp::SortBest`] node.
+    pub fn result(&self) -> PlanHandle {
+        self.result
+    }
+
+    /// The root *list* (the `SortBest` input).
+    pub fn root_list(&self) -> PlanHandle {
+        self.root_list
+    }
+
+    /// Topological waves over the list-valued operators: every operator
+    /// appears in exactly one wave, after all of its inputs. (`SortBest`
+    /// is terminal and excluded — its parameters are runtime inputs.)
+    pub fn waves(&self) -> &[Vec<PlanHandle>] {
+        &self.waves
+    }
+
+    /// How many operators reference this node (plus one for the root).
+    /// `> 1` means the subplan is CSE-shared.
+    pub fn use_count(&self, h: PlanHandle) -> u32 {
+        self.uses.get(h).copied().unwrap_or(0)
+    }
+
+    /// Structurally identical subplans merged away during compilation.
+    pub fn cse_reuses(&self) -> u64 {
+        self.cse_reuses
+    }
+
+    /// Number of shared (use-count > 1) operators.
+    pub fn shared_ops(&self) -> usize {
+        self.uses.iter().filter(|&&u| u > 1).count()
+    }
+}
+
+struct Compiler<'a> {
+    ex: &'a ExpandedQuery,
+    ops: Vec<PlanOp>,
+    intern: HashMap<PlanOp, PlanHandle>,
+    /// `(expanded node, ancestor handle)` → result, mirroring the paper's
+    /// Section 6.5 memo but keyed structurally instead of by identity.
+    eval_memo: HashMap<(usize, PlanHandle), PlanHandle>,
+    /// Per-`Node` renaming-merged child result (ancestor-independent).
+    under_memo: HashMap<usize, PlanHandle>,
+    cse: u64,
+}
+
+impl Compiler<'_> {
+    fn intern(&mut self, op: PlanOp) -> PlanHandle {
+        if let Some(&h) = self.intern.get(&op) {
+            self.cse += 1;
+            return h;
+        }
+        let h = self.ops.len();
+        self.ops.push(op.clone());
+        self.intern.insert(op, h);
+        h
+    }
+
+    fn node(&self, u: usize) -> Result<&ExpandedNode, PlanError> {
+        self.ex.nodes.get(u).ok_or(PlanError::BadNodeIndex(u))
+    }
+
+    /// The candidate list of a selector: its label's posting merged with
+    /// every renamed label's (rename costs applied), in renaming order.
+    fn fetch_merged(
+        &mut self,
+        label: &str,
+        ty: NodeType,
+        renamings: &[(String, Cost)],
+        is_leaf: bool,
+    ) -> PlanHandle {
+        let mut h = self.intern(PlanOp::Fetch {
+            label: label.to_owned(),
+            ty,
+            is_leaf,
+        });
+        for (ren, c_ren) in renamings {
+            let r = self.intern(PlanOp::Fetch {
+                label: ren.clone(),
+                ty,
+                is_leaf,
+            });
+            h = self.intern(PlanOp::Merge {
+                left: h,
+                right: r,
+                c_ren: *c_ren,
+            });
+        }
+        h
+    }
+
+    /// The renaming-merged child result of a `Node`: the child evaluated
+    /// under the original label's ancestor list and under each renaming's,
+    /// merged in renaming order. Ancestor-independent, hence memoized per
+    /// arena node — this is the subtree the per-renaming `Join`s share.
+    fn under_renamings(&mut self, u: usize) -> Result<PlanHandle, PlanError> {
+        if let Some(&h) = self.under_memo.get(&u) {
+            self.cse += 1;
+            return Ok(h);
+        }
+        let ExpandedNode::Node {
+            label,
+            ty,
+            renamings,
+            child,
+        } = self.node(u)?.clone()
+        else {
+            return Err(PlanError::BadNodeIndex(u));
+        };
+        let anc0 = self.intern(PlanOp::Fetch {
+            label: label.clone(),
+            ty,
+            is_leaf: false,
+        });
+        let mut h = self.eval(child, anc0)?;
+        for (ren, c_ren) in &renamings {
+            let anc = self.intern(PlanOp::Fetch {
+                label: ren.clone(),
+                ty,
+                is_leaf: false,
+            });
+            let e = self.eval(child, anc)?;
+            h = self.intern(PlanOp::Merge {
+                left: h,
+                right: e,
+                c_ren: *c_ren,
+            });
+        }
+        self.under_memo.insert(u, h);
+        Ok(h)
+    }
+
+    /// Compiles the evaluation of expanded node `u` below the ancestor
+    /// candidates `anc` — the plan-level image of Figure 4's recursion.
+    /// Edge costs are not applied here; `Or` parents shift afterwards, so
+    /// the memo key stays independent of the incoming edge.
+    fn eval(&mut self, u: usize, anc: PlanHandle) -> Result<PlanHandle, PlanError> {
+        if let Some(&h) = self.eval_memo.get(&(u, anc)) {
+            self.cse += 1;
+            return Ok(h);
+        }
+        let h = match self.node(u)?.clone() {
+            ExpandedNode::Leaf {
+                label,
+                ty,
+                renamings,
+                delcost,
+            } => {
+                let ld = self.fetch_merged(&label, ty, &renamings, true);
+                self.intern(PlanOp::OuterJoin {
+                    ancestors: anc,
+                    descendants: ld,
+                    delcost,
+                })
+            }
+            ExpandedNode::Node { .. } => {
+                let res = self.under_renamings(u)?;
+                self.intern(PlanOp::Join {
+                    ancestors: anc,
+                    descendants: res,
+                })
+            }
+            ExpandedNode::And { left, right } => {
+                let l = self.eval(left, anc)?;
+                let r = self.eval(right, anc)?;
+                self.intern(PlanOp::Intersect { left: l, right: r })
+            }
+            ExpandedNode::Or {
+                left,
+                right,
+                edgecost,
+            } => {
+                let l = self.eval(left, anc)?;
+                let r = self.eval(right, anc)?;
+                let s = self.intern(PlanOp::Shift {
+                    input: r,
+                    cost: edgecost,
+                });
+                self.intern(PlanOp::Union { left: l, right: s })
+            }
+        };
+        self.eval_memo.insert((u, anc), h);
+        Ok(h)
+    }
+}
+
+/// Compiles an expanded query into a physical plan.
+///
+/// The compiled DAG mirrors Figure 4 exactly — the root selector is never
+/// joined with an ancestor list — with structurally identical subplans
+/// hash-consed into shared nodes. Sharing changes the *work*, never the
+/// *result*: a shared node produces the identical list its duplicates
+/// would have produced.
+pub fn compile(expanded: &ExpandedQuery) -> Result<Plan, PlanError> {
+    Metric::PlanCompile.incr();
+    let mut c = Compiler {
+        ex: expanded,
+        ops: Vec::new(),
+        intern: HashMap::new(),
+        eval_memo: HashMap::new(),
+        under_memo: HashMap::new(),
+        cse: 0,
+    };
+    let root_list = match c.node(expanded.root)?.clone() {
+        ExpandedNode::Leaf {
+            label,
+            ty,
+            renamings,
+            ..
+        } => c.fetch_merged(&label, ty, &renamings, true),
+        ExpandedNode::Node { .. } => c.under_renamings(expanded.root)?,
+        _ => return Err(PlanError::NonSelectorRoot),
+    };
+    let result = c.intern(PlanOp::SortBest { input: root_list });
+    Metric::PlanCseReuses.add(c.cse);
+
+    // Reference counts (the root gets one implicit use).
+    let mut uses = vec![0u32; c.ops.len()];
+    for op in &c.ops {
+        for i in op.inputs() {
+            uses[i] += 1;
+        }
+    }
+    uses[result] += 1;
+
+    // Wave schedule: depth 0 = fetches, depth(op) = 1 + max(inputs).
+    // Children always precede parents in `ops`, so one forward pass works.
+    let mut depth = vec![0usize; c.ops.len()];
+    let mut max_depth = 0;
+    for (h, op) in c.ops.iter().enumerate() {
+        let d = op.inputs().iter().map(|&i| depth[i] + 1).max().unwrap_or(0);
+        depth[h] = d;
+        max_depth = max_depth.max(d);
+    }
+    let mut waves = vec![Vec::new(); max_depth + 1];
+    for h in 0..c.ops.len() {
+        if h != result {
+            waves[depth[h]].push(h);
+        }
+    }
+    waves.retain(|w| !w.is_empty());
+
+    Ok(Plan {
+        ops: c.ops,
+        result,
+        root_list,
+        waves,
+        uses,
+        cse_reuses: c.cse,
+    })
+}
+
+/// The list algebra a plan executes against — implemented over the data
+/// indexes ([`crate`-external] Section 6.4 lists) and over the schema
+/// (Section 7.2 k-lists). Edge costs of `Intersect`/`Union` are always
+/// zero and therefore not passed.
+pub trait PlanAlgebra: Sync {
+    /// The list type the algebra operates on.
+    type L: Send + Sync;
+
+    /// The empty list (used as a total fallback for malformed plans).
+    fn empty(&self) -> Self::L;
+    /// Materialize a label's posting list.
+    fn fetch(&self, label: &str, ty: NodeType, is_leaf: bool) -> Self::L;
+    /// Add `cost` to every entry.
+    fn shift(&self, l: &Self::L, cost: Cost) -> Self::L;
+    /// Merge a renamed variant (rename cost on the right side).
+    fn merge(&self, l: &Self::L, r: &Self::L, c_ren: Cost) -> Self::L;
+    /// Structural ancestor/descendant join.
+    fn join(&self, anc: &Self::L, desc: &Self::L) -> Self::L;
+    /// Join with optional (deletable) descendant.
+    fn outerjoin(&self, anc: &Self::L, desc: &Self::L, delcost: Cost) -> Self::L;
+    /// `and` combination.
+    fn intersect(&self, l: &Self::L, r: &Self::L) -> Self::L;
+    /// `or` combination.
+    fn union(&self, l: &Self::L, r: &Self::L) -> Self::L;
+    /// Entry count of a list (for per-operator statistics).
+    fn len(l: &Self::L) -> usize;
+}
+
+/// Executes every list-valued operator of `plan` exactly once, in
+/// topological waves, fanning each wave out over `threads` workers.
+///
+/// Returns one slot per operator (the `SortBest` slot stays empty); the
+/// caller applies its best-n/best-k selection to the [`Plan::root_list`]
+/// slot. Results and metric counters are byte-identical at any thread
+/// count: waves run in handle order and each worker's metric delta is
+/// absorbed in item order by `Scope::map`.
+pub fn execute<A: PlanAlgebra>(plan: &Plan, alg: &A, threads: usize) -> Vec<OnceLock<A::L>> {
+    let slots: Vec<OnceLock<A::L>> = (0..plan.ops.len()).map(|_| OnceLock::new()).collect();
+    Executor::new(threads).scope(|scope| {
+        for wave in plan.waves() {
+            let outs = scope.map(wave.clone(), |h: PlanHandle| run_op(plan, alg, &slots, h));
+            for (&h, out) in wave.iter().zip(outs) {
+                let _ = slots[h].set(out);
+            }
+        }
+    });
+    slots
+}
+
+/// Executes one operator against already-filled input slots. Total: a
+/// malformed schedule yields empty lists rather than a panic.
+fn run_op<A: PlanAlgebra>(plan: &Plan, alg: &A, slots: &[OnceLock<A::L>], h: PlanHandle) -> A::L {
+    let Some(op) = plan.ops().get(h) else {
+        return alg.empty();
+    };
+    let mut vals = Vec::with_capacity(2);
+    for i in op.inputs() {
+        match slots.get(i).and_then(|s| s.get()) {
+            Some(v) => vals.push(v),
+            None => return alg.empty(),
+        }
+    }
+    match (op, vals.as_slice()) {
+        (PlanOp::Fetch { label, ty, is_leaf }, _) => alg.fetch(label, *ty, *is_leaf),
+        (PlanOp::Shift { cost, .. }, [l]) => alg.shift(l, *cost),
+        (PlanOp::Merge { c_ren, .. }, [l, r]) => alg.merge(l, r, *c_ren),
+        (PlanOp::Join { .. }, [a, d]) => alg.join(a, d),
+        (PlanOp::OuterJoin { delcost, .. }, [a, d]) => alg.outerjoin(a, d, *delcost),
+        (PlanOp::Intersect { .. }, [l, r]) => alg.intersect(l, r),
+        (PlanOp::Union { .. }, [l, r]) => alg.union(l, r),
+        // SortBest is terminal and never scheduled; arity mismatches
+        // cannot happen for compiled plans.
+        _ => alg.empty(),
+    }
+}
+
+/// Renders a plan as an indented operator tree for `--explain`.
+///
+/// Deterministic: nodes print in DFS order from the terminal `SortBest`,
+/// children in evaluation order. A CSE-shared node prints its subtree on
+/// first visit with a `shared ×k` annotation and a one-line `see #h`
+/// back-reference afterwards. `counts` (one entry per operator, e.g.
+/// output entry counts from an execution) annotates each first visit.
+pub fn render(plan: &Plan, counts: Option<&[u64]>) -> String {
+    let mut out = String::new();
+    let mut seen = vec![false; plan.ops().len()];
+    render_node(plan, plan.result(), 0, counts, &mut seen, &mut out);
+    out
+}
+
+fn op_params(op: &PlanOp) -> String {
+    match op {
+        PlanOp::Fetch { label, ty, is_leaf } => {
+            let kind = match ty {
+                NodeType::Struct => "struct",
+                NodeType::Text => "text",
+            };
+            let leaf = if *is_leaf { ", leaf" } else { "" };
+            format!(" {kind} \"{label}\"{leaf}")
+        }
+        PlanOp::Shift { cost, .. } => format!(" +{cost}"),
+        PlanOp::Merge { c_ren, .. } => format!(" ren+{c_ren}"),
+        PlanOp::OuterJoin { delcost, .. } => format!(" del+{delcost}"),
+        _ => String::new(),
+    }
+}
+
+fn render_node(
+    plan: &Plan,
+    h: PlanHandle,
+    indent: usize,
+    counts: Option<&[u64]>,
+    seen: &mut [bool],
+    out: &mut String,
+) {
+    let pad = "  ".repeat(indent);
+    let op = &plan.ops()[h];
+    if seen[h] {
+        let _ = writeln!(out, "{pad}#{h} {} (see above)", op.name());
+        return;
+    }
+    seen[h] = true;
+    let shared = if plan.use_count(h) > 1 {
+        format!(" shared ×{}", plan.use_count(h))
+    } else {
+        String::new()
+    };
+    let entries = counts
+        .and_then(|c| c.get(h))
+        .map(|n| format!(" — {n} entries"))
+        .unwrap_or_default();
+    let _ = writeln!(
+        out,
+        "{pad}#{h} {}{}{shared}{entries}",
+        op.name(),
+        op_params(op)
+    );
+    for i in op.inputs() {
+        render_node(plan, i, indent + 1, counts, seen, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxql_cost::CostModel;
+    use approxql_query::parse_query;
+
+    fn plan_for(q: &str, costs: &CostModel) -> Plan {
+        let query = parse_query(q).unwrap();
+        let ex = ExpandedQuery::build(&query, costs);
+        compile(&ex).unwrap()
+    }
+
+    #[test]
+    fn simple_chain_has_no_sharing() {
+        let p = plan_for(r#"a[b["w"]]"#, &CostModel::new());
+        assert_eq!(p.cse_reuses(), 0);
+        assert_eq!(p.shared_ops(), 0);
+        // fetch a, fetch b, fetch w, outerjoin, join, sort_best
+        assert_eq!(p.ops().len(), 6);
+        assert!(matches!(p.ops()[p.result()], PlanOp::SortBest { .. }));
+    }
+
+    #[test]
+    fn renamings_share_the_inner_subtree() {
+        let costs = CostModel::builder()
+            .insert_default(1)
+            .rename(NodeType::Struct, "a", "x", Cost::finite(2))
+            .rename(NodeType::Struct, "a", "y", Cost::finite(3))
+            .build();
+        let p = plan_for(r#"a[b["w"]]"#, &costs);
+        // The child's Join differs per ancestor (a, x, y), but the inner
+        // OuterJoin(fetch b, fetch w) subtree is compiled once.
+        assert!(p.cse_reuses() > 0, "expected CSE reuses, got 0");
+        let outerjoins = p
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, PlanOp::OuterJoin { .. }))
+            .count();
+        assert_eq!(outerjoins, 1);
+        let joins = p
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, PlanOp::Join { .. }))
+            .count();
+        assert_eq!(joins, 3);
+    }
+
+    #[test]
+    fn deletion_bridges_share_the_bridged_child() {
+        let costs = CostModel::builder()
+            .insert_default(1)
+            .delete(NodeType::Struct, "b", Cost::finite(2))
+            .build();
+        let p = plan_for(r#"a[b["w"]]"#, &costs);
+        // Deletion of b: Or(Join(b, leaf-under-b), Shift(leaf-under-a)).
+        assert!(p.ops().iter().any(|o| matches!(o, PlanOp::Union { .. })));
+        assert!(p.ops().iter().any(|o| matches!(o, PlanOp::Shift { .. })));
+        // The leaf's fetch is shared between both branches.
+        assert!(p.shared_ops() > 0);
+    }
+
+    #[test]
+    fn waves_respect_dependencies() {
+        let costs = CostModel::builder()
+            .insert_default(1)
+            .rename(NodeType::Struct, "b", "c", Cost::finite(2))
+            .delete(NodeType::Text, "w", Cost::finite(1))
+            .build();
+        let p = plan_for(r#"a[b["w" and "v"]]"#, &costs);
+        let mut wave_of = vec![usize::MAX; p.ops().len()];
+        for (wi, wave) in p.waves().iter().enumerate() {
+            for &h in wave {
+                wave_of[h] = wi;
+            }
+        }
+        for (h, op) in p.ops().iter().enumerate() {
+            if h == p.result() {
+                continue;
+            }
+            assert_ne!(wave_of[h], usize::MAX, "op {h} unscheduled");
+            for i in op.inputs() {
+                assert!(wave_of[i] < wave_of[h], "op {h} scheduled before input {i}");
+            }
+        }
+        // Every op except SortBest is scheduled exactly once.
+        let scheduled: usize = p.waves().iter().map(|w| w.len()).sum();
+        assert_eq!(scheduled, p.ops().len() - 1);
+    }
+
+    #[test]
+    fn non_selector_root_is_an_error() {
+        let query = parse_query(r#"a["w"]"#).unwrap();
+        let mut ex = ExpandedQuery::build(&query, &CostModel::new());
+        // Corrupt the arena: point the root at the And/Or-free leaf's
+        // position and splice in an And root.
+        let leaf = 0;
+        ex.nodes.push(ExpandedNode::And {
+            left: leaf,
+            right: leaf,
+        });
+        ex.root = ex.nodes.len() - 1;
+        assert!(matches!(compile(&ex), Err(PlanError::NonSelectorRoot)));
+    }
+
+    #[test]
+    fn render_marks_shared_nodes_once() {
+        let costs = CostModel::builder()
+            .insert_default(1)
+            .rename(NodeType::Struct, "a", "x", Cost::finite(2))
+            .build();
+        let p = plan_for(r#"a[b["w"]]"#, &costs);
+        let text = render(&p, None);
+        assert!(text.contains("shared ×"), "no sharing annotation:\n{text}");
+        // Every operator prints its full line exactly once; repeat visits
+        // collapse to back-references.
+        let first_prints = text.lines().filter(|l| !l.contains("(see above)")).count();
+        assert_eq!(first_prints, p.ops().len());
+    }
+}

@@ -52,6 +52,7 @@ pub mod crates {
     pub use approxql_gen as gen;
     pub use approxql_index as index;
     pub use approxql_metrics as metrics;
+    pub use approxql_plan as plan;
     pub use approxql_query as query;
     pub use approxql_schema as schema;
     pub use approxql_storage as storage;

@@ -1,0 +1,84 @@
+//! Golden-file tests for the `--explain` plan rendering.
+//!
+//! The rendering is part of the CLI contract: stable operator ordering
+//! (handles ascend in construction order, children indent under their
+//! consumer), CSE-shared nodes printed in full exactly once with a
+//! `shared ×k` marker and as `(see above)` references thereafter, and
+//! per-operator output-entry counts from a real single-threaded
+//! execution. Regenerate a golden file by printing
+//! `Database::explain_direct` for the same query and reviewing the diff.
+
+use approxql::{Database, EvalOptions};
+
+const CATALOG: &str = "<catalog>\
+    <cd><title>piano concerto</title><composer>rachmaninov</composer></cd>\
+    <cd><title>kinderszenen</title>\
+        <tracks><track><title>vivace piano</title></track></tracks></cd>\
+    </catalog>";
+
+fn explain(query: &str) -> String {
+    let db = Database::from_xml_str(CATALOG, approxql::tables::paper_section6_costs()).unwrap();
+    let opts = EvalOptions {
+        threads: 1,
+        ..EvalOptions::default()
+    };
+    db.explain_direct(query, Some(5), opts).unwrap()
+}
+
+#[test]
+fn explain_simple_query_matches_golden() {
+    assert_eq!(
+        explain(r#"cd[title["piano"]]"#),
+        include_str!("golden/explain_simple.txt")
+    );
+}
+
+#[test]
+fn explain_figure2_query_matches_golden() {
+    assert_eq!(
+        explain(r#"cd[track[title["piano" and "concerto"]] and composer["rachmaninov"]]"#),
+        include_str!("golden/explain_figure2.txt")
+    );
+}
+
+#[test]
+fn explain_is_thread_count_invariant() {
+    // The counts come from operator *outputs*, which are deterministic at
+    // any thread count; the rendering must be too.
+    let db = Database::from_xml_str(CATALOG, approxql::tables::paper_section6_costs()).unwrap();
+    let query = r#"cd[track[title["piano"]]]"#;
+    let base = db
+        .explain_direct(
+            query,
+            Some(5),
+            EvalOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    for threads in [2usize, 4] {
+        let got = db
+            .explain_direct(
+                query,
+                Some(5),
+                EvalOptions {
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(got, base, "explain differs at {threads} threads");
+    }
+}
+
+#[test]
+fn golden_files_show_cse_sharing() {
+    // Guard the property the goldens exist to demonstrate: shared subplans
+    // are rendered once and referenced thereafter.
+    let text = include_str!("golden/explain_figure2.txt");
+    assert!(text.contains("shared ×"));
+    assert!(text.contains("(see above)"));
+    let shared: usize = text.matches("shared ×").count();
+    assert!(shared >= 5, "figure-2 query has many shared subplans");
+}

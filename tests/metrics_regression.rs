@@ -64,16 +64,18 @@ fn direct_figure2_query_op_counts() {
             (Metric::IndexPostingsFetched, 11),
             (Metric::ListFetchOps, 7),
             (Metric::ListShiftOps, 10),
-            (Metric::ListMergeOps, 15),
+            (Metric::ListMergeOps, 5),
             (Metric::ListJoinOps, 10),
             (Metric::ListOuterjoinOps, 17),
             (Metric::ListIntersectOps, 9),
             (Metric::ListUnionOps, 10),
             (Metric::ListSortOps, 1),
-            (Metric::ListEntriesProduced, 67),
+            (Metric::ListEntriesProduced, 51),
+            (Metric::PlanCompile, 1),
+            (Metric::PlanCacheMisses, 1),
+            (Metric::PlanCseReuses, 31),
             (Metric::EvalDirectRuns, 1),
             (Metric::EvalDirectFetches, 12),
-            (Metric::EvalMemoHits, 12),
         ],
     );
 }
@@ -94,12 +96,15 @@ fn schema_figure2_query_op_counts() {
     assert_counts(
         &diff,
         &[
-            (Metric::IndexLabelFetches, 64),
-            (Metric::IndexPostingsFetched, 85),
+            (Metric::IndexLabelFetches, 22),
+            (Metric::IndexPostingsFetched, 28),
             (Metric::IndexSecondaryFetches, 130),
             (Metric::IndexSecondaryRows, 171),
-            (Metric::TopkOps, 279),
-            (Metric::TopkEntriesProduced, 657),
+            (Metric::TopkOps, 207),
+            (Metric::TopkEntriesProduced, 525),
+            (Metric::PlanCompile, 1),
+            (Metric::PlanCacheMisses, 1),
+            (Metric::PlanCseReuses, 31),
             (Metric::EvalSchemaRuns, 3),
             (Metric::EvalSchemaRounds, 3),
             (Metric::EvalSecondLevelQueries, 32),
@@ -109,65 +114,41 @@ fn schema_figure2_query_op_counts() {
 }
 
 #[test]
-fn direct_memoization_saves_work() {
-    // The same query with memoization off must do strictly more list work
-    // and report zero memo hits — pinned for both configurations.
+fn plan_cache_and_cse_op_counts() {
+    // One compile, one cache miss, then only hits: the keyed plan cache
+    // answers repeats (including whitespace variants of the same query)
+    // without recompiling, and CSE sharing during the single compile is
+    // reported exactly once.
     let db = Database::from_xml_str(CATALOG, paper_costs()).unwrap();
     let query = r#"cd[track[title["piano"]]]"#;
-    let opts_on = approxql::EvalOptions::default();
-    let opts_off = approxql::EvalOptions {
-        use_memo: false,
-        ..Default::default()
-    };
-    let with_memo = diff_over(|| {
-        db.query_direct_with(query, None, opts_on).unwrap();
+    let first = diff_over(|| {
+        db.query_direct(query, None).unwrap();
     });
-    let without_memo = diff_over(|| {
-        db.query_direct_with(query, None, opts_off).unwrap();
+    let repeats = diff_over(|| {
+        db.query_direct(query, None).unwrap();
+        // Normalizes through `Query::to_string`, so it keys identically.
+        db.query_direct(r#"cd[ track [ title [ "piano" ] ] ]"#, None)
+            .unwrap();
     });
-    assert_counts(
-        &with_memo,
-        &[
-            (Metric::IndexLabelFetches, 4),
-            (Metric::IndexPostingsFetched, 8),
-            (Metric::ListFetchOps, 4),
-            (Metric::ListShiftOps, 7),
-            (Metric::ListMergeOps, 6),
-            (Metric::ListJoinOps, 7),
-            (Metric::ListOuterjoinOps, 6),
-            (Metric::ListUnionOps, 7),
-            (Metric::ListSortOps, 1),
-            (Metric::ListEntriesProduced, 41),
-            (Metric::EvalDirectRuns, 1),
-            (Metric::EvalDirectFetches, 7),
-            (Metric::EvalMemoHits, 8),
-        ],
-    );
-    assert_counts(
-        &without_memo,
-        &[
-            (Metric::IndexLabelFetches, 4),
-            (Metric::IndexPostingsFetched, 8),
-            (Metric::ListFetchOps, 4),
-            (Metric::ListShiftOps, 9),
-            (Metric::ListMergeOps, 8),
-            (Metric::ListJoinOps, 9),
-            (Metric::ListOuterjoinOps, 18),
-            (Metric::ListUnionOps, 9),
-            (Metric::ListSortOps, 1),
-            (Metric::ListEntriesProduced, 68),
-            (Metric::EvalDirectRuns, 1),
-            (Metric::EvalDirectFetches, 7),
-        ],
-    );
-    // The per-evaluation leaf fetch memo caps index fetches regardless of
-    // `use_memo`; subtree memoization still saves the downstream list work.
-    assert!(
-        with_memo.get(Metric::EvalDirectFetches) <= without_memo.get(Metric::EvalDirectFetches)
-    );
-    assert!(
-        with_memo.get(Metric::ListEntriesProduced) < without_memo.get(Metric::ListEntriesProduced)
-    );
+    assert_eq!(first.get(Metric::PlanCompile), 1);
+    assert_eq!(first.get(Metric::PlanCacheMisses), 1);
+    assert_eq!(first.get(Metric::PlanCacheHits), 0);
+    // The deletion-or bridges of `cd[track[...]]` share their bridged
+    // child subplans; the compiler must report that sharing.
+    assert!(first.get(Metric::PlanCseReuses) > 0);
+    assert_eq!(repeats.get(Metric::PlanCompile), 0);
+    assert_eq!(repeats.get(Metric::PlanCacheMisses), 0);
+    assert_eq!(repeats.get(Metric::PlanCacheHits), 2);
+    assert_eq!(repeats.get(Metric::PlanCseReuses), 0);
+    // Cache hits execute the identical DAG: the evaluation work per run
+    // is exactly double the first run's.
+    for m in [
+        Metric::IndexLabelFetches,
+        Metric::ListEntriesProduced,
+        Metric::EvalDirectFetches,
+    ] {
+        assert_eq!(repeats.get(m), 2 * first.get(m), "{}", m.name());
+    }
 }
 
 #[test]
@@ -239,6 +220,8 @@ fn generated_collection_op_counts() {
             (Metric::ListIntersectOps, 1),
             (Metric::ListSortOps, 1),
             (Metric::ListEntriesProduced, 407),
+            (Metric::PlanCompile, 1),
+            (Metric::PlanCacheMisses, 1),
             (Metric::EvalDirectRuns, 1),
             (Metric::EvalDirectFetches, 3),
         ],
@@ -252,6 +235,9 @@ fn generated_collection_op_counts() {
             (Metric::IndexSecondaryRows, 2),
             (Metric::TopkOps, 14),
             (Metric::TopkEntriesProduced, 208),
+            // The direct run above already compiled this query's plan, so
+            // the schema evaluator finds it in the shared cache.
+            (Metric::PlanCacheHits, 1),
             (Metric::EvalSchemaRuns, 2),
             (Metric::EvalSchemaRounds, 2),
         ],
@@ -264,6 +250,9 @@ fn repeated_runs_count_identically() {
     // identical diff (this is what makes the pinned tests meaningful).
     let db = Database::from_xml_str(CATALOG, paper_costs()).unwrap();
     let query = r#"cd[title["piano" and "concerto"]]"#;
+    // Warm the plan cache so both measured rounds take the same path
+    // (hit) instead of the first one paying the compile.
+    db.query_direct(query, None).unwrap();
     let first = diff_over(|| {
         db.query_direct(query, None).unwrap();
         db.query_schema(query, 5).unwrap();
@@ -322,9 +311,12 @@ fn registry_is_exactly_the_documented_catalogue() {
             (Metric::ListEntriesProduced, "list.entries_produced"),
             (Metric::TopkOps, "topk.ops"),
             (Metric::TopkEntriesProduced, "topk.entries_produced"),
+            (Metric::PlanCompile, "plan.compile"),
+            (Metric::PlanCacheHits, "plan.cache_hits"),
+            (Metric::PlanCacheMisses, "plan.cache_misses"),
+            (Metric::PlanCseReuses, "plan.cse_reuses"),
             (Metric::EvalDirectRuns, "eval.direct_runs"),
             (Metric::EvalDirectFetches, "eval.direct_fetches"),
-            (Metric::EvalMemoHits, "eval.memo_hits"),
             (Metric::EvalSchemaRuns, "eval.schema_runs"),
             (Metric::EvalSchemaRounds, "eval.schema_rounds"),
             (Metric::EvalSecondLevelQueries, "eval.second_level_queries"),

@@ -160,7 +160,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
     /// `primary` (direct) computes exactly the oracle's root–cost pairs,
-    /// with and without the leaf rule, memoization, and the paper joins.
+    /// with and without the leaf rule, at several thread counts.
     #[test]
     fn direct_equals_oracle(
         docs in gen_data(),
@@ -177,18 +177,16 @@ proptest! {
 
         for enforce in [true, false] {
             let want = oracle.best_n(&query, None, enforce);
-            for (use_memo, use_paper_joins) in [(true, false), (false, false), (true, true)] {
+            for threads in [1, 4] {
                 let opts = EvalOptions {
                     enforce_leaf_match: enforce,
-                    use_memo,
-                    use_paper_joins,
-                    ..EvalOptions::default()
+                    threads,
                 };
                 let (got, _) = direct::best_n(&expanded, &index, tree.interner(), None, opts);
                 prop_assert_eq!(
                     &got, &want,
-                    "direct(memo={}, paper={}, leaf={}) disagrees with oracle on {} over {:?}",
-                    use_memo, use_paper_joins, enforce, query_str, docs
+                    "direct(threads={}, leaf={}) disagrees with oracle on {} over {:?}",
+                    threads, enforce, query_str, docs
                 );
             }
         }

@@ -85,6 +85,9 @@ proptest! {
 
     #[test]
     fn parallel_direct_is_deterministic(query in gen_query(), n in 1usize..16) {
+        // Warm the shared plan cache so every measured run is a cache hit;
+        // otherwise the first run's compile/miss counters differ.
+        let _ = run_direct(&query, n, 1);
         let (seq_hits, seq_counts) = run_direct(&query, n, 1);
         for threads in [2usize, 4, 8] {
             let (par_hits, par_counts) = run_direct(&query, n, threads);
@@ -101,6 +104,7 @@ proptest! {
 
     #[test]
     fn parallel_schema_is_deterministic(query in gen_query(), n in 1usize..16) {
+        let _ = run_schema(&query, n, 1);
         let (seq_hits, seq_counts) = run_schema(&query, n, 1);
         for threads in [2usize, 4, 8] {
             let (par_hits, par_counts) = run_schema(&query, n, threads);
