@@ -3,6 +3,8 @@
 use approxql_core::schema_eval::SchemaEvalConfig;
 use approxql_core::{Database, DatabaseError, EvalOptions, QueryHit};
 use approxql_cost::{parse_cost_file, CostModel};
+use approxql_eval::dataset::{Dataset, DatasetError, KSpec};
+use approxql_eval::{EvalError, RunOptions};
 use approxql_gen::{DataGenConfig, DataGenerator};
 use approxql_xml::Document;
 use std::fmt;
@@ -37,7 +39,20 @@ usage:
 
   approxql check   <db.axql>
       verify on-disk integrity: header slots, page checksums, B+-tree
-      invariants, and out-of-line value runs (exit 3 on corruption)";
+      invariants, and out-of-line value runs (exit 3 on corruption)
+
+  approxql eval    <db.axql> <dataset.json> [--json] [--gen-truth]
+                   [-k K] [--threads N] [--out FILE] [--no-timing]
+                   [--stats] [--stats-json]
+      score retrieval quality against a dataset's ground truth:
+      recall@k, precision@k, MRR, nDCG, latency p50/p95 per evaluator
+      (-k overrides every query's truncation depth, a number or
+       `unlimited`; --gen-truth instead fills the dataset's expected
+       results from the reference evaluator — direct, untruncated — and
+       prints the updated dataset; --out writes the report or dataset to
+       a file; --no-timing omits latency output, making reports
+       byte-identical across machines and thread counts; malformed
+       datasets exit 2, evaluation failures exit 1)";
 
 /// Errors surfaced to `main`.
 #[derive(Debug)]
@@ -50,6 +65,9 @@ pub enum CliError {
     Db(DatabaseError),
     /// Cost-file parse failure.
     Costs(approxql_cost::CostFileError),
+    /// Malformed evaluation dataset (a usage-class error: the input file
+    /// is wrong, not the system under test).
+    Dataset(DatasetError),
 }
 
 impl CliError {
@@ -58,7 +76,7 @@ impl CliError {
     /// everything else.
     pub fn exit_code(&self) -> u8 {
         match self {
-            CliError::Usage(_) => 2,
+            CliError::Usage(_) | CliError::Dataset(_) => 2,
             CliError::Db(
                 DatabaseError::Storage(_)
                 | DatabaseError::Persist(_)
@@ -76,6 +94,7 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "{e}"),
             CliError::Db(e) => write!(f, "{e}"),
             CliError::Costs(e) => write!(f, "{e}"),
+            CliError::Dataset(e) => write!(f, "{e}"),
         }
     }
 }
@@ -89,6 +108,15 @@ impl From<std::io::Error> for CliError {
 impl From<DatabaseError> for CliError {
     fn from(e: DatabaseError) -> Self {
         CliError::Db(e)
+    }
+}
+
+impl From<EvalError> for CliError {
+    fn from(e: EvalError) -> Self {
+        match e {
+            EvalError::Dataset(d) => CliError::Dataset(d),
+            EvalError::Db(d) => CliError::Db(d),
+        }
     }
 }
 
@@ -116,6 +144,7 @@ const VALUE_OPTIONS: &[&str] = &[
     "--seed",
     "--docs",
     "--repeat",
+    "--out",
 ];
 
 fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
@@ -186,6 +215,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         "explain" => cmd_explain(&flags),
         "gen" => cmd_gen(&flags),
         "check" => cmd_check(&flags),
+        "eval" => cmd_eval(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -439,6 +469,70 @@ fn cmd_check(flags: &Flags) -> Result<(), CliError> {
     Ok(())
 }
 
+fn cmd_eval(flags: &Flags) -> Result<(), CliError> {
+    let [db_path, dataset_path] = flags.positional.as_slice() else {
+        return Err(usage("eval needs a database path and a dataset path"));
+    };
+    let as_json = flags.switch("--json");
+    let gen_truth = flags.switch("--gen-truth");
+    let show_stats = flags.switch("--stats");
+    let stats_json = flags.switch("--stats-json");
+    let k_override = match flags.option("-k") {
+        None => None,
+        Some("unlimited") => Some(KSpec::Unlimited),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => Some(KSpec::At(n)),
+            _ => {
+                return Err(usage(format!(
+                    "invalid value `{v}` for -k (a positive integer or `unlimited`)"
+                )))
+            }
+        },
+    };
+    let threads: usize = flags
+        .option_parsed("--threads")?
+        .unwrap_or_else(approxql_exec::default_threads);
+    if threads == 0 {
+        return Err(usage("--threads must be at least 1"));
+    }
+    let opts = RunOptions {
+        k_override,
+        threads,
+        timing: !flags.switch("--no-timing"),
+    };
+
+    let text = std::fs::read_to_string(dataset_path)?;
+    let mut ds = Dataset::parse(&text).map_err(CliError::Dataset)?;
+    let db = Database::open(db_path)?;
+
+    let before = approxql_metrics::snapshot();
+    let output = if gen_truth {
+        approxql_eval::gen_truth(&db, &mut ds, opts)?;
+        ds.to_json()
+    } else {
+        let report = approxql_eval::run(&db, &ds, opts)?;
+        if as_json {
+            report.render_json()
+        } else {
+            report.render_table()
+        }
+    };
+    match flags.option("--out") {
+        // lint:allow(fs-outside-pager) eval writes a report/dataset, not store state
+        Some(path) => std::fs::write(path, &output)?,
+        None => print!("{output}"),
+    }
+    if show_stats || stats_json {
+        let delta = approxql_metrics::snapshot().diff(&before);
+        if stats_json {
+            eprintln!("{}", delta.to_json());
+        } else {
+            eprint!("{}", delta.render_table());
+        }
+    }
+    Ok(())
+}
+
 fn cmd_gen(flags: &Flags) -> Result<(), CliError> {
     let [out_dir] = flags.positional.as_slice() else {
         return Err(usage("gen needs an output directory"));
@@ -634,6 +728,105 @@ mod tests {
             }
         }
         assert!(parsed > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn eval_gen_truth_then_score_roundtrip() {
+        let dir = tmpdir("eval");
+        let doc = dir.join("catalog.xml");
+        std::fs::write(
+            &doc,
+            "<catalog><cd><title>piano concerto</title></cd><cd><title>piano sonata</title></cd></catalog>",
+        )
+        .unwrap();
+        let db = dir.join("db.axql");
+        run_words(&["build", db.to_str().unwrap(), doc.to_str().unwrap()]).unwrap();
+        let ds = dir.join("ds.json");
+        std::fs::write(
+            &ds,
+            r#"{"version":1,"name":"cli-roundtrip","defaults":{"k":5},
+                "queries":[{"id":"q1","query":"cd[title[\"piano\"]]"}]}"#,
+        )
+        .unwrap();
+        // Scoring before gen-truth is a dataset error (exit 2).
+        let err = run_words(&["eval", db.to_str().unwrap(), ds.to_str().unwrap()]).unwrap_err();
+        assert!(matches!(err, CliError::Dataset(_)));
+        assert_eq!(err.exit_code(), 2);
+        // gen-truth writes a dataset that then scores cleanly, with table,
+        // JSON, and stats output, at an explicit thread count and -k.
+        let truthed = dir.join("truthed.json");
+        run_words(&[
+            "eval",
+            db.to_str().unwrap(),
+            ds.to_str().unwrap(),
+            "--gen-truth",
+            "--out",
+            truthed.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(std::fs::read_to_string(&truthed)
+            .unwrap()
+            .contains("\"expected\""));
+        run_words(&["eval", db.to_str().unwrap(), truthed.to_str().unwrap()]).unwrap();
+        run_words(&[
+            "eval",
+            db.to_str().unwrap(),
+            truthed.to_str().unwrap(),
+            "--json",
+            "--no-timing",
+            "--threads",
+            "2",
+            "-k",
+            "unlimited",
+            "--stats-json",
+        ])
+        .unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn eval_exit_codes_malformed_vs_runtime() {
+        let dir = tmpdir("eval-exit");
+        let doc = dir.join("c.xml");
+        std::fs::write(&doc, "<a><b>x</b></a>").unwrap();
+        let db = dir.join("db.axql");
+        run_words(&["build", db.to_str().unwrap(), doc.to_str().unwrap()]).unwrap();
+
+        // Malformed dataset JSON → usage-class exit code 2.
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{not json").unwrap();
+        let err = run_words(&["eval", db.to_str().unwrap(), bad.to_str().unwrap()]).unwrap_err();
+        assert!(matches!(err, CliError::Dataset(_)));
+        assert_eq!(err.exit_code(), 2);
+
+        // Valid dataset whose query fails at runtime → exit code 1.
+        let broken = dir.join("broken.json");
+        std::fs::write(
+            &broken,
+            r#"{"version":1,"name":"x",
+                "queries":[{"id":"q","query":"a[[","expected":[]}]}"#,
+        )
+        .unwrap();
+        let err = run_words(&["eval", db.to_str().unwrap(), broken.to_str().unwrap()]).unwrap_err();
+        assert!(matches!(err, CliError::Db(DatabaseError::Query(_))));
+        assert_eq!(err.exit_code(), 1);
+
+        // Invalid -k is a plain usage error.
+        assert!(matches!(
+            run_words(&[
+                "eval",
+                db.to_str().unwrap(),
+                broken.to_str().unwrap(),
+                "-k",
+                "zero"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        // Missing or corrupt database stays exit 3.
+        let err =
+            run_words(&["eval", "/nonexistent/db.axql", broken.to_str().unwrap()]).unwrap_err();
+        assert_eq!(err.exit_code(), 3);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -8,6 +8,7 @@
 //! approxql explain <db.axql> <QUERY> [--costs FILE] [-k K]
 //! approxql gen    <out-dir> [--elements N] [--names N] [--terms N] [--words N] [--seed S] [--docs N]
 //! approxql check  <db.axql>
+//! approxql eval   <db.axql> <dataset.json> [--json] [--gen-truth] [-k K] [--threads N]
 //! ```
 //!
 //! Exit codes: 0 success, 1 generic failure, 2 usage error, 3 database

@@ -1,0 +1,530 @@
+//! The versioned evaluation dataset format (schema v1).
+//!
+//! A dataset is a JSON document pairing approXQL queries with the element
+//! IDs (preorder numbers) they are expected to retrieve, following the
+//! defaults/overrides shape of ELF's `elf-eval` datasets:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "name": "figure2",
+//!   "defaults": { "k": 10, "evaluator": "both", "costs": "default insert 1\n" },
+//!   "queries": [
+//!     {
+//!       "id": "q1",
+//!       "query": "cd[title[\"piano\"]]",
+//!       "k": "unlimited",
+//!       "evaluator": "schema",
+//!       "costs": "delete term piano 4\n",
+//!       "expected": [ { "id": 1, "cost": 0 }, { "id": 7, "cost": 8 } ]
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! * `k` — truncation depth: a positive integer or `"unlimited"` (the
+//!   paper's n = ∞ case). Resolution order: CLI flag > per-query >
+//!   dataset default > 10.
+//! * `evaluator` — `"direct"`, `"schema"`, or `"both"` (default both):
+//!   which evaluation algorithm(s) the harness runs.
+//! * `costs` — a cost file (crates/cost textual format) inlined as one
+//!   JSON string; per-query tables override the dataset default. Absent
+//!   means the database's own cost model (the one it was built with).
+//! * `expected` — the ground truth: element preorder IDs with their
+//!   reference costs, in nondecreasing (cost, id) order. Produced by
+//!   `approxql eval --gen-truth` from the untruncated direct evaluator;
+//!   may be absent until then (such datasets can only be gen-truth'd,
+//!   not scored).
+
+use crate::json::{self, Json};
+use approxql_cost::Cost;
+use std::fmt;
+
+/// Dataset schema version this module reads and writes.
+pub const DATASET_VERSION: u64 = 1;
+
+/// A malformed or semantically invalid dataset (a *usage* error: the
+/// input file is wrong, not the system under test).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetError {
+    /// Human-readable description, with JSON position where available.
+    pub message: String,
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid dataset: {}", self.message)
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+fn invalid(message: impl Into<String>) -> DatasetError {
+    DatasetError {
+        message: message.into(),
+    }
+}
+
+/// Which evaluation algorithm(s) a query runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvaluatorSel {
+    Direct,
+    Schema,
+    Both,
+}
+
+impl EvaluatorSel {
+    fn parse(s: &str) -> Result<EvaluatorSel, DatasetError> {
+        match s {
+            "direct" => Ok(EvaluatorSel::Direct),
+            "schema" => Ok(EvaluatorSel::Schema),
+            "both" => Ok(EvaluatorSel::Both),
+            other => Err(invalid(format!(
+                "evaluator must be \"direct\", \"schema\", or \"both\", found \"{other}\""
+            ))),
+        }
+    }
+
+    fn render(self) -> &'static str {
+        match self {
+            EvaluatorSel::Direct => "direct",
+            EvaluatorSel::Schema => "schema",
+            EvaluatorSel::Both => "both",
+        }
+    }
+}
+
+/// A truncation depth: the best-`n` bound, or unlimited (n = ∞).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KSpec {
+    Unlimited,
+    At(usize),
+}
+
+impl KSpec {
+    fn parse(v: &Json) -> Result<KSpec, DatasetError> {
+        match v {
+            Json::Str(s) if s == "unlimited" => Ok(KSpec::Unlimited),
+            Json::Num(_) => match v.as_uint() {
+                Some(0) | None => Err(invalid("k must be a positive integer or \"unlimited\"")),
+                Some(n) => Ok(KSpec::At(n as usize)),
+            },
+            other => Err(invalid(format!(
+                "k must be a positive integer or \"unlimited\", found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn write(self, out: &mut String) {
+        match self {
+            KSpec::Unlimited => out.push_str("\"unlimited\""),
+            KSpec::At(n) => out.push_str(&n.to_string()),
+        }
+    }
+}
+
+/// Settings that exist at dataset level (defaults) and per query
+/// (overrides).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Settings {
+    pub k: Option<KSpec>,
+    pub evaluator: Option<EvaluatorSel>,
+    /// Inline cost-file text (crates/cost format).
+    pub costs: Option<String>,
+}
+
+impl Settings {
+    fn parse(obj: &Json, where_: &str) -> Result<Settings, DatasetError> {
+        let mut s = Settings::default();
+        if let Some(k) = obj.get("k") {
+            s.k = Some(KSpec::parse(k).map_err(|e| invalid(format!("{where_}: {}", e.message)))?);
+        }
+        if let Some(ev) = obj.get("evaluator") {
+            let text = ev
+                .as_str()
+                .ok_or_else(|| invalid(format!("{where_}: evaluator must be a string")))?;
+            s.evaluator = Some(
+                EvaluatorSel::parse(text)
+                    .map_err(|e| invalid(format!("{where_}: {}", e.message)))?,
+            );
+        }
+        if let Some(c) = obj.get("costs") {
+            let text = c
+                .as_str()
+                .ok_or_else(|| invalid(format!("{where_}: costs must be a string")))?;
+            s.costs = Some(text.to_owned());
+        }
+        Ok(s)
+    }
+
+    fn write_fields(&self, out: &mut String) {
+        if let Some(k) = self.k {
+            out.push_str(",\"k\":");
+            k.write(out);
+        }
+        if let Some(ev) = self.evaluator {
+            out.push_str(",\"evaluator\":");
+            json::write_str(out, ev.render());
+        }
+        if let Some(costs) = &self.costs {
+            out.push_str(",\"costs\":");
+            json::write_str(out, costs);
+        }
+    }
+}
+
+/// One ground-truth row: an expected element and its reference cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruthEntry {
+    /// Element preorder number.
+    pub id: u32,
+    /// Transformation cost charged by the reference (direct, untruncated)
+    /// evaluator. Always finite.
+    pub cost: Cost,
+}
+
+/// One query of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetQuery {
+    /// Identifier (unique within the dataset).
+    pub id: String,
+    /// The approXQL query string.
+    pub query: String,
+    /// Per-query overrides of the dataset defaults.
+    pub overrides: Settings,
+    /// Ground truth, in nondecreasing (cost, id) order. `None` until
+    /// `--gen-truth` fills it in.
+    pub expected: Option<Vec<TruthEntry>>,
+}
+
+/// A parsed, validated dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    pub name: String,
+    pub defaults: Settings,
+    pub queries: Vec<DatasetQuery>,
+}
+
+/// The settings in effect for one query after resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resolved {
+    pub k: KSpec,
+    pub evaluator: EvaluatorSel,
+}
+
+impl Dataset {
+    /// Parses and validates dataset JSON.
+    pub fn parse(text: &str) -> Result<Dataset, DatasetError> {
+        let root = json::parse(text).map_err(|e| invalid(e.to_string()))?;
+        if root.as_obj().is_none() {
+            return Err(invalid(format!(
+                "top level must be an object, found {}",
+                root.kind()
+            )));
+        }
+        let version = root
+            .get("version")
+            .ok_or_else(|| invalid("missing \"version\""))?
+            .as_uint()
+            .ok_or_else(|| invalid("\"version\" must be an integer"))?;
+        if version != DATASET_VERSION {
+            return Err(invalid(format!(
+                "unsupported dataset version {version} (this build reads v{DATASET_VERSION})"
+            )));
+        }
+        let name = root
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| invalid("missing string \"name\""))?
+            .to_owned();
+        let defaults = match root.get("defaults") {
+            None => Settings::default(),
+            Some(d) if d.as_obj().is_some() => Settings::parse(d, "defaults")?,
+            Some(d) => {
+                return Err(invalid(format!(
+                    "\"defaults\" must be an object, found {}",
+                    d.kind()
+                )))
+            }
+        };
+        let queries_json = root
+            .get("queries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| invalid("missing array \"queries\""))?;
+        if queries_json.is_empty() {
+            return Err(invalid("\"queries\" must not be empty"));
+        }
+        let mut queries = Vec::with_capacity(queries_json.len());
+        for (i, q) in queries_json.iter().enumerate() {
+            queries.push(Self::parse_query(q, i)?);
+        }
+        let mut ids: Vec<&str> = queries.iter().map(|q| q.id.as_str()).collect();
+        ids.sort_unstable();
+        if ids.windows(2).any(|w| w[0] == w[1]) {
+            return Err(invalid("query ids must be unique"));
+        }
+        Ok(Dataset {
+            name,
+            defaults,
+            queries,
+        })
+    }
+
+    fn parse_query(q: &Json, index: usize) -> Result<DatasetQuery, DatasetError> {
+        let where_ = format!("queries[{index}]");
+        if q.as_obj().is_none() {
+            return Err(invalid(format!("{where_} must be an object")));
+        }
+        let id = q
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| invalid(format!("{where_}: missing string \"id\"")))?
+            .to_owned();
+        let query = q
+            .get("query")
+            .and_then(Json::as_str)
+            .ok_or_else(|| invalid(format!("{where_}: missing string \"query\"")))?
+            .to_owned();
+        let overrides = Settings::parse(q, &where_)?;
+        let expected = match q.get("expected") {
+            None => None,
+            Some(arr) => {
+                let items = arr
+                    .as_arr()
+                    .ok_or_else(|| invalid(format!("{where_}: \"expected\" must be an array")))?;
+                let mut truth = Vec::with_capacity(items.len());
+                for (j, item) in items.iter().enumerate() {
+                    let id = item
+                        .get("id")
+                        .and_then(Json::as_uint)
+                        .filter(|&v| v <= u64::from(u32::MAX))
+                        .ok_or_else(|| {
+                            invalid(format!("{where_}: expected[{j}] needs an integer \"id\""))
+                        })?;
+                    let cost = item
+                        .get("cost")
+                        .and_then(Json::as_uint)
+                        .filter(|&v| v < u64::MAX)
+                        .ok_or_else(|| {
+                            invalid(format!(
+                                "{where_}: expected[{j}] needs a finite integer \"cost\""
+                            ))
+                        })?;
+                    truth.push(TruthEntry {
+                        id: id as u32,
+                        cost: Cost::finite(cost),
+                    });
+                }
+                let sorted = truth
+                    .windows(2)
+                    .all(|w| (w[0].cost, w[0].id) <= (w[1].cost, w[1].id));
+                if !sorted {
+                    return Err(invalid(format!(
+                        "{where_}: \"expected\" must be sorted by (cost, id)"
+                    )));
+                }
+                let mut ids: Vec<u32> = truth.iter().map(|t| t.id).collect();
+                ids.sort_unstable();
+                if ids.windows(2).any(|w| w[0] == w[1]) {
+                    return Err(invalid(format!(
+                        "{where_}: \"expected\" ids must be unique"
+                    )));
+                }
+                Some(truth)
+            }
+        };
+        Ok(DatasetQuery {
+            id,
+            query,
+            overrides,
+            expected,
+        })
+    }
+
+    /// The effective (k, evaluator) for one query: CLI override >
+    /// per-query > dataset default > (10, both).
+    pub fn resolve(&self, query: &DatasetQuery, k_override: Option<KSpec>) -> Resolved {
+        Resolved {
+            k: k_override
+                .or(query.overrides.k)
+                .or(self.defaults.k)
+                .unwrap_or(KSpec::At(10)),
+            evaluator: query
+                .overrides
+                .evaluator
+                .or(self.defaults.evaluator)
+                .unwrap_or(EvaluatorSel::Both),
+        }
+    }
+
+    /// The effective cost-file text for one query (`None` = empty model).
+    pub fn resolve_costs<'a>(&'a self, query: &'a DatasetQuery) -> Option<&'a str> {
+        query
+            .overrides
+            .costs
+            .as_deref()
+            .or(self.defaults.costs.as_deref())
+    }
+
+    /// Serializes the dataset back to JSON (stable field order, one query
+    /// per line) — the `--gen-truth` output format. `Dataset::parse` of
+    /// the output reproduces the dataset.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"version\": 1,\n  \"name\": ");
+        json::write_str(&mut out, &self.name);
+        // Reuse the override writer for defaults: it emits leading commas,
+        // so wrap in a throwaway object prefix.
+        let mut defaults = String::new();
+        self.defaults.write_fields(&mut defaults);
+        if !defaults.is_empty() {
+            out.push_str(",\n  \"defaults\": {");
+            out.push_str(defaults.trim_start_matches(','));
+            out.push('}');
+        }
+        out.push_str(",\n  \"queries\": [\n");
+        for (i, q) in self.queries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str("    {\"id\":");
+            json::write_str(&mut out, &q.id);
+            out.push_str(",\"query\":");
+            json::write_str(&mut out, &q.query);
+            q.overrides.write_fields(&mut out);
+            if let Some(truth) = &q.expected {
+                out.push_str(",\"expected\":[");
+                for (j, t) in truth.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "{{\"id\":{},\"cost\":{}}}",
+                        t.id,
+                        t.cost.value().unwrap_or(0)
+                    ));
+                }
+                out.push(']');
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+      "version": 1,
+      "name": "sample",
+      "defaults": {"k": 5, "evaluator": "both", "costs": "default insert 1\n"},
+      "queries": [
+        {"id": "q1", "query": "cd[title[\"piano\"]]",
+         "expected": [{"id": 1, "cost": 0}, {"id": 7, "cost": 8}]},
+        {"id": "q2", "query": "mc", "k": "unlimited", "evaluator": "direct",
+         "costs": "rename name mc cd 4\n"}
+      ]
+    }"#;
+
+    #[test]
+    fn parses_and_resolves() {
+        let ds = Dataset::parse(SAMPLE).unwrap();
+        assert_eq!(ds.name, "sample");
+        assert_eq!(ds.queries.len(), 2);
+        let r1 = ds.resolve(&ds.queries[0], None);
+        assert_eq!(r1.k, KSpec::At(5));
+        assert_eq!(r1.evaluator, EvaluatorSel::Both);
+        let r2 = ds.resolve(&ds.queries[1], None);
+        assert_eq!(r2.k, KSpec::Unlimited);
+        assert_eq!(r2.evaluator, EvaluatorSel::Direct);
+        // CLI override wins over everything.
+        let r2b = ds.resolve(&ds.queries[1], Some(KSpec::At(3)));
+        assert_eq!(r2b.k, KSpec::At(3));
+        assert_eq!(ds.resolve_costs(&ds.queries[0]), Some("default insert 1\n"));
+        assert_eq!(
+            ds.resolve_costs(&ds.queries[1]),
+            Some("rename name mc cd 4\n")
+        );
+        let truth = ds.queries[0].expected.as_ref().unwrap();
+        assert_eq!(truth[0].id, 1);
+        assert_eq!(truth[1].cost, Cost::finite(8));
+        assert!(ds.queries[1].expected.is_none());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let ds = Dataset::parse(SAMPLE).unwrap();
+        let text = ds.to_json();
+        let back = Dataset::parse(&text).unwrap();
+        assert_eq!(back, ds);
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn rejects_malformed_datasets() {
+        let cases: &[(&str, &str)] = &[
+            ("not json at all", "line 1"),
+            (r#"{"version": 2, "name": "x", "queries": []}"#, "version"),
+            (r#"{"name": "x", "queries": [{}]}"#, "version"),
+            (r#"{"version": 1, "queries": [{}]}"#, "name"),
+            (r#"{"version": 1, "name": "x"}"#, "queries"),
+            (r#"{"version": 1, "name": "x", "queries": []}"#, "empty"),
+            (
+                r#"{"version": 1, "name": "x", "queries": [{"id": "a"}]}"#,
+                "query",
+            ),
+            (
+                r#"{"version": 1, "name": "x", "queries": [
+                    {"id": "a", "query": "cd"}, {"id": "a", "query": "mc"}]}"#,
+                "unique",
+            ),
+            (
+                r#"{"version": 1, "name": "x",
+                    "queries": [{"id": "a", "query": "cd", "k": 0}]}"#,
+                "positive",
+            ),
+            (
+                r#"{"version": 1, "name": "x",
+                    "queries": [{"id": "a", "query": "cd", "evaluator": "fast"}]}"#,
+                "evaluator",
+            ),
+            (
+                r#"{"version": 1, "name": "x", "queries": [
+                    {"id": "a", "query": "cd",
+                     "expected": [{"id": 5, "cost": 1}, {"id": 1, "cost": 0}]}]}"#,
+                "sorted",
+            ),
+            (
+                r#"{"version": 1, "name": "x", "queries": [
+                    {"id": "a", "query": "cd",
+                     "expected": [{"id": 5, "cost": 1}, {"id": 5, "cost": 1}]}]}"#,
+                "unique",
+            ),
+        ];
+        for (text, needle) in cases {
+            let err = Dataset::parse(text).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "error for {text:?} should mention {needle:?}, got: {}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn defaults_are_optional() {
+        let ds = Dataset::parse(
+            r#"{"version": 1, "name": "min",
+                "queries": [{"id": "a", "query": "cd"}]}"#,
+        )
+        .unwrap();
+        let r = ds.resolve(&ds.queries[0], None);
+        assert_eq!(r.k, KSpec::At(10));
+        assert_eq!(r.evaluator, EvaluatorSel::Both);
+        assert_eq!(ds.resolve_costs(&ds.queries[0]), None);
+    }
+}

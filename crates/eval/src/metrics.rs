@@ -1,0 +1,251 @@
+//! Ranking-metric math: recall@k, precision@k, MRR, nDCG, and latency
+//! percentiles.
+//!
+//! All functions take the *retrieved* ranking (element IDs in result
+//! order, already truncated to k by the evaluator) and the *truth* list
+//! (IDs with reference costs, best first). Definitions, pinned by the
+//! fixture tests below so the harness is not its own oracle:
+//!
+//! * **recall@k** — |retrieved ∩ truth| / |truth|; `1.0` when the truth
+//!   is empty (there was nothing to miss).
+//! * **precision@k** — |retrieved ∩ truth| / |retrieved|; when nothing
+//!   was retrieved, `1.0` if the truth is empty (vacuously clean) and
+//!   `0.0` otherwise.
+//! * **MRR** — 1/rank of the first relevant result (rank 1 = first);
+//!   `0.0` when no retrieved result is relevant.
+//! * **nDCG** — graded relevance derived from the reference costs:
+//!   sort the *distinct* truth costs ascending; an element whose cost is
+//!   the i-th distinct value (0-based) has grade `num_distinct − i`, so
+//!   the cheapest matches grade highest and *equal costs get equal
+//!   grades* — any ordering of a cost tie scores the same. Linear gain:
+//!   DCG = Σ grade(result_i) / log2(i + 2); nDCG = DCG / IDCG where
+//!   IDCG ranks the top-|retrieved-capacity| grades ideally. `1.0` when
+//!   the truth is empty.
+//!
+//! Latency percentiles use the nearest-rank method (ceil(p/100·n)-th
+//! smallest), matching the convention of EXPERIMENTS.md.
+
+use crate::dataset::TruthEntry;
+use approxql_cost::Cost;
+use std::collections::HashMap;
+
+/// Per-query metric scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryScores {
+    pub recall: f64,
+    pub precision: f64,
+    pub rr: f64,
+    pub ndcg: f64,
+}
+
+/// Scores one retrieved ranking against the truth. `k` is the truncation
+/// depth that was in effect (bounds the ideal ranking for nDCG); the
+/// retrieved list is assumed already truncated to at most `k`.
+pub fn score(retrieved: &[u32], truth: &[TruthEntry], k: usize) -> QueryScores {
+    let grades = grade_table(truth);
+    let hits = retrieved
+        .iter()
+        .filter(|id| grades.contains_key(id))
+        .count();
+    let recall = if truth.is_empty() {
+        1.0
+    } else {
+        hits as f64 / truth.len() as f64
+    };
+    let precision = if retrieved.is_empty() {
+        if truth.is_empty() {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        hits as f64 / retrieved.len() as f64
+    };
+    let rr = retrieved
+        .iter()
+        .position(|id| grades.contains_key(id))
+        .map_or(0.0, |rank0| 1.0 / (rank0 as f64 + 1.0));
+    QueryScores {
+        recall,
+        precision,
+        rr,
+        ndcg: ndcg(retrieved, truth, &grades, k),
+    }
+}
+
+/// Maps each truth ID to its grade: distinct costs ascending, grade =
+/// number of distinct costs − index, so the best (lowest) cost gets the
+/// highest grade and ties share one.
+fn grade_table(truth: &[TruthEntry]) -> HashMap<u32, u64> {
+    let mut costs: Vec<Cost> = truth.iter().map(|t| t.cost).collect();
+    costs.sort_unstable();
+    costs.dedup();
+    let n = costs.len() as u64;
+    truth
+        .iter()
+        .map(|t| {
+            let idx = costs.binary_search(&t.cost).expect("cost is present") as u64;
+            (t.id, n - idx)
+        })
+        .collect()
+}
+
+fn dcg(grades_in_rank_order: impl Iterator<Item = u64>) -> f64 {
+    grades_in_rank_order
+        .enumerate()
+        .map(|(i, g)| g as f64 / (i as f64 + 2.0).log2())
+        .sum()
+}
+
+fn ndcg(retrieved: &[u32], truth: &[TruthEntry], grades: &HashMap<u32, u64>, k: usize) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let actual = dcg(retrieved
+        .iter()
+        .map(|id| grades.get(id).copied().unwrap_or(0)));
+    // Ideal ranking: the truth's own grades (already best-first since the
+    // truth is (cost, id)-sorted and grades are monotone in cost), capped
+    // at the truncation depth.
+    let ideal = dcg(truth.iter().take(k).map(|t| grades[&t.id]));
+    if ideal == 0.0 {
+        1.0
+    } else {
+        actual / ideal
+    }
+}
+
+/// Nearest-rank percentile of a latency sample, in nanoseconds.
+/// `p` is in [0, 100]; returns 0 for an empty sample.
+pub fn percentile(sorted_nanos: &[u64], p: f64) -> u64 {
+    if sorted_nanos.is_empty() {
+        return 0;
+    }
+    debug_assert!(sorted_nanos.windows(2).all(|w| w[0] <= w[1]));
+    let n = sorted_nanos.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted_nanos[rank.clamp(1, n) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: u32, cost: u64) -> TruthEntry {
+        TruthEntry {
+            id,
+            cost: Cost::finite(cost),
+        }
+    }
+
+    const EPS: f64 = 1e-12;
+
+    fn assert_close(actual: f64, expected: f64, what: &str) {
+        assert!(
+            (actual - expected).abs() < EPS,
+            "{what}: expected {expected}, got {actual}"
+        );
+    }
+
+    #[test]
+    fn perfect_ranking_scores_one_everywhere() {
+        let truth = [t(1, 0), t(2, 3), t(3, 5)];
+        let s = score(&[1, 2, 3], &truth, 10);
+        assert_close(s.recall, 1.0, "recall");
+        assert_close(s.precision, 1.0, "precision");
+        assert_close(s.rr, 1.0, "rr");
+        assert_close(s.ndcg, 1.0, "ndcg");
+    }
+
+    #[test]
+    fn recall_when_fewer_than_k_results_exist() {
+        // k = 10 but only 2 of 4 truth elements retrieved: recall counts
+        // against the truth size, not k.
+        let truth = [t(1, 0), t(2, 1), t(3, 2), t(4, 3)];
+        let s = score(&[1, 2], &truth, 10);
+        assert_close(s.recall, 0.5, "recall");
+        // Precision counts against what was actually retrieved (2), so a
+        // short-but-clean result list is not punished.
+        assert_close(s.precision, 1.0, "precision");
+    }
+
+    #[test]
+    fn mrr_with_missing_hits() {
+        let truth = [t(7, 0)];
+        // First relevant result at rank 3 → RR = 1/3.
+        let s = score(&[1, 2, 7], &truth, 10);
+        assert_close(s.rr, 1.0 / 3.0, "rr at rank 3");
+        // No relevant result at all → RR = 0, by convention.
+        let s = score(&[1, 2, 3], &truth, 10);
+        assert_close(s.rr, 0.0, "rr with no hit");
+        // Nothing retrieved → RR = 0 and precision = 0 (truth non-empty).
+        let s = score(&[], &truth, 10);
+        assert_close(s.rr, 0.0, "rr on empty");
+        assert_close(s.precision, 0.0, "precision on empty");
+        assert_close(s.recall, 0.0, "recall on empty");
+    }
+
+    #[test]
+    fn empty_truth_is_vacuously_perfect() {
+        let s = score(&[], &[], 10);
+        assert_close(s.recall, 1.0, "recall");
+        assert_close(s.precision, 1.0, "precision");
+        assert_close(s.ndcg, 1.0, "ndcg");
+        assert_close(s.rr, 0.0, "rr");
+        // Retrieving junk against empty truth: recall stays 1, precision 0.
+        let s = score(&[9], &[], 10);
+        assert_close(s.recall, 1.0, "recall with junk");
+        assert_close(s.precision, 0.0, "precision with junk");
+    }
+
+    #[test]
+    fn ndcg_hand_computed() {
+        // Truth: id 1 @ cost 0 (grade 2), ids 2,3 @ cost 4 (grade 1).
+        // Retrieved ranking [2, 1]:
+        //   DCG  = 1/log2(2) + 2/log2(3) = 1 + 2/log2(3)
+        // Ideal (truth order, k=10): [2, 1, 1] grades →
+        //   IDCG = 2/log2(2) + 1/log2(3) + 1/log2(4) = 2 + 1/log2(3) + 0.5
+        let truth = [t(1, 0), t(2, 4), t(3, 4)];
+        let s = score(&[2, 1], &truth, 10);
+        let dcg = 1.0 + 2.0 / 3f64.log2();
+        let idcg = 2.0 + 1.0 / 3f64.log2() + 0.5;
+        assert_close(s.ndcg, dcg / idcg, "ndcg");
+    }
+
+    #[test]
+    fn ndcg_is_tie_order_invariant() {
+        // ids 2 and 3 share cost 4 → same grade, so swapping them in the
+        // ranking must not change nDCG.
+        let truth = [t(1, 0), t(2, 4), t(3, 4)];
+        let a = score(&[1, 2, 3], &truth, 10);
+        let b = score(&[1, 3, 2], &truth, 10);
+        assert_close(a.ndcg, b.ndcg, "tie swap");
+        assert_close(a.ndcg, 1.0, "both ideal");
+        // ...but swapping across different costs does change it.
+        let c = score(&[2, 1, 3], &truth, 10);
+        assert!(c.ndcg < a.ndcg, "cross-cost swap must lower nDCG");
+    }
+
+    #[test]
+    fn ndcg_caps_ideal_at_k() {
+        // k = 1: the ideal ranking is just the single best grade, so
+        // retrieving the best element alone is a perfect 1.0.
+        let truth = [t(1, 0), t(2, 4), t(3, 4)];
+        let s = score(&[1], &truth, 1);
+        assert_close(s.ndcg, 1.0, "best-only at k=1");
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let sample: Vec<u64> = (1..=10).map(|i| i * 100).collect();
+        assert_eq!(percentile(&sample, 50.0), 500);
+        assert_eq!(percentile(&sample, 95.0), 1000);
+        assert_eq!(percentile(&sample, 100.0), 1000);
+        assert_eq!(percentile(&sample, 0.0), 100);
+        assert_eq!(percentile(&[42], 50.0), 42);
+        assert_eq!(percentile(&[42], 95.0), 42);
+        assert_eq!(percentile(&[], 50.0), 0);
+        // Three samples: p50 is the 2nd smallest (ceil(1.5) = 2).
+        assert_eq!(percentile(&[10, 20, 30], 50.0), 20);
+    }
+}

@@ -1,0 +1,78 @@
+//! Golden-file tests for the `approxql eval` report rendering, plus the
+//! CI-pinned quality metrics on the committed figure-2 dataset.
+//!
+//! The table and JSON renderings are part of the CLI contract. Both are
+//! generated with timing disabled, which omits every latency field — the
+//! remaining output is a pure function of the committed corpus and
+//! dataset, so it is byte-stable across machines and thread counts.
+//! Regenerate a golden file with
+//! `approxql eval <db> datasets/figure2.json [--json] --no-timing`
+//! and review the diff.
+
+use approxql::crates::eval::dataset::Dataset;
+use approxql::crates::eval::{run, RunOptions};
+use approxql::{CostModel, Database};
+
+const CATALOG: &str = include_str!("../datasets/catalog.xml");
+const FIGURE2: &str = include_str!("../datasets/figure2.json");
+
+fn report() -> approxql::crates::eval::EvalReport {
+    // The committed ground truth was generated against a database built
+    // from `datasets/catalog.xml` with no build-time cost table (the
+    // dataset carries its cost tables inline).
+    let db = Database::from_xml_str(CATALOG, CostModel::new()).unwrap();
+    let ds = Dataset::parse(FIGURE2).unwrap();
+    let opts = RunOptions {
+        timing: false,
+        ..RunOptions::default()
+    };
+    run(&db, &ds, opts).unwrap()
+}
+
+#[test]
+fn eval_table_matches_golden() {
+    assert_eq!(
+        report().render_table(),
+        include_str!("golden/eval_table.txt")
+    );
+}
+
+#[test]
+fn eval_json_matches_golden() {
+    assert_eq!(report().render_json(), include_str!("golden/eval_json.txt"));
+}
+
+#[test]
+fn figure2_metrics_are_pinned() {
+    // The acceptance pins, independent of the full-byte goldens: every
+    // figure-2 run scores perfectly, and the schema evaluator at
+    // k = unlimited reaches recall 1.0 against reference ground truth.
+    let rep = report();
+    assert_eq!(rep.runs.len(), 9);
+    for r in &rep.runs {
+        assert_eq!(r.scores.recall, 1.0, "{} {}", r.query_id, r.engine.name());
+        assert_eq!(r.scores.ndcg, 1.0, "{} {}", r.query_id, r.engine.name());
+    }
+    let unlimited = rep
+        .runs
+        .iter()
+        .find(|r| r.query_id == "all-cds")
+        .expect("committed dataset has the unlimited schema query");
+    assert_eq!(unlimited.engine.name(), "schema");
+    assert_eq!(unlimited.scores.recall, 1.0);
+    assert_eq!(unlimited.truth_len, 5);
+}
+
+#[test]
+fn committed_truth_matches_regenerated_truth() {
+    // The committed `expected` arrays must stay in sync with what
+    // gen-truth produces today; a silent evaluator change that shifts
+    // reference results fails here before it fails in CI.
+    use approxql::crates::eval::gen_truth;
+    let db = Database::from_xml_str(CATALOG, CostModel::new()).unwrap();
+    let committed = Dataset::parse(FIGURE2).unwrap();
+    let mut regenerated = committed.clone();
+    gen_truth(&db, &mut regenerated, RunOptions::default()).unwrap();
+    assert_eq!(regenerated, committed);
+    assert_eq!(regenerated.to_json(), FIGURE2);
+}
