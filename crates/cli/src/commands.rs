@@ -374,6 +374,12 @@ fn cmd_stats(flags: &Flags) -> Result<(), CliError> {
     println!("label index:");
     println!("  postings         {}", db.labels().len());
     println!("  entries          {}", db.labels().entry_count());
+    println!("  bytes            {}", db.labels().byte_len());
+    // DESIGN.md §14: delta/varint frames vs. the 24-byte flat codec.
+    println!(
+        "  bytes/posting    {:.2} (flat codec: 24)",
+        db.labels().byte_len() as f64 / db.labels().entry_count().max(1) as f64
+    );
     println!("schema:");
     println!("  nodes            {}", s.schema_nodes);
     println!(

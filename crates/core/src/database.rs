@@ -401,11 +401,16 @@ impl Database {
 
     /// Verifies the on-disk integrity of a database file without loading
     /// it: opens the store (recovering to the newest intact commit if
-    /// needed) and walks every page, checksum, and B+-tree invariant.
-    /// Returns the storage layer's [`CheckReport`] on success.
+    /// needed), walks every page, checksum, and B+-tree invariant, and
+    /// then validates every compressed posting list (skip-header
+    /// monotonicity, per-frame entry counts, decode round-trip — see
+    /// DESIGN.md §14). Returns the storage layer's [`CheckReport`] on
+    /// success.
     pub fn check_file(path: impl AsRef<Path>) -> Result<CheckReport, DatabaseError> {
         let mut store = Store::open_file(path)?;
-        Ok(store.check()?)
+        let report = store.check()?;
+        approxql_index::persist::check_posting_blocks(&mut store)?;
+        Ok(report)
     }
 }
 

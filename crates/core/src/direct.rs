@@ -14,7 +14,7 @@
 //!   DAG node and execute exactly once; pending edge costs are applied as
 //!   a *post-shift* so they do not fragment the shared structure.
 
-use crate::list::{self, List};
+use crate::list::{self, LazyList, List};
 use approxql_index::LabelIndex;
 use approxql_metrics::{time, Metric, TimerMetric};
 use approxql_plan::{self as plan, Plan, PlanAlgebra};
@@ -66,47 +66,51 @@ struct IndexAlgebra<'a> {
     fetches: AtomicUsize,
 }
 
-impl PlanAlgebra for IndexAlgebra<'_> {
-    type L = List;
+/// Fetches stay compressed ([`LazyList::Blocks`]): the skip-based join /
+/// intersect variants consult the skip headers and decode only frames
+/// that can contribute output (DESIGN.md §14). Every operator output is
+/// materialized, so laziness never nests.
+impl<'a> PlanAlgebra for IndexAlgebra<'a> {
+    type L = LazyList<'a>;
 
-    fn empty(&self) -> List {
-        Vec::new()
+    fn empty(&self) -> LazyList<'a> {
+        LazyList::Mat(Vec::new())
     }
 
-    fn fetch(&self, label: &str, ty: NodeType, is_leaf: bool) -> List {
+    fn fetch(&self, label: &str, ty: NodeType, is_leaf: bool) -> LazyList<'a> {
         self.fetches.fetch_add(1, Ordering::Relaxed);
         Metric::EvalDirectFetches.incr();
         match self.interner.get(label) {
-            Some(id) => list::fetch(self.index, ty, id, is_leaf),
-            None => Vec::new(),
+            Some(id) => list::fetch_lazy(self.index, ty, id, is_leaf),
+            None => LazyList::Mat(Vec::new()),
         }
     }
 
-    fn shift(&self, l: &List, cost: Cost) -> List {
-        list::shift(l.clone(), cost)
+    fn shift(&self, l: &LazyList<'a>, cost: Cost) -> LazyList<'a> {
+        LazyList::Mat(list::shift(l.force().into_owned(), cost))
     }
 
-    fn merge(&self, l: &List, r: &List, c_ren: Cost) -> List {
-        list::merge(l, r, c_ren)
+    fn merge(&self, l: &LazyList<'a>, r: &LazyList<'a>, c_ren: Cost) -> LazyList<'a> {
+        LazyList::Mat(list::merge(&l.force(), &r.force(), c_ren))
     }
 
-    fn join(&self, anc: &List, desc: &List) -> List {
-        list::join(anc, desc, Cost::ZERO)
+    fn join(&self, anc: &LazyList<'a>, desc: &LazyList<'a>) -> LazyList<'a> {
+        LazyList::Mat(list::join_lazy(anc, desc, Cost::ZERO))
     }
 
-    fn outerjoin(&self, anc: &List, desc: &List, delcost: Cost) -> List {
-        list::outerjoin(anc, desc, Cost::ZERO, delcost)
+    fn outerjoin(&self, anc: &LazyList<'a>, desc: &LazyList<'a>, delcost: Cost) -> LazyList<'a> {
+        LazyList::Mat(list::outerjoin_lazy(anc, desc, Cost::ZERO, delcost))
     }
 
-    fn intersect(&self, l: &List, r: &List) -> List {
-        list::intersect(l, r, Cost::ZERO)
+    fn intersect(&self, l: &LazyList<'a>, r: &LazyList<'a>) -> LazyList<'a> {
+        LazyList::Mat(list::intersect_lazy(l, r, Cost::ZERO))
     }
 
-    fn union(&self, l: &List, r: &List) -> List {
-        list::union(l, r, Cost::ZERO)
+    fn union(&self, l: &LazyList<'a>, r: &LazyList<'a>) -> LazyList<'a> {
+        LazyList::Mat(list::union(&l.force(), &r.force(), Cost::ZERO))
     }
 
-    fn len(l: &List) -> usize {
+    fn len(l: &LazyList<'a>) -> usize {
         l.len()
     }
 }
@@ -135,7 +139,7 @@ pub fn evaluate_plan_counted(
     let result = slots
         .get(plan.root_list())
         .and_then(|s| s.get())
-        .cloned()
+        .map(|l| l.force().into_owned())
         .unwrap_or_default();
     let executed: usize = plan.waves().iter().map(|w| w.len()).sum();
     let stats = DirectStats {

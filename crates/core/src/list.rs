@@ -15,9 +15,11 @@
 //! intentionally literal O(s·l) variant is kept in
 //! [`join_paper`]/[`outerjoin_paper`] for the ablation benchmark).
 
+use approxql_index::codec::{BlockList, BLOCK_SIZE};
 use approxql_index::{LabelIndex, Posting};
 use approxql_metrics::Metric;
 use approxql_tree::{Cost, LabelId, NodeType};
+use std::borrow::Cow;
 
 /// A list entry (Section 6.3): the four node numbers plus the two
 /// embedding-cost channels.
@@ -64,6 +66,17 @@ fn record_entries(out: List) -> List {
     out
 }
 
+fn posting_entry(p: &Posting, is_leaf: bool) -> Entry {
+    Entry {
+        pre: p.pre,
+        bound: p.bound,
+        pathcost: p.pathcost,
+        inscost: p.inscost,
+        cost_any: Cost::ZERO,
+        cost_leaf: if is_leaf { Cost::ZERO } else { Cost::INFINITY },
+    }
+}
+
 /// For leaf selectors the matched node *is* an original query leaf, so
 /// both cost channels start at zero; for inner selectors the entries serve
 /// as ancestor candidates whose costs are computed by the child evaluation,
@@ -72,16 +85,91 @@ pub fn fetch(index: &LabelIndex, ty: NodeType, label: LabelId, is_leaf: bool) ->
     let out: List = index
         .fetch(ty, label)
         .iter()
-        .map(|p: &Posting| Entry {
-            pre: p.pre,
-            bound: p.bound,
-            pathcost: p.pathcost,
-            inscost: p.inscost,
-            cost_any: Cost::ZERO,
-            cost_leaf: if is_leaf { Cost::ZERO } else { Cost::INFINITY },
-        })
+        .map(|p: &Posting| posting_entry(p, is_leaf))
         .collect();
     record_op(Metric::ListFetchOps, out)
+}
+
+/// [`fetch`] without decoding: hands the compressed frames to the lazy
+/// operators so joins and intersections can skip whole blocks via the
+/// skip headers. Records the same `list.*` counters as [`fetch`] (the
+/// logical entry count is known from the headers).
+pub fn fetch_lazy<'a>(
+    index: &'a LabelIndex,
+    ty: NodeType,
+    label: LabelId,
+    is_leaf: bool,
+) -> LazyList<'a> {
+    let blocks = index.fetch_blocks(ty, label);
+    Metric::ListFetchOps.incr();
+    Metric::ListEntriesProduced.add(blocks.entry_count() as u64);
+    LazyList::Blocks { blocks, is_leaf }
+}
+
+/// A list that is either materialized or still sitting in compressed
+/// frames (a fetched posting list that no operator has decoded yet).
+///
+/// The lazy operators ([`join_lazy`], [`outerjoin_lazy`],
+/// [`intersect_lazy`]) consult the skip headers of a `Blocks` operand and
+/// decode only the frames that can contribute output; everything else
+/// falls back to [`LazyList::force`] + the materialized operators.
+/// Outputs and every `index.*`/`list.*` counter are identical to running
+/// the materialized operators on fully decoded lists — only the
+/// `postings.*` decode/skip traffic differs.
+#[derive(Debug, Clone)]
+pub enum LazyList<'a> {
+    /// A compressed posting list straight from the label index.
+    Blocks {
+        /// The compressed frames.
+        blocks: &'a BlockList,
+        /// Leaf-rule channel initialization for decoded entries.
+        is_leaf: bool,
+    },
+    /// A materialized list (every operator output).
+    Mat(List),
+}
+
+impl LazyList<'_> {
+    /// Logical entry count (from the skip headers when compressed).
+    pub fn len(&self) -> usize {
+        match self {
+            LazyList::Blocks { blocks, .. } => blocks.entry_count(),
+            LazyList::Mat(l) => l.len(),
+        }
+    }
+
+    /// True when the list holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The materialized list: borrows a `Mat`, decodes all frames of a
+    /// `Blocks`.
+    pub fn force(&self) -> Cow<'_, List> {
+        match self {
+            LazyList::Blocks { blocks, is_leaf } => {
+                Cow::Owned(decode_frames(blocks, *is_leaf, |_| true))
+            }
+            LazyList::Mat(l) => Cow::Borrowed(l),
+        }
+    }
+}
+
+/// Decodes the frames of `blocks` selected by `keep` (a predicate over
+/// frame indices) into entries; rejected frames count as skipped.
+fn decode_frames(blocks: &BlockList, is_leaf: bool, mut keep: impl FnMut(usize) -> bool) -> List {
+    let mut out = Vec::new();
+    let mut buf: Vec<Posting> = Vec::with_capacity(BLOCK_SIZE);
+    for i in 0..blocks.headers().len() {
+        if !keep(i) {
+            BlockList::record_skip();
+            continue;
+        }
+        buf.clear();
+        blocks.decode_block_into(i, &mut buf);
+        out.extend(buf.iter().map(|p| posting_entry(p, is_leaf)));
+    }
+    out
 }
 
 /// Adds `c` to both cost channels of every entry (the deferred `c_edge`).
@@ -223,33 +311,10 @@ fn finish_costs(a: &Entry, key: Cost) -> Cost {
     }
 }
 
-/// `join` (Section 6.4): copies every ancestor that has a descendant in
-/// `descendants`, with cost `min(distance + cost(d)) + c_edge` per channel.
-/// Ancestors without any (finite-cost) descendant are dropped.
-pub fn join(ancestors: &List, descendants: &List, c_edge: Cost) -> List {
-    Metric::ListJoinOps.incr();
-    let minima = interval_minima(ancestors, descendants);
-    let mut out = Vec::new();
-    for (a, (min_any, min_leaf)) in ancestors.iter().zip(minima) {
-        let cost_any = finish_costs(a, min_any) + c_edge;
-        if !cost_any.is_finite() {
-            continue;
-        }
-        out.push(Entry {
-            cost_any,
-            cost_leaf: finish_costs(a, min_leaf) + c_edge,
-            ..*a
-        });
-    }
-    record_entries(out)
-}
-
-/// `outerjoin` (Section 6.4): like `join`, but every ancestor survives —
-/// if no descendant matches (or deleting is cheaper), the leaf below the
-/// ancestor is deleted at cost `c_del`. The deletion path contributes no
-/// leaf match, so only `cost_any` can take it.
-pub fn outerjoin(ancestors: &List, descendants: &List, c_edge: Cost, c_del: Cost) -> List {
-    Metric::ListOuterjoinOps.incr();
+/// Shared output loop of [`join`] and [`outerjoin`]: `join` is exactly
+/// `outerjoin` with an infinite deletion cost (`.min(Cost::INFINITY)` is
+/// the identity), so one core serves both.
+fn join_core(ancestors: &List, descendants: &List, c_edge: Cost, c_del: Cost) -> List {
     let minima = interval_minima(ancestors, descendants);
     let mut out = Vec::new();
     for (a, (min_any, min_leaf)) in ancestors.iter().zip(minima) {
@@ -264,6 +329,141 @@ pub fn outerjoin(ancestors: &List, descendants: &List, c_edge: Cost, c_del: Cost
         });
     }
     record_entries(out)
+}
+
+/// `join` (Section 6.4): copies every ancestor that has a descendant in
+/// `descendants`, with cost `min(distance + cost(d)) + c_edge` per channel.
+/// Ancestors without any (finite-cost) descendant are dropped.
+pub fn join(ancestors: &List, descendants: &List, c_edge: Cost) -> List {
+    Metric::ListJoinOps.incr();
+    join_core(ancestors, descendants, c_edge, Cost::INFINITY)
+}
+
+/// `outerjoin` (Section 6.4): like `join`, but every ancestor survives —
+/// if no descendant matches (or deleting is cheaper), the leaf below the
+/// ancestor is deleted at cost `c_del`. The deletion path contributes no
+/// leaf match, so only `cost_any` can take it.
+pub fn outerjoin(ancestors: &List, descendants: &List, c_edge: Cost, c_del: Cost) -> List {
+    Metric::ListOuterjoinOps.incr();
+    join_core(ancestors, descendants, c_edge, c_del)
+}
+
+/// The ancestor envelope `(min pre, max bound)`: descendants with a
+/// preorder number outside `(min, max]` fall in no ancestor's interval.
+/// Computed from the skip headers when the list is compressed. The empty
+/// list yields `(u32::MAX, 0)`, which rejects everything.
+fn ancestor_envelope(anc: &LazyList) -> (u32, u32) {
+    match anc {
+        LazyList::Blocks { blocks, .. } => {
+            let hs = blocks.headers();
+            match hs.first() {
+                Some(first) => (
+                    first.min_pre,
+                    hs.iter().map(|h| h.max_bound).max().unwrap_or(0),
+                ),
+                None => (u32::MAX, 0),
+            }
+        }
+        LazyList::Mat(l) => match l.first() {
+            Some(first) => (first.pre, l.iter().map(|e| e.bound).max().unwrap_or(0)),
+            None => (u32::MAX, 0),
+        },
+    }
+}
+
+/// [`join`] over lazy operands: compressed frames that cannot contribute
+/// output are skipped via their skip headers instead of decoded. The
+/// result is byte-identical to forcing both operands and calling [`join`].
+pub fn join_lazy(ancestors: &LazyList, descendants: &LazyList, c_edge: Cost) -> List {
+    Metric::ListJoinOps.incr();
+    join_core_lazy(ancestors, descendants, c_edge, Cost::INFINITY)
+}
+
+/// [`outerjoin`] over lazy operands; see [`join_lazy`]. Ancestor-side
+/// skipping only applies when `c_del` is infinite (then unmatched
+/// ancestors drop, exactly as in `join`); with a finite deletion cost
+/// every ancestor survives and must be decoded.
+pub fn outerjoin_lazy(
+    ancestors: &LazyList,
+    descendants: &LazyList,
+    c_edge: Cost,
+    c_del: Cost,
+) -> List {
+    Metric::ListOuterjoinOps.incr();
+    join_core_lazy(ancestors, descendants, c_edge, c_del)
+}
+
+fn join_core_lazy(ancestors: &LazyList, descendants: &LazyList, c_edge: Cost, c_del: Cost) -> List {
+    // Descendant frames wholly outside the ancestor envelope contribute to
+    // no interval minimum: skip them. (Any witness descendant of a kept
+    // ancestor frame lies inside the envelope, so this never starves the
+    // ancestor test below.)
+    let desc: Cow<'_, List> = match descendants {
+        LazyList::Blocks { blocks, is_leaf } => {
+            let (lo, hi) = ancestor_envelope(ancestors);
+            let hs = blocks.headers();
+            Cow::Owned(decode_frames(blocks, *is_leaf, |i| {
+                hs[i].max_pre > lo && hs[i].min_pre <= hi
+            }))
+        }
+        LazyList::Mat(l) => Cow::Borrowed(l),
+    };
+    // When unmatched ancestors are dropped anyway (`join`, or an
+    // `outerjoin` whose deletion is forbidden), skip ancestor frames with
+    // no descendant in `(min_pre, max_bound]`: every interval minimum in
+    // such a frame is infinite, so `join_core` would discard each entry.
+    // Enclosing ancestors outside the frame are unaffected — interval
+    // minima fold upward transitively, not through intermediate entries.
+    let anc: Cow<'_, List> = match ancestors {
+        LazyList::Blocks { blocks, is_leaf } if !c_del.is_finite() => {
+            let hs = blocks.headers();
+            let mut from = 0usize;
+            Cow::Owned(decode_frames(blocks, *is_leaf, |i| {
+                // `min_pre` grows across frames, so the probe into `desc`
+                // never moves backwards (a single forward gallop overall).
+                from += desc[from..].partition_point(|d| d.pre <= hs[i].min_pre);
+                from < desc.len() && desc[from].pre <= hs[i].max_bound
+            }))
+        }
+        other => other.force(),
+    };
+    join_core(&anc, &desc, c_edge, c_del)
+}
+
+/// [`intersect`] over lazy operands: a compressed frame on either side is
+/// decoded only if its `[min_pre, max_pre]` key range can meet an entry of
+/// the other side. Results are identical to forcing + [`intersect`].
+pub fn intersect_lazy(left: &LazyList, right: &LazyList, c_edge: Cost) -> List {
+    let a = decode_overlapping(left, right);
+    let b = decode_overlapping(right, left);
+    intersect(&a, &b, c_edge)
+}
+
+/// Materializes `x`, skipping compressed frames whose pre-range cannot
+/// overlap any entry (or frame) of `other`.
+fn decode_overlapping<'x>(x: &'x LazyList<'_>, other: &LazyList<'_>) -> Cow<'x, List> {
+    let (blocks, is_leaf) = match x {
+        LazyList::Mat(l) => return Cow::Borrowed(l),
+        LazyList::Blocks { blocks, is_leaf } => (*blocks, *is_leaf),
+    };
+    let hs = blocks.headers();
+    match other {
+        LazyList::Mat(l) => {
+            let mut from = 0usize;
+            Cow::Owned(decode_frames(blocks, is_leaf, |i| {
+                from += l[from..].partition_point(|e| e.pre < hs[i].min_pre);
+                from < l.len() && l[from].pre <= hs[i].max_pre
+            }))
+        }
+        LazyList::Blocks { blocks: ob, .. } => {
+            let os = ob.headers();
+            let mut from = 0usize;
+            Cow::Owned(decode_frames(blocks, is_leaf, |i| {
+                from += os[from..].partition_point(|h| h.max_pre < hs[i].min_pre);
+                from < os.len() && os[from].min_pre <= hs[i].max_pre
+            }))
+        }
+    }
 }
 
 /// Literal-complexity variant of [`join`] that, for every ancestor,
@@ -678,5 +878,142 @@ mod tests {
             outerjoin(&some, &empty, Cost::ZERO, Cost::finite(1)).len(),
             1
         );
+    }
+
+    /// `n` disjoint sibling intervals, compressed: pre `i*10+1`, bound
+    /// `i*10+6`.
+    fn sibling_blocks(n: u32) -> BlockList {
+        let postings: Vec<Posting> = (0..n)
+            .map(|i| Posting {
+                pre: i * 10 + 1,
+                bound: i * 10 + 6,
+                pathcost: Cost::finite(1),
+                inscost: Cost::ZERO,
+            })
+            .collect();
+        BlockList::from_postings(&postings)
+    }
+
+    #[test]
+    fn lazy_joins_match_eager_joins_and_skip_ancestor_frames() {
+        // 300 ancestors span 3 compressed frames; descendants hit only a
+        // few, so whole ancestor frames are skippable.
+        let anc_blocks = sibling_blocks(300);
+        let anc_lazy = LazyList::Blocks {
+            blocks: &anc_blocks,
+            is_leaf: false,
+        };
+        let anc_eager = anc_lazy.force().into_owned();
+        // All descendants land under ancestors of the first frame, so the
+        // second and third ancestor frames have no witness and skip.
+        let desc: List = [3u32, 5, 8]
+            .iter()
+            .map(|&i| e(i * 10 + 3, i * 10 + 3, 3, 1, 2, Some(4)))
+            .collect();
+
+        for c_edge in [Cost::ZERO, Cost::finite(1)] {
+            let before = approxql_metrics::snapshot();
+            let lazy = join_lazy(&anc_lazy, &LazyList::Mat(desc.clone()), c_edge);
+            let skipped = approxql_metrics::snapshot().get(Metric::PostingsBlocksSkipped)
+                - before.get(Metric::PostingsBlocksSkipped);
+            assert_eq!(lazy, join(&anc_eager, &desc, c_edge));
+            assert_eq!(skipped, 2, "witness-free ancestor frames must skip");
+            for c_del in [Cost::finite(2), Cost::INFINITY] {
+                assert_eq!(
+                    outerjoin_lazy(&anc_lazy, &LazyList::Mat(desc.clone()), c_edge, c_del),
+                    outerjoin(&anc_eager, &desc, c_edge, c_del)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_descendant_frames_skip_outside_the_ancestor_envelope() {
+        let desc_blocks = sibling_blocks(400);
+        let desc_lazy = LazyList::Blocks {
+            blocks: &desc_blocks,
+            is_leaf: true,
+        };
+        let desc_eager = desc_lazy.force().into_owned();
+        // One narrow ancestor: every descendant frame outside (50, 80]
+        // skips via the envelope. Descendant pathcost (1) covers ancestor
+        // pathcost + inscost (0 + 1).
+        let anc: List = vec![e(50, 80, 0, 1, 0, None)];
+        let before = approxql_metrics::snapshot();
+        assert_eq!(
+            join_lazy(&LazyList::Mat(anc.clone()), &desc_lazy, Cost::ZERO),
+            join(&anc, &desc_eager, Cost::ZERO)
+        );
+        let skipped = approxql_metrics::snapshot().get(Metric::PostingsBlocksSkipped)
+            - before.get(Metric::PostingsBlocksSkipped);
+        assert!(skipped > 0, "no descendant frame was skipped");
+        // A finite deletion cost forces every ancestor through but still
+        // envelope-skips descendants.
+        assert_eq!(
+            outerjoin_lazy(
+                &LazyList::Mat(anc.clone()),
+                &desc_lazy,
+                Cost::ZERO,
+                Cost::finite(3)
+            ),
+            outerjoin(&anc, &desc_eager, Cost::ZERO, Cost::finite(3))
+        );
+        // Empty-ancestor envelope rejects every descendant frame.
+        assert!(join_lazy(&LazyList::Mat(vec![]), &desc_lazy, Cost::ZERO).is_empty());
+    }
+
+    #[test]
+    fn lazy_intersect_matches_eager_in_all_mixes() {
+        let a_blocks = sibling_blocks(300);
+        let b_blocks = sibling_blocks(40);
+        let la = LazyList::Blocks {
+            blocks: &a_blocks,
+            is_leaf: true,
+        };
+        let lb = LazyList::Blocks {
+            blocks: &b_blocks,
+            is_leaf: false,
+        };
+        let ea = la.force().into_owned();
+        let eb = lb.force().into_owned();
+        let want = intersect(&ea, &eb, Cost::ZERO);
+        assert!(!want.is_empty());
+        assert_eq!(intersect_lazy(&la, &lb, Cost::ZERO), want);
+        assert_eq!(intersect_lazy(&lb, &la, Cost::ZERO), want);
+        assert_eq!(
+            intersect_lazy(&la, &LazyList::Mat(eb.clone()), Cost::ZERO),
+            want
+        );
+        assert_eq!(
+            intersect_lazy(&LazyList::Mat(ea.clone()), &lb, Cost::ZERO),
+            want
+        );
+        assert_eq!(
+            intersect_lazy(
+                &LazyList::Mat(ea.clone()),
+                &LazyList::Mat(eb.clone()),
+                Cost::ZERO
+            ),
+            want
+        );
+    }
+
+    #[test]
+    fn lazy_list_len_comes_from_headers() {
+        let blocks = sibling_blocks(300);
+        let lazy = LazyList::Blocks {
+            blocks: &blocks,
+            is_leaf: false,
+        };
+        assert_eq!(lazy.len(), 300);
+        assert!(!lazy.is_empty());
+        assert_eq!(lazy.force().len(), 300);
+        let empty = BlockList::default();
+        let lazy_empty = LazyList::Blocks {
+            blocks: &empty,
+            is_leaf: false,
+        };
+        assert!(lazy_empty.is_empty());
+        assert!(LazyList::Mat(vec![]).is_empty());
     }
 }

@@ -1,4 +1,16 @@
 //! Byte encodings of posting lists (for the storage layer).
+//!
+//! Two families live here:
+//!
+//! * the original fixed-width codecs ([`encode_postings`] /
+//!   [`decode_postings`], 24 bytes per entry) — kept for tests and as the
+//!   reference layout the block format is measured against;
+//! * the block-compressed representation ([`BlockList`] /
+//!   [`InstanceBlocks`], DESIGN.md §14): delta-encoded varint frames of up
+//!   to [`BLOCK_SIZE`] entries, each fronted by a [`BlockHeader`] skip
+//!   entry (`min_pre`/`max_pre`/`max_bound`/count/byte offset) so that
+//!   consumers can decide from the headers alone whether a frame can
+//!   contribute to a join or intersection, and decode only those that can.
 
 use crate::{InstancePosting, Posting};
 use approxql_metrics::Metric;
@@ -74,6 +86,638 @@ pub fn decode_instances(data: &[u8]) -> Result<Vec<InstancePosting>, PostingDeco
     Ok(out)
 }
 
+// ---------------------------------------------------------------------------
+// Block-compressed postings (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+/// Entries per compressed frame (the last frame of a list may be shorter).
+pub const BLOCK_SIZE: usize = 128;
+
+/// Bytes one serialized [`BlockHeader`] occupies in [`BlockList::to_bytes`].
+const HEADER_BYTES: usize = 20;
+
+/// Skip entry of one compressed frame. `min_pre`/`max_pre` bound the
+/// preorder numbers inside the frame (frames partition a strictly
+/// pre-sorted list, so ranges of consecutive frames are disjoint and
+/// increasing); `max_bound` is the largest subtree bound, which an
+/// interval join needs to decide whether *any* entry of the frame can
+/// still contain a given descendant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Smallest preorder number in the frame (= the first entry's `pre`).
+    pub min_pre: u32,
+    /// Largest preorder number in the frame (= the last entry's `pre`).
+    pub max_pre: u32,
+    /// Largest subtree bound of any entry in the frame (≥ `max_pre`).
+    pub max_bound: u32,
+    /// Number of entries in the frame (1..=[`BLOCK_SIZE`]).
+    pub count: u32,
+    /// Byte offset of the frame inside the payload.
+    pub offset: u32,
+}
+
+/// Unsigned LEB128.
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn read_varint(data: &[u8], pos: &mut usize) -> Result<u64, PostingDecodeError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let Some(&b) = data.get(*pos) else {
+            return Err(PostingDecodeError("varint runs past the frame"));
+        };
+        *pos += 1;
+        if shift == 63 && b & 0x7e != 0 {
+            return Err(PostingDecodeError("varint exceeds 64 bits"));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(PostingDecodeError("varint exceeds 64 bits"));
+        }
+    }
+}
+
+/// Bijection that keeps the (frequent, small) finite costs one byte wide:
+/// infinity maps to 0, a finite raw value `v` to `v + 1`. Safe because
+/// infinity is the reserved `u64::MAX` raw value.
+fn encode_cost(c: Cost) -> u64 {
+    match c.value() {
+        None => 0,
+        Some(v) => v + 1,
+    }
+}
+
+fn decode_cost(v: u64) -> Cost {
+    match v {
+        0 => Cost::INFINITY,
+        v => Cost::from_raw(v - 1),
+    }
+}
+
+/// A posting list stored as delta-compressed varint frames with skip
+/// headers. Construct with [`BlockList::from_postings`] (input must be
+/// strictly pre-sorted); persist with [`BlockList::to_bytes`] /
+/// [`BlockList::from_bytes`].
+///
+/// Frame layout (per entry, in entry order): the first entry's `pre` is
+/// the header's `min_pre` (not stored); later entries store
+/// `varint(pre − prev_pre)`. Every entry stores `varint(bound − pre)`,
+/// `varint(cost(pathcost))`, `varint(cost(inscost))` with the
+/// infinity-to-0 cost bijection. Deltas use wrapping arithmetic so no
+/// input can make the decoder panic.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BlockList {
+    headers: Vec<BlockHeader>,
+    payload: Vec<u8>,
+    entries: usize,
+}
+
+impl BlockList {
+    /// Compresses a strictly pre-sorted posting list into frames.
+    pub fn from_postings(postings: &[Posting]) -> BlockList {
+        debug_assert!(
+            postings.windows(2).all(|w| w[0].pre < w[1].pre),
+            "postings must have strictly increasing preorder numbers"
+        );
+        let mut headers = Vec::with_capacity(postings.len().div_ceil(BLOCK_SIZE));
+        let mut payload = Vec::new();
+        for frame in postings.chunks(BLOCK_SIZE) {
+            let offset = payload.len() as u32;
+            let mut prev_pre = frame[0].pre;
+            let mut max_bound = 0u32;
+            for (k, p) in frame.iter().enumerate() {
+                if k > 0 {
+                    write_varint(&mut payload, u64::from(p.pre.wrapping_sub(prev_pre)));
+                    prev_pre = p.pre;
+                }
+                write_varint(&mut payload, u64::from(p.bound.wrapping_sub(p.pre)));
+                write_varint(&mut payload, encode_cost(p.pathcost));
+                write_varint(&mut payload, encode_cost(p.inscost));
+                max_bound = max_bound.max(p.bound);
+            }
+            headers.push(BlockHeader {
+                min_pre: frame[0].pre,
+                max_pre: prev_pre,
+                max_bound,
+                count: frame.len() as u32,
+                offset,
+            });
+        }
+        BlockList {
+            headers,
+            payload,
+            entries: postings.len(),
+        }
+    }
+
+    /// The skip headers, one per frame, in preorder.
+    pub fn headers(&self) -> &[BlockHeader] {
+        &self.headers
+    }
+
+    /// Total number of postings across all frames.
+    pub fn entry_count(&self) -> usize {
+        self.entries
+    }
+
+    /// True when the list holds no postings.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Size of the serialized representation ([`BlockList::to_bytes`]).
+    pub fn byte_len(&self) -> usize {
+        4 + self.headers.len() * HEADER_BYTES + self.payload.len()
+    }
+
+    /// The payload byte range of frame `i`.
+    fn frame_range(&self, i: usize) -> (usize, usize) {
+        let start = self.headers[i].offset as usize;
+        let end = self
+            .headers
+            .get(i + 1)
+            .map(|h| h.offset as usize)
+            .unwrap_or(self.payload.len());
+        (start, end)
+    }
+
+    fn decode_frame_into(
+        &self,
+        i: usize,
+        out: &mut Vec<Posting>,
+    ) -> Result<(), PostingDecodeError> {
+        let h = self.headers[i];
+        let (start, end) = self.frame_range(i);
+        let Some(frame) = self.payload.get(start..end) else {
+            return Err(PostingDecodeError("frame offset outside payload"));
+        };
+        let mut pos = 0usize;
+        let mut pre = h.min_pre;
+        for k in 0..h.count {
+            if k > 0 {
+                pre = pre.wrapping_add(read_varint(frame, &mut pos)? as u32);
+            }
+            let bound = pre.wrapping_add(read_varint(frame, &mut pos)? as u32);
+            let pathcost = decode_cost(read_varint(frame, &mut pos)?);
+            let inscost = decode_cost(read_varint(frame, &mut pos)?);
+            out.push(Posting {
+                pre,
+                bound,
+                pathcost,
+                inscost,
+            });
+        }
+        if pos != frame.len() {
+            return Err(PostingDecodeError("trailing bytes in frame"));
+        }
+        Ok(())
+    }
+
+    /// Decodes frame `i`, recording the query-time decode metrics
+    /// (`postings.blocks_decoded`, `postings.bytes`). A corrupt frame —
+    /// impossible for lists built by [`BlockList::from_postings`] —
+    /// degrades to the entries decoded so far instead of panicking.
+    pub fn decode_block(&self, i: usize) -> Vec<Posting> {
+        let mut out = Vec::with_capacity(self.headers.get(i).map_or(0, |h| h.count as usize));
+        self.decode_block_into(i, &mut out);
+        out
+    }
+
+    /// [`BlockList::decode_block`] appending into an existing buffer.
+    pub fn decode_block_into(&self, i: usize, out: &mut Vec<Posting>) {
+        if i >= self.headers.len() {
+            return;
+        }
+        Metric::PostingsBlocksDecoded.incr();
+        let (start, end) = self.frame_range(i);
+        Metric::PostingsBytes.add(end.saturating_sub(start) as u64);
+        let before = out.len();
+        let r = self.decode_frame_into(i, out);
+        debug_assert!(r.is_ok(), "frame {i} failed to decode: {r:?}");
+        if r.is_err() {
+            out.truncate(before);
+        }
+    }
+
+    /// Records one skipped frame (`postings.blocks_skipped`). Kept here so
+    /// every skip decision in the list algebra counts identically.
+    pub fn record_skip() {
+        Metric::PostingsBlocksSkipped.incr();
+    }
+
+    /// Decodes every frame (the flat-compatibility path).
+    pub fn decode_all(&self) -> Vec<Posting> {
+        let mut out = Vec::with_capacity(self.entries);
+        for i in 0..self.headers.len() {
+            self.decode_block_into(i, &mut out);
+        }
+        out
+    }
+
+    /// Serializes headers + payload: `u32` frame count, then per frame
+    /// `min_pre, max_pre, max_bound, count, offset` (little-endian u32s),
+    /// then the payload bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.byte_len());
+        out.extend_from_slice(&(self.headers.len() as u32).to_le_bytes());
+        for h in &self.headers {
+            out.extend_from_slice(&h.min_pre.to_le_bytes());
+            out.extend_from_slice(&h.max_pre.to_le_bytes());
+            out.extend_from_slice(&h.max_bound.to_le_bytes());
+            out.extend_from_slice(&h.count.to_le_bytes());
+            out.extend_from_slice(&h.offset.to_le_bytes());
+        }
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Deserializes [`BlockList::to_bytes`] output, validating the skip
+    /// headers structurally (monotone offsets and pre ranges, entry counts
+    /// in range) without decoding the frames. Records the persistence-side
+    /// `index.bytes_decoded` metric; the full decode round-trip check is
+    /// [`BlockList::check_integrity`].
+    pub fn from_bytes(data: &[u8]) -> Result<BlockList, PostingDecodeError> {
+        Metric::IndexBytesDecoded.add(data.len() as u64);
+        let Some(n_bytes) = data.get(0..4) else {
+            return Err(PostingDecodeError("block list shorter than its header"));
+        };
+        let n = u32::from_le_bytes(le_array(n_bytes)) as usize;
+        let Some(header_bytes) = data.get(4..4 + n.saturating_mul(HEADER_BYTES)) else {
+            return Err(PostingDecodeError("skip headers truncated"));
+        };
+        let payload = data[4 + n * HEADER_BYTES..].to_vec();
+        let mut headers: Vec<BlockHeader> = Vec::with_capacity(n);
+        let mut entries = 0usize;
+        for chunk in header_bytes.chunks_exact(HEADER_BYTES) {
+            let h = BlockHeader {
+                min_pre: u32::from_le_bytes(le_array(&chunk[0..4])),
+                max_pre: u32::from_le_bytes(le_array(&chunk[4..8])),
+                max_bound: u32::from_le_bytes(le_array(&chunk[8..12])),
+                count: u32::from_le_bytes(le_array(&chunk[12..16])),
+                offset: u32::from_le_bytes(le_array(&chunk[16..20])),
+            };
+            if h.count == 0 || h.count as usize > BLOCK_SIZE {
+                return Err(PostingDecodeError("frame entry count out of range"));
+            }
+            if h.min_pre > h.max_pre || h.max_bound < h.max_pre {
+                return Err(PostingDecodeError("skip header pre range inverted"));
+            }
+            if let Some(prev) = headers.last() {
+                if h.offset <= prev.offset || prev.max_pre >= h.min_pre {
+                    return Err(PostingDecodeError("skip headers not monotone"));
+                }
+            } else if h.offset != 0 {
+                return Err(PostingDecodeError("first frame must start at offset 0"));
+            }
+            if h.offset as usize > payload.len() {
+                return Err(PostingDecodeError("frame offset outside payload"));
+            }
+            entries += h.count as usize;
+            headers.push(h);
+        }
+        if n == 0 && !payload.is_empty() {
+            return Err(PostingDecodeError("payload without frames"));
+        }
+        Ok(BlockList {
+            headers,
+            payload,
+            entries,
+        })
+    }
+
+    /// Full integrity check used by `approxql check`: every frame must
+    /// decode, the decoded entries must match the skip header
+    /// (`min_pre`/`max_pre`/`max_bound`/count, strictly increasing pre),
+    /// and re-encoding the decoded list must reproduce this representation
+    /// byte for byte.
+    pub fn check_integrity(&self) -> Result<(), PostingDecodeError> {
+        let mut all = Vec::with_capacity(self.entries);
+        for (i, h) in self.headers.iter().enumerate() {
+            let before = all.len();
+            self.decode_frame_into(i, &mut all)?;
+            let frame = &all[before..];
+            let max_bound = frame.iter().map(|p| p.bound).max().unwrap_or(0);
+            let sorted = frame.windows(2).all(|w| w[0].pre < w[1].pre);
+            if !sorted
+                || frame.first().map(|p| p.pre) != Some(h.min_pre)
+                || frame.last().map(|p| p.pre) != Some(h.max_pre)
+                || max_bound != h.max_bound
+            {
+                return Err(PostingDecodeError("frame contents contradict skip header"));
+            }
+        }
+        if BlockList::from_postings(&all) != *self {
+            return Err(PostingDecodeError("block list is not a canonical encoding"));
+        }
+        Ok(())
+    }
+}
+
+/// Seeking cursor over a [`BlockList`]: yields postings in preorder and
+/// can jump to the first posting with `pre ≥ target` via the skip
+/// headers, decoding only the frame the target lands in.
+pub struct BlockCursor<'a> {
+    list: &'a BlockList,
+    block: usize,
+    buf: Vec<Posting>,
+    pos: usize,
+}
+
+impl<'a> BlockCursor<'a> {
+    /// A cursor positioned before the first posting.
+    pub fn new(list: &'a BlockList) -> BlockCursor<'a> {
+        BlockCursor {
+            list,
+            block: 0,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    fn fill(&mut self) {
+        while self.pos >= self.buf.len() && self.block < self.list.headers.len() {
+            self.buf.clear();
+            self.pos = 0;
+            self.list.decode_block_into(self.block, &mut self.buf);
+            self.block += 1;
+        }
+    }
+
+    /// The posting under the cursor, if any (does not advance).
+    pub fn peek(&mut self) -> Option<Posting> {
+        self.fill();
+        self.buf.get(self.pos).copied()
+    }
+
+    /// Positions the cursor at the first posting with `pre ≥ target`
+    /// at or after the current position, skipping (and counting) whole
+    /// frames whose `max_pre` falls below the target.
+    pub fn seek(&mut self, target: u32) -> Option<Posting> {
+        // Drop already-decoded entries below the target.
+        if let Some(p) = self.buf.get(self.pos) {
+            if p.pre >= target {
+                return Some(*p);
+            }
+            self.pos += self.buf[self.pos..].partition_point(|p| p.pre < target);
+            if let Some(p) = self.buf.get(self.pos) {
+                return Some(*p);
+            }
+        }
+        // Skip whole frames strictly below the target.
+        while self
+            .list
+            .headers
+            .get(self.block)
+            .is_some_and(|h| h.max_pre < target)
+        {
+            BlockList::record_skip();
+            self.block += 1;
+        }
+        self.fill();
+        self.pos += self.buf[self.pos..].partition_point(|p| p.pre < target);
+        self.buf.get(self.pos).copied()
+    }
+}
+
+impl Iterator for BlockCursor<'_> {
+    type Item = Posting;
+
+    /// Advances past the current posting and returns it.
+    fn next(&mut self) -> Option<Posting> {
+        let p = self.peek();
+        if p.is_some() {
+            self.pos += 1;
+        }
+        p
+    }
+}
+
+/// Little-endian helper: copies a slice into a fixed array, zero-padding
+/// a short slice (callers always pass exactly 4 bytes).
+fn le_array<const N: usize>(slice: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    let n = slice.len().min(N);
+    out[..n].copy_from_slice(&slice[..n]);
+    out
+}
+
+/// Block-compressed instance postings (`pre`/`bound` pairs) with an
+/// uncompressed tail buffer so the secondary index can keep appending
+/// while earlier entries are already sealed into frames.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InstanceBlocks {
+    headers: Vec<BlockHeader>,
+    payload: Vec<u8>,
+    sealed: usize,
+    tail: Vec<InstancePosting>,
+}
+
+impl InstanceBlocks {
+    /// Compresses a strictly pre-sorted instance list.
+    pub fn from_instances(postings: &[InstancePosting]) -> InstanceBlocks {
+        let mut out = InstanceBlocks::default();
+        for &p in postings {
+            out.push(p);
+        }
+        out
+    }
+
+    /// Appends one instance (callers push in strictly increasing `pre`
+    /// order); seals a frame whenever the tail reaches [`BLOCK_SIZE`].
+    pub fn push(&mut self, p: InstancePosting) {
+        debug_assert!(
+            self.tail.last().is_none_or(|last| last.pre < p.pre)
+                && self.headers.last().is_none_or(|h| h.max_pre < p.pre),
+            "instances must be pushed in increasing preorder"
+        );
+        self.tail.push(p);
+        if self.tail.len() == BLOCK_SIZE {
+            self.seal_tail();
+        }
+    }
+
+    fn seal_tail(&mut self) {
+        if self.tail.is_empty() {
+            return;
+        }
+        let offset = self.payload.len() as u32;
+        let mut prev_pre = self.tail[0].pre;
+        let mut max_bound = 0u32;
+        for (k, p) in self.tail.iter().enumerate() {
+            if k > 0 {
+                write_varint(&mut self.payload, u64::from(p.pre.wrapping_sub(prev_pre)));
+                prev_pre = p.pre;
+            }
+            write_varint(&mut self.payload, u64::from(p.bound.wrapping_sub(p.pre)));
+            max_bound = max_bound.max(p.bound);
+        }
+        self.headers.push(BlockHeader {
+            min_pre: self.tail[0].pre,
+            max_pre: prev_pre,
+            max_bound,
+            count: self.tail.len() as u32,
+            offset,
+        });
+        self.sealed += self.tail.len();
+        self.tail.clear();
+    }
+
+    /// Total number of instances (sealed + tail).
+    pub fn entry_count(&self) -> usize {
+        self.sealed + self.tail.len()
+    }
+
+    /// True when no instance was pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entry_count() == 0
+    }
+
+    /// Size of the serialized representation ([`InstanceBlocks::to_bytes`]).
+    pub fn byte_len(&self) -> usize {
+        // The tail seals into at most one extra frame; size it exactly.
+        let mut tail_payload = 0usize;
+        let mut prev = self.tail.first().map(|p| p.pre).unwrap_or(0);
+        for (k, p) in self.tail.iter().enumerate() {
+            if k > 0 {
+                tail_payload += varint_len(u64::from(p.pre.wrapping_sub(prev)));
+                prev = p.pre;
+            }
+            tail_payload += varint_len(u64::from(p.bound.wrapping_sub(p.pre)));
+        }
+        let tail_header = if self.tail.is_empty() {
+            0
+        } else {
+            HEADER_BYTES
+        };
+        4 + self.headers.len() * HEADER_BYTES + self.payload.len() + tail_header + tail_payload
+    }
+
+    /// Decodes every instance, sealed frames first, then the tail. Sealed
+    /// frames record the query-time decode metrics.
+    pub fn decode_all(&self) -> Vec<InstancePosting> {
+        let mut out = Vec::with_capacity(self.entry_count());
+        for (i, h) in self.headers.iter().enumerate() {
+            Metric::PostingsBlocksDecoded.incr();
+            let start = h.offset as usize;
+            let end = self
+                .headers
+                .get(i + 1)
+                .map(|h| h.offset as usize)
+                .unwrap_or(self.payload.len());
+            Metric::PostingsBytes.add(end.saturating_sub(start) as u64);
+            let before = out.len();
+            let r = decode_instance_frame(&self.payload, start, end, h, &mut out);
+            debug_assert!(r.is_ok(), "instance frame {i} failed to decode: {r:?}");
+            if r.is_err() {
+                out.truncate(before);
+            }
+        }
+        out.extend_from_slice(&self.tail);
+        out
+    }
+
+    /// Serializes like [`BlockList::to_bytes`], sealing the tail into a
+    /// final (possibly short) frame without mutating `self`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut full = self.clone();
+        full.seal_tail();
+        let mut out = Vec::with_capacity(full.byte_len());
+        out.extend_from_slice(&(full.headers.len() as u32).to_le_bytes());
+        for h in &full.headers {
+            out.extend_from_slice(&h.min_pre.to_le_bytes());
+            out.extend_from_slice(&h.max_pre.to_le_bytes());
+            out.extend_from_slice(&h.max_bound.to_le_bytes());
+            out.extend_from_slice(&h.count.to_le_bytes());
+            out.extend_from_slice(&h.offset.to_le_bytes());
+        }
+        out.extend_from_slice(&full.payload);
+        out
+    }
+
+    /// Deserializes [`InstanceBlocks::to_bytes`] output with the same
+    /// structural header validation as [`BlockList::from_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Result<InstanceBlocks, PostingDecodeError> {
+        // Headers share the BlockList layout; reuse its validation, then
+        // reinterpret the payload as instance frames.
+        let bl = BlockList::from_bytes(data)?;
+        Ok(InstanceBlocks {
+            headers: bl.headers,
+            payload: bl.payload,
+            sealed: bl.entries,
+            tail: Vec::new(),
+        })
+    }
+
+    /// Full decode round-trip check used by `approxql check`.
+    pub fn check_integrity(&self) -> Result<(), PostingDecodeError> {
+        let mut all = Vec::with_capacity(self.sealed);
+        for (i, h) in self.headers.iter().enumerate() {
+            let start = h.offset as usize;
+            let end = self
+                .headers
+                .get(i + 1)
+                .map(|h| h.offset as usize)
+                .unwrap_or(self.payload.len());
+            let before = all.len();
+            decode_instance_frame(&self.payload, start, end, h, &mut all)?;
+            let frame = &all[before..];
+            let max_bound = frame.iter().map(|p| p.bound).max().unwrap_or(0);
+            let sorted = frame.windows(2).all(|w| w[0].pre < w[1].pre);
+            if !sorted
+                || frame.first().map(|p| p.pre) != Some(h.min_pre)
+                || frame.last().map(|p| p.pre) != Some(h.max_pre)
+                || max_bound != h.max_bound
+            {
+                return Err(PostingDecodeError("frame contents contradict skip header"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn decode_instance_frame(
+    payload: &[u8],
+    start: usize,
+    end: usize,
+    h: &BlockHeader,
+    out: &mut Vec<InstancePosting>,
+) -> Result<(), PostingDecodeError> {
+    let Some(frame) = payload.get(start..end) else {
+        return Err(PostingDecodeError("frame offset outside payload"));
+    };
+    let mut pos = 0usize;
+    let mut pre = h.min_pre;
+    for k in 0..h.count {
+        if k > 0 {
+            pre = pre.wrapping_add(read_varint(frame, &mut pos)? as u32);
+        }
+        let bound = pre.wrapping_add(read_varint(frame, &mut pos)? as u32);
+        out.push(InstancePosting { pre, bound });
+    }
+    if pos != frame.len() {
+        return Err(PostingDecodeError("trailing bytes in frame"));
+    }
+    Ok(())
+}
+
+fn varint_len(v: u64) -> usize {
+    (64 - v.max(1).leading_zeros() as usize).div_ceil(7)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +760,140 @@ mod tests {
     fn bad_lengths_rejected() {
         assert!(decode_postings(&[0u8; 23]).is_err());
         assert!(decode_instances(&[0u8; 7]).is_err());
+    }
+
+    fn sample_postings(n: u32) -> Vec<Posting> {
+        (0..n)
+            .map(|i| Posting {
+                pre: i * 3 + 1,
+                bound: i * 3 + 2 + (i % 5),
+                pathcost: Cost::finite(u64::from(i % 7)),
+                inscost: if i % 11 == 0 {
+                    Cost::INFINITY
+                } else {
+                    Cost::finite(1)
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn block_list_roundtrips_across_frame_boundaries() {
+        for n in [0u32, 1, 127, 128, 129, 300] {
+            let ps = sample_postings(n);
+            let bl = BlockList::from_postings(&ps);
+            assert_eq!(bl.entry_count(), ps.len());
+            assert_eq!(bl.decode_all(), ps, "n = {n}");
+            let loaded = BlockList::from_bytes(&bl.to_bytes()).unwrap();
+            assert_eq!(loaded, bl, "n = {n}");
+            loaded.check_integrity().unwrap();
+        }
+    }
+
+    #[test]
+    fn block_list_is_smaller_than_flat_encoding() {
+        let ps = sample_postings(1000);
+        let bl = BlockList::from_postings(&ps);
+        let flat = encode_postings(&ps).len();
+        assert!(
+            bl.byte_len() * 2 < flat,
+            "compressed {} vs flat {flat}",
+            bl.byte_len()
+        );
+    }
+
+    #[test]
+    fn block_headers_describe_their_frames() {
+        let ps = sample_postings(300);
+        let bl = BlockList::from_postings(&ps);
+        assert_eq!(bl.headers().len(), 3);
+        let mut total = 0usize;
+        for (i, h) in bl.headers().iter().enumerate() {
+            let frame = bl.decode_block(i);
+            assert_eq!(frame.len(), h.count as usize);
+            assert_eq!(frame.first().unwrap().pre, h.min_pre);
+            assert_eq!(frame.last().unwrap().pre, h.max_pre);
+            assert_eq!(frame.iter().map(|p| p.bound).max().unwrap(), h.max_bound);
+            total += frame.len();
+        }
+        assert_eq!(total, ps.len());
+    }
+
+    #[test]
+    fn block_cursor_seeks_like_a_linear_scan() {
+        let ps = sample_postings(300);
+        let bl = BlockList::from_postings(&ps);
+        let mut cur = BlockCursor::new(&bl);
+        for target in [0u32, 5, 130, 131, 500, 899, 900, 1200] {
+            let expect = ps.iter().find(|p| p.pre >= target).copied();
+            assert_eq!(cur.seek(target), expect, "target {target}");
+        }
+        assert_eq!(cur.seek(u32::MAX), None);
+    }
+
+    #[test]
+    fn block_cursor_iterates_everything() {
+        let ps = sample_postings(130);
+        let bl = BlockList::from_postings(&ps);
+        let got: Vec<_> = BlockCursor::new(&bl).collect();
+        assert_eq!(got, ps);
+    }
+
+    #[test]
+    fn corrupt_block_bytes_are_rejected() {
+        let bl = BlockList::from_postings(&sample_postings(200));
+        let bytes = bl.to_bytes();
+        // Truncations of the header region fail structurally.
+        assert!(BlockList::from_bytes(&bytes[..3]).is_err());
+        assert!(BlockList::from_bytes(&bytes[..10]).is_err());
+        // A header monotonicity violation: swap the two frame headers.
+        let mut swapped = bytes.clone();
+        let (a, b) = (4, 4 + HEADER_BYTES);
+        for k in 0..HEADER_BYTES {
+            swapped.swap(a + k, b + k);
+        }
+        assert!(BlockList::from_bytes(&swapped).is_err());
+        // A header that contradicts the payload passes the structural
+        // check but fails the decode round-trip: shrink the last frame's
+        // entry count so decoding leaves trailing bytes.
+        let mut garbled = bytes.clone();
+        let count_at = 4 + HEADER_BYTES + 12;
+        garbled[count_at] -= 1;
+        let loaded = BlockList::from_bytes(&garbled).unwrap();
+        assert!(loaded.check_integrity().is_err());
+    }
+
+    #[test]
+    fn instance_blocks_roundtrip_with_tail() {
+        for n in [0u32, 1, 127, 128, 200, 400] {
+            let ps: Vec<InstancePosting> = (0..n)
+                .map(|i| InstancePosting {
+                    pre: i * 2 + 1,
+                    bound: i * 2 + 1 + (i % 3),
+                })
+                .collect();
+            let mut ib = InstanceBlocks::default();
+            for &p in &ps {
+                ib.push(p);
+            }
+            assert_eq!(ib.entry_count(), ps.len());
+            assert_eq!(ib.decode_all(), ps, "n = {n}");
+            assert_eq!(ib.byte_len(), ib.to_bytes().len(), "n = {n}");
+            let loaded = InstanceBlocks::from_bytes(&ib.to_bytes()).unwrap();
+            assert_eq!(loaded.decode_all(), ps, "n = {n}");
+            loaded.check_integrity().unwrap();
+        }
+    }
+
+    #[test]
+    fn varint_len_matches_encoder() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "v = {v}");
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
     }
 }

@@ -1,39 +1,61 @@
 //! The label indexes `I_struct` and `I_text` (Section 6.2, Figure 3).
 
+use crate::codec::BlockList;
 use crate::Posting;
 use approxql_metrics::{time, Metric, TimerMetric};
 use approxql_tree::{DataTree, LabelId, NodeType};
 use std::collections::HashMap;
 
-/// Maps each `(type, label)` to the preorder-sorted posting of all nodes
-/// carrying that label. One `LabelIndex` instance serves as both `I_struct`
-/// and `I_text` (the node type is part of the key).
+/// Maps each `(type, label)` to the block-compressed, preorder-sorted
+/// posting of all nodes carrying that label (DESIGN.md §14). One
+/// `LabelIndex` instance serves as both `I_struct` and `I_text` (the node
+/// type is part of the key).
 #[derive(Debug, Clone, Default)]
 pub struct LabelIndex {
-    map: HashMap<(NodeType, LabelId), Vec<Posting>>,
+    map: HashMap<(NodeType, LabelId), BlockList>,
+    /// Shared zero-posting list for misses ([`LabelIndex::fetch_blocks`]
+    /// returns a reference).
+    empty: BlockList,
 }
 
 impl LabelIndex {
     /// Builds the index with one pass over the tree. Postings come out
-    /// preorder-sorted because nodes are visited in preorder.
+    /// preorder-sorted because nodes are visited in preorder; each label's
+    /// list is compressed once collection is complete.
     pub fn build(tree: &DataTree) -> LabelIndex {
         let _timer = time(TimerMetric::IndexBuild);
-        let mut map: HashMap<(NodeType, LabelId), Vec<Posting>> = HashMap::new();
+        let mut flat: HashMap<(NodeType, LabelId), Vec<Posting>> = HashMap::new();
         for n in tree.nodes() {
-            map.entry((tree.node_type(n), tree.label_id(n)))
+            flat.entry((tree.node_type(n), tree.label_id(n)))
                 .or_default()
                 .push(Posting::from_node(tree, n));
         }
-        LabelIndex { map }
+        let map = flat
+            .into_iter()
+            .map(|(k, v)| (k, BlockList::from_postings(&v)))
+            .collect();
+        LabelIndex {
+            map,
+            empty: BlockList::default(),
+        }
     }
 
-    /// The posting for `(ty, label)`; empty if the label never occurs with
-    /// that type. This is the `fetch` primitive of Section 6.4.
-    pub fn fetch(&self, ty: NodeType, label: LabelId) -> &[Posting] {
-        let posting = self.map.get(&(ty, label)).map(Vec::as_slice).unwrap_or(&[]);
+    /// The posting for `(ty, label)`, fully decoded; empty if the label
+    /// never occurs with that type. This is the `fetch` primitive of
+    /// Section 6.4 for consumers that need a materialized list.
+    pub fn fetch(&self, ty: NodeType, label: LabelId) -> Vec<Posting> {
+        let blocks = self.fetch_blocks(ty, label);
+        blocks.decode_all()
+    }
+
+    /// The compressed posting for `(ty, label)` without decoding it —
+    /// the skip-based list operators consume the frames lazily. Records
+    /// the same index counters as [`LabelIndex::fetch`].
+    pub fn fetch_blocks(&self, ty: NodeType, label: LabelId) -> &BlockList {
+        let blocks = self.map.get(&(ty, label)).unwrap_or(&self.empty);
         Metric::IndexLabelFetches.incr();
-        Metric::IndexPostingsFetched.add(posting.len() as u64);
-        posting
+        Metric::IndexPostingsFetched.add(blocks.entry_count() as u64);
+        blocks
     }
 
     /// Number of `(type, label)` postings.
@@ -48,17 +70,30 @@ impl LabelIndex {
 
     /// Total number of posting entries across all labels.
     pub fn entry_count(&self) -> usize {
-        self.map.values().map(Vec::len).sum()
+        self.map.values().map(BlockList::entry_count).sum()
     }
 
-    /// Iterates over all `((type, label), posting)` pairs (arbitrary order).
-    pub fn iter(&self) -> impl Iterator<Item = ((NodeType, LabelId), &[Posting])> {
-        self.map.iter().map(|(&k, v)| (k, v.as_slice()))
+    /// Total serialized size of all compressed posting lists, in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.map.values().map(BlockList::byte_len).sum()
     }
 
-    /// Inserts a posting list directly (used when loading from storage).
+    /// Iterates over all `((type, label), blocks)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = ((NodeType, LabelId), &BlockList)> {
+        self.map.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Inserts a posting list directly, compressing it (used by the schema
+    /// builder and tests; input must be strictly pre-sorted).
     pub fn insert_posting(&mut self, ty: NodeType, label: LabelId, posting: Vec<Posting>) {
-        self.map.insert((ty, label), posting);
+        self.map
+            .insert((ty, label), BlockList::from_postings(&posting));
+    }
+
+    /// Inserts an already-compressed posting list (used when loading from
+    /// storage).
+    pub fn insert_blocks(&mut self, ty: NodeType, label: LabelId, blocks: BlockList) {
+        self.map.insert((ty, label), blocks);
     }
 
     /// All labels of a given type that occur in the index, with their
@@ -68,7 +103,7 @@ impl LabelIndex {
             .map
             .iter()
             .filter(|((t, _), _)| *t == ty)
-            .map(|((_, l), p)| (*l, p.len()))
+            .map(|((_, l), p)| (*l, p.entry_count()))
             .collect();
         v.sort_by_key(|&(l, _)| l);
         v

@@ -10,9 +10,7 @@
 //! Labels are stored as strings; on load they are resolved against the
 //! interner of the (already loaded) data tree, so label ids stay consistent.
 
-use crate::codec::{
-    decode_instances, decode_postings, encode_instances, encode_postings, PostingDecodeError,
-};
+use crate::codec::{BlockList, InstanceBlocks, PostingDecodeError};
 use crate::{LabelIndex, SecondaryIndex};
 use approxql_storage::{StorageError, Store};
 use approxql_tree::{Interner, NodeType};
@@ -99,9 +97,9 @@ pub fn save_label_index(
     index: &LabelIndex,
     interner: &Interner,
 ) -> Result<(), PersistError> {
-    for ((ty, label), posting) in index.iter() {
+    for ((ty, label), blocks) in index.iter() {
         let key = label_key(ty, interner.resolve(label));
-        store.put(&key, &encode_postings(posting))?;
+        store.put(&key, &blocks.to_bytes())?;
     }
     Ok(())
 }
@@ -124,7 +122,7 @@ pub fn load_label_index(
             let label = interner
                 .get(label_str)
                 .ok_or_else(|| PersistError::UnknownLabel(label_str.to_owned()))?;
-            index.insert_posting(ty, label, decode_postings(&value)?);
+            index.insert_blocks(ty, label, BlockList::from_bytes(&value)?);
         }
     }
     Ok(index)
@@ -136,9 +134,9 @@ pub fn save_secondary_index(
     index: &SecondaryIndex,
     interner: &Interner,
 ) -> Result<(), PersistError> {
-    for ((schema_pre, label), posting) in index.iter() {
+    for ((schema_pre, label), blocks) in index.iter() {
         let key = sec_key(schema_pre, interner.resolve(label));
-        store.put(&key, &encode_instances(posting))?;
+        store.put(&key, &blocks.to_bytes())?;
     }
     Ok(())
 }
@@ -163,9 +161,28 @@ pub fn load_secondary_index(
         let label = interner
             .get(label_str)
             .ok_or_else(|| PersistError::UnknownLabel(label_str.to_owned()))?;
-        index.insert_posting(schema_pre, label, decode_instances(&value)?);
+        index.insert_blocks(schema_pre, label, InstanceBlocks::from_bytes(&value)?);
     }
     Ok(index)
+}
+
+/// Walks every stored posting list (`ls#`/`lt#`/`sec#` values) and runs
+/// the full block-integrity check: structural skip-header validation,
+/// per-frame decode, and the decode round-trip against the headers. Used
+/// by `approxql check` (DESIGN.md §14); any failure means the compressed
+/// frames contradict their skip headers.
+pub fn check_posting_blocks(store: &mut Store) -> Result<(), PersistError> {
+    for prefix in [&b"ls#"[..], &b"lt#"[..]] {
+        let entries = store.scan_prefix(prefix)?.collect_all()?;
+        for (_, value) in entries {
+            BlockList::from_bytes(&value)?.check_integrity()?;
+        }
+    }
+    let entries = store.scan_prefix(b"sec#")?.collect_all()?;
+    for (_, value) in entries {
+        InstanceBlocks::from_bytes(&value)?.check_integrity()?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -246,6 +263,24 @@ mod tests {
             load_label_index(&mut store, other.interner()),
             Err(PersistError::UnknownLabel(_))
         ));
+    }
+
+    #[test]
+    fn check_posting_blocks_flags_contradictory_frames() {
+        let t = tree();
+        let idx = LabelIndex::build(&t);
+        let mut store = Store::in_memory().unwrap();
+        save_label_index(&mut store, &idx, t.interner()).unwrap();
+        check_posting_blocks(&mut store).unwrap();
+        // Bump the count field of the first skip header: the bytes stay
+        // structurally valid, but the frame no longer matches its header,
+        // which only the decode round-trip of `check_integrity` catches.
+        let key = label_key(NodeType::Struct, "cd");
+        let mut bad = store.get(&key).unwrap().unwrap();
+        let count_off = 4 + 12; // u32 block count, then min/max/max_bound
+        bad[count_off] = bad[count_off].wrapping_add(1);
+        store.put(&key, &bad).unwrap();
+        assert!(check_posting_blocks(&mut store).is_err());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Path-dependent postings: the secondary index `I_sec` of Section 7.3.
 
+use crate::codec::InstanceBlocks;
 use approxql_metrics::Metric;
 use approxql_tree::LabelId;
 use std::collections::HashMap;
@@ -23,7 +24,7 @@ pub struct InstancePosting {
 /// the instances of one specific word.
 #[derive(Debug, Clone, Default)]
 pub struct SecondaryIndex {
-    map: HashMap<(u32, LabelId), Vec<InstancePosting>>,
+    map: HashMap<(u32, LabelId), InstanceBlocks>,
 }
 
 impl SecondaryIndex {
@@ -34,23 +35,23 @@ impl SecondaryIndex {
 
     /// Appends an instance to the posting of `(schema_pre, label)`.
     /// Instances must be added in increasing preorder (the schema builder
-    /// walks the data tree in preorder, so this holds naturally).
+    /// walks the data tree in preorder, so this holds naturally); sealed
+    /// frames compress incrementally as the list grows.
     pub fn push(&mut self, schema_pre: u32, label: LabelId, instance: InstancePosting) {
-        let list = self.map.entry((schema_pre, label)).or_default();
-        debug_assert!(
-            list.last().is_none_or(|last| last.pre < instance.pre),
-            "instances must be appended in preorder"
-        );
-        list.push(instance);
+        self.map
+            .entry((schema_pre, label))
+            .or_default()
+            .push(instance);
     }
 
-    /// The instances of `(schema_pre, label)`, preorder-sorted.
-    pub fn fetch(&self, schema_pre: u32, label: LabelId) -> &[InstancePosting] {
+    /// The instances of `(schema_pre, label)`, preorder-sorted and fully
+    /// decoded.
+    pub fn fetch(&self, schema_pre: u32, label: LabelId) -> Vec<InstancePosting> {
         let posting = self
             .map
             .get(&(schema_pre, label))
-            .map(Vec::as_slice)
-            .unwrap_or(&[]);
+            .map(InstanceBlocks::decode_all)
+            .unwrap_or_default();
         Metric::IndexSecondaryFetches.incr();
         Metric::IndexSecondaryRows.add(posting.len() as u64);
         posting
@@ -68,22 +69,37 @@ impl SecondaryIndex {
 
     /// Total number of instance entries.
     pub fn entry_count(&self) -> usize {
-        self.map.values().map(Vec::len).sum()
+        self.map.values().map(InstanceBlocks::entry_count).sum()
+    }
+
+    /// Total serialized size of all compressed instance lists, in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.map.values().map(InstanceBlocks::byte_len).sum()
     }
 
     /// Iterates over all postings (arbitrary order).
-    pub fn iter(&self) -> impl Iterator<Item = ((u32, LabelId), &[InstancePosting])> {
-        self.map.iter().map(|(&k, v)| (k, v.as_slice()))
+    pub fn iter(&self) -> impl Iterator<Item = ((u32, LabelId), &InstanceBlocks)> {
+        self.map.iter().map(|(&k, v)| (k, v))
     }
 
-    /// Inserts a whole posting (used when loading from storage).
+    /// Inserts a whole posting, compressing it (input must be strictly
+    /// pre-sorted).
     pub fn insert_posting(
         &mut self,
         schema_pre: u32,
         label: LabelId,
         posting: Vec<InstancePosting>,
     ) {
-        self.map.insert((schema_pre, label), posting);
+        self.map.insert(
+            (schema_pre, label),
+            InstanceBlocks::from_instances(&posting),
+        );
+    }
+
+    /// Inserts an already-compressed posting (used when loading from
+    /// storage).
+    pub fn insert_blocks(&mut self, schema_pre: u32, label: LabelId, blocks: InstanceBlocks) {
+        self.map.insert((schema_pre, label), blocks);
     }
 }
 

@@ -50,6 +50,8 @@ pub enum Layer {
     Topk,
     /// Physical-plan compilation and the keyed plan cache.
     Plan,
+    /// Block-compressed posting frames (decode/skip traffic).
+    Postings,
     /// Whole-evaluator events.
     Eval,
 }
@@ -64,6 +66,7 @@ impl Layer {
             Layer::List => "list",
             Layer::Topk => "topk",
             Layer::Plan => "plan",
+            Layer::Postings => "postings",
             Layer::Eval => "eval",
         }
     }
@@ -143,6 +146,10 @@ metrics! {
     PlanCacheHits => (Plan, "plan.cache_hits", "Plan-cache lookups answered without compiling."),
     PlanCacheMisses => (Plan, "plan.cache_misses", "Plan-cache lookups that had to compile."),
     PlanCseReuses => (Plan, "plan.cse_reuses", "Subplans shared by common-subexpression elimination during compiles."),
+    // -- block-compressed postings ----------------------------------------
+    PostingsBlocksDecoded => (Postings, "postings.blocks_decoded", "Compressed posting blocks decoded by query operators."),
+    PostingsBlocksSkipped => (Postings, "postings.blocks_skipped", "Compressed posting blocks skipped via skip headers without decoding."),
+    PostingsBytes => (Postings, "postings.bytes", "Compressed frame bytes decoded by query operators."),
     // -- evaluators -------------------------------------------------------
     EvalDirectRuns => (Eval, "eval.direct_runs", "Direct (algorithm `primary`) evaluations."),
     EvalDirectFetches => (Eval, "eval.direct_fetches", "Index fetches issued by the direct evaluator."),

@@ -204,8 +204,9 @@ impl Schema {
         NodeId(self.class_of[data_node.index()])
     }
 
-    /// The instances of a schema node that carry `label`.
-    pub fn instances(&self, schema_node: NodeId, label: LabelId) -> &[InstancePosting] {
+    /// The instances of a schema node that carry `label`, decoded from the
+    /// compressed secondary index.
+    pub fn instances(&self, schema_node: NodeId, label: LabelId) -> Vec<InstancePosting> {
         self.secondary.fetch(schema_node.0, label)
     }
 
@@ -218,7 +219,7 @@ impl Schema {
             max_instances: self
                 .secondary
                 .iter()
-                .map(|(_, p)| p.len())
+                .map(|(_, p)| p.entry_count())
                 .max()
                 .unwrap_or(0),
         }

@@ -1,0 +1,119 @@
+//! Property tests for the block-compressed posting codec (DESIGN.md §14):
+//! arbitrary preorder-sorted posting lists must encode → serialize →
+//! deserialize → decode byte-identically, and the skip cursor's `seek`
+//! must agree with a linear-scan oracle.
+
+use approxql::crates::index::codec::{BlockCursor, BlockList, InstanceBlocks};
+use approxql::crates::index::{InstancePosting, Posting};
+use approxql::Cost;
+use proptest::prelude::*;
+
+/// A cost that is infinite often enough to exercise the 0-byte encoding.
+fn gen_cost() -> impl Strategy<Value = Cost> {
+    prop_oneof![
+        (0u64..100_000).prop_map(Cost::finite),
+        (0u64..100_000).prop_map(Cost::finite),
+        (0u64..1).prop_map(|_| Cost::INFINITY),
+    ]
+}
+
+/// Strictly pre-sorted posting lists with irregular gaps, spanning zero
+/// to several compression frames.
+fn gen_postings() -> impl Strategy<Value = Vec<Posting>> {
+    proptest::collection::vec((1u32..5_000, 0u32..10_000, gen_cost(), gen_cost()), 0..400).prop_map(
+        |raw| {
+            let mut pre = 0u32;
+            raw.into_iter()
+                .map(|(gap, span, pathcost, inscost)| {
+                    pre += gap;
+                    Posting {
+                        pre,
+                        bound: pre + span,
+                        pathcost,
+                        inscost,
+                    }
+                })
+                .collect()
+        },
+    )
+}
+
+/// Strictly pre-sorted instance lists.
+fn gen_instances() -> impl Strategy<Value = Vec<InstancePosting>> {
+    proptest::collection::vec((1u32..5_000, 0u32..10_000), 0..400).prop_map(|raw| {
+        let mut pre = 0u32;
+        raw.into_iter()
+            .map(|(gap, span)| {
+                pre += gap;
+                InstancePosting {
+                    pre,
+                    bound: pre + span,
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → to_bytes → from_bytes → decode is the identity, the
+    /// integrity check accepts every well-formed list, and `byte_len`
+    /// matches the serialized size.
+    #[test]
+    fn block_list_roundtrips(postings in gen_postings()) {
+        let blocks = BlockList::from_postings(&postings);
+        prop_assert_eq!(blocks.entry_count(), postings.len());
+        prop_assert_eq!(blocks.decode_all(), postings.clone());
+        let bytes = blocks.to_bytes();
+        prop_assert_eq!(bytes.len(), blocks.byte_len());
+        let loaded = BlockList::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&loaded, &blocks);
+        loaded.check_integrity().unwrap();
+        prop_assert_eq!(loaded.decode_all(), postings);
+    }
+
+    /// `seek(pre)` lands on exactly the first posting with `pre >=
+    /// target` — the same answer as a linear scan of the decoded list —
+    /// for any non-decreasing target sequence.
+    #[test]
+    fn block_cursor_seek_agrees_with_linear_scan(
+        postings in gen_postings(),
+        raw_targets in proptest::collection::vec(0u32..2_000_000, 1..40),
+    ) {
+        let blocks = BlockList::from_postings(&postings);
+        let mut targets = raw_targets;
+        targets.sort_unstable();
+        let mut cursor = BlockCursor::new(&blocks);
+        for t in targets {
+            let want = postings.iter().find(|p| p.pre >= t).copied();
+            prop_assert_eq!(cursor.seek(t), want, "seek({}) diverged", t);
+        }
+    }
+
+    /// Draining the cursor yields the full decoded list.
+    #[test]
+    fn block_cursor_drains_everything(postings in gen_postings()) {
+        let blocks = BlockList::from_postings(&postings);
+        let drained: Vec<_> = BlockCursor::new(&blocks).collect();
+        prop_assert_eq!(drained, postings);
+    }
+
+    /// The incremental (`push`) and batch (`from_instances`) builders
+    /// agree, and instance frames round-trip through bytes.
+    #[test]
+    fn instance_blocks_roundtrip(instances in gen_instances()) {
+        let batch = InstanceBlocks::from_instances(&instances);
+        let mut incremental = InstanceBlocks::default();
+        for &i in &instances {
+            incremental.push(i);
+        }
+        prop_assert_eq!(incremental.decode_all(), instances.clone());
+        prop_assert_eq!(batch.decode_all(), instances.clone());
+        let bytes = batch.to_bytes();
+        prop_assert_eq!(bytes.len(), batch.byte_len());
+        let loaded = InstanceBlocks::from_bytes(&bytes).unwrap();
+        loaded.check_integrity().unwrap();
+        prop_assert_eq!(loaded.decode_all(), instances);
+    }
+}

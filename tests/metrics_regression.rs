@@ -74,6 +74,9 @@ fn direct_figure2_query_op_counts() {
             (Metric::PlanCompile, 1),
             (Metric::PlanCacheMisses, 1),
             (Metric::PlanCseReuses, 31),
+            (Metric::PostingsBlocksDecoded, 18),
+            (Metric::PostingsBlocksSkipped, 6),
+            (Metric::PostingsBytes, 106),
             (Metric::EvalDirectRuns, 1),
             (Metric::EvalDirectFetches, 12),
         ],
@@ -105,6 +108,8 @@ fn schema_figure2_query_op_counts() {
             (Metric::PlanCompile, 1),
             (Metric::PlanCacheMisses, 1),
             (Metric::PlanCseReuses, 31),
+            (Metric::PostingsBlocksDecoded, 22),
+            (Metric::PostingsBytes, 90),
             (Metric::EvalSchemaRuns, 3),
             (Metric::EvalSchemaRounds, 3),
             (Metric::EvalSecondLevelQueries, 32),
@@ -184,7 +189,9 @@ fn save_open_storage_op_counts() {
             (Metric::BtreeGets, 2),
             (Metric::BtreeNodeReads, 18),
             (Metric::BtreeScanSteps, 14),
-            (Metric::IndexBytesDecoded, 384),
+            // Compressed frames: smaller than the 384 bytes the flat
+            // 24-byte-per-posting codec used to store for this catalog.
+            (Metric::IndexBytesDecoded, 340),
         ],
     );
 }
@@ -222,6 +229,10 @@ fn generated_collection_op_counts() {
             (Metric::ListEntriesProduced, 407),
             (Metric::PlanCompile, 1),
             (Metric::PlanCacheMisses, 1),
+            // 7 fetched frames total; the selective join skips 2 outright.
+            (Metric::PostingsBlocksDecoded, 5),
+            (Metric::PostingsBlocksSkipped, 2),
+            (Metric::PostingsBytes, 1616),
             (Metric::EvalDirectRuns, 1),
             (Metric::EvalDirectFetches, 3),
         ],
@@ -238,6 +249,8 @@ fn generated_collection_op_counts() {
             // The direct run above already compiled this query's plan, so
             // the schema evaluator finds it in the shared cache.
             (Metric::PlanCacheHits, 1),
+            (Metric::PostingsBlocksDecoded, 7),
+            (Metric::PostingsBytes, 613),
             (Metric::EvalSchemaRuns, 2),
             (Metric::EvalSchemaRounds, 2),
         ],
@@ -358,6 +371,9 @@ fn registry_is_exactly_the_documented_catalogue() {
             (Metric::PlanCacheHits, "plan.cache_hits"),
             (Metric::PlanCacheMisses, "plan.cache_misses"),
             (Metric::PlanCseReuses, "plan.cse_reuses"),
+            (Metric::PostingsBlocksDecoded, "postings.blocks_decoded"),
+            (Metric::PostingsBlocksSkipped, "postings.blocks_skipped"),
+            (Metric::PostingsBytes, "postings.bytes"),
             (Metric::EvalDirectRuns, "eval.direct_runs"),
             (Metric::EvalDirectFetches, "eval.direct_fetches"),
             (Metric::EvalSchemaRuns, "eval.schema_runs"),

@@ -252,12 +252,14 @@ fn distinct_labels(q: &QueryNode) -> bool {
     v.len() == n
 }
 
-/// Nonzero counters as sorted `name=value` strings, with the plan layer
-/// (which did not exist at capture time) filtered out.
+/// Nonzero counters as sorted `name=value` strings, with the plan and
+/// postings layers (which did not exist at capture time) filtered out.
 fn counters_str(d: &approxql::MetricsSnapshot) -> Vec<String> {
     let mut v: Vec<String> = d
         .counters()
-        .filter(|&(m, c)| c > 0 && !m.name().starts_with("plan."))
+        .filter(|&(m, c)| {
+            c > 0 && !m.name().starts_with("plan.") && !m.name().starts_with("postings.")
+        })
         .map(|(m, c)| format!("{}={}", m.name(), c))
         .collect();
     v.sort();
