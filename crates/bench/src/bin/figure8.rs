@@ -1,0 +1,300 @@
+#![forbid(unsafe_code)]
+//! Mixed read/write benchmark over a mutable on-disk collection — the
+//! companion to `figure7` for PR 8's incremental maintenance path.
+//!
+//! ```text
+//! figure8 [--scale DIV] [--ops N] [--reads-per-write R] [--queries Q]
+//!         [--seed S] [--threads T] [--db PATH]
+//! ```
+//!
+//! The harness generates the synthetic collection as individual XML
+//! documents, loads most of them into a fresh store file, and then runs a
+//! mixed workload: every mutation (two inserts, then a delete, repeating)
+//! is followed by `R` queries (alternating direct and schema-driven)
+//! against the live [`DbFile`]. It reports per-phase throughput, the
+//! label index's bytes/posting before and after the update stream (the
+//! §14 compression must survive incremental maintenance), live/tombstone
+//! document counts, plan-cache invalidations, and finishes with a full
+//! `Database::check_file` pass over the mutated store.
+
+use approxql_core::{Database, DbFile, EvalOptions, SchemaEvalConfig};
+use approxql_cost::CostModel;
+use approxql_gen::{
+    DataGenConfig, DataGenerator, QueryGenConfig, QueryGenerator, PATTERN_1, PATTERN_2,
+};
+use approxql_metrics::Metric;
+use approxql_tree::NodeId;
+use approxql_xml::Document;
+use std::time::Instant;
+
+struct Args {
+    scale_div: usize,
+    ops: usize,
+    reads_per_write: usize,
+    queries: usize,
+    seed: u64,
+    threads: usize,
+    db: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figure8 [--scale DIV] [--ops N] [--reads-per-write R] [--queries Q] \
+         [--seed S] [--threads T] [--db PATH]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale_div: 100,
+        ops: 150,
+        reads_per_write: 4,
+        queries: 8,
+        seed: 2002,
+        threads: 1,
+        db: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--scale" => args.scale_div = val().parse().unwrap_or_else(|_| usage()),
+            "--ops" => args.ops = val().parse().unwrap_or_else(|_| usage()),
+            "--reads-per-write" => args.reads_per_write = val().parse().unwrap_or_else(|_| usage()),
+            "--queries" => args.queries = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--threads" => {
+                args.threads = val().parse().unwrap_or_else(|_| usage());
+                if args.threads == 0 {
+                    usage();
+                }
+            }
+            "--db" => args.db = Some(val()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+/// One accumulating throughput phase of the mixed workload.
+#[derive(Default)]
+struct Phase {
+    ops: usize,
+    total_ms: f64,
+}
+
+impl Phase {
+    fn record(&mut self, t: Instant) {
+        self.ops += 1;
+        self.total_ms += t.elapsed().as_secs_f64() * 1e3;
+    }
+    fn row(&self, name: &str) {
+        let mean = self.total_ms / self.ops.max(1) as f64;
+        let per_s = if self.total_ms > 0.0 {
+            self.ops as f64 / (self.total_ms / 1e3)
+        } else {
+            0.0
+        };
+        println!(
+            "{name}\t{}\t{:.1}\t{:.3}\t{:.0}",
+            self.ops, self.total_ms, mean, per_s
+        );
+    }
+}
+
+fn bytes_per_posting(db: &Database) -> f64 {
+    db.labels().byte_len() as f64 / db.labels().entry_count().max(1) as f64
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Generate the collection as documents so it can be replayed as an
+    // insert stream; hold out one document in six as the insert pool.
+    eprintln!(
+        "# generating documents at 1/{} of the paper scale …",
+        args.scale_div
+    );
+    let mut cfg = DataGenConfig::paper_scale_divided(args.scale_div);
+    cfg.seed = args.seed;
+    let docs: Vec<Document> = DataGenerator::new(cfg)
+        .generate_documents()
+        .into_iter()
+        .map(|root| Document { root })
+        .collect();
+    let pool_every = 6;
+    let mut initial = Vec::new();
+    let mut pool = Vec::new();
+    for (i, d) in docs.into_iter().enumerate() {
+        if i % pool_every == pool_every - 1 {
+            pool.push(d);
+        } else {
+            initial.push(d);
+        }
+    }
+    if pool.is_empty() || initial.is_empty() {
+        eprintln!("figure8: collection too small to split; raise --scale");
+        std::process::exit(2);
+    }
+
+    let tmp;
+    let path = match &args.db {
+        Some(p) => std::path::PathBuf::from(p),
+        None => {
+            tmp = std::env::temp_dir().join(format!("figure8-{}.axql", std::process::id()));
+            tmp.clone()
+        }
+    };
+    let t0 = Instant::now();
+    let db = Database::from_documents(&initial, CostModel::new());
+    eprintln!("# built in-memory database in {:.1?}", t0.elapsed());
+    let before = bytes_per_posting(&db);
+    let initial_postings = db.labels().entry_count();
+    // Query pool drawn from the *initial* collection so every query stays
+    // meaningful throughout the update stream.
+    let mut qgen = QueryGenerator::new(
+        db.tree(),
+        db.labels(),
+        QueryGenConfig {
+            seed: args.seed,
+            ..QueryGenConfig::default()
+        },
+    );
+    let queries: Vec<String> = (0..args.queries)
+        .map(|i| {
+            let pattern = if i % 2 == 0 { PATTERN_1 } else { PATTERN_2 };
+            qgen.generate(pattern).query
+        })
+        .collect();
+    let t_create = Instant::now();
+    let mut file = DbFile::create(&path, db).unwrap_or_else(|e| {
+        eprintln!("figure8: cannot create {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    eprintln!("# wrote store file in {:.1?}", t_create.elapsed());
+    eprintln!(
+        "# loaded {} documents ({} held back as insert pool) in {:.1?}; {} postings, {:.2} bytes/posting",
+        initial.len(),
+        pool.len(),
+        t0.elapsed(),
+        initial_postings,
+        before
+    );
+    eprintln!(
+        "# workload: {} mutations, {} queries after each, {} thread(s)",
+        args.ops, args.reads_per_write, args.threads
+    );
+
+    let opts = EvalOptions {
+        threads: args.threads,
+        ..EvalOptions::default()
+    };
+    let metrics_start = approxql_metrics::snapshot();
+    let mut inserts = Phase::default();
+    let mut deletes = Phase::default();
+    let mut direct = Phase::default();
+    let mut schema = Phase::default();
+    let mut next_doc = 0usize;
+    let mut next_query = 0usize;
+    let wall = Instant::now();
+    for op in 0..args.ops {
+        // Two inserts, then a delete — the collection slowly grows while
+        // the tombstone share rises.
+        if op % 3 == 2 {
+            let victim = file
+                .database()
+                .tree()
+                .documents()
+                .iter()
+                .filter(|d| d.alive)
+                .nth(op % 5)
+                .map(|d| NodeId(d.start));
+            if let Some(root) = victim {
+                let t = Instant::now();
+                file.delete_document(root).unwrap_or_else(|e| {
+                    eprintln!("figure8: delete failed: {e}");
+                    std::process::exit(1);
+                });
+                deletes.record(t);
+            }
+        } else {
+            let doc = pool[next_doc % pool.len()].clone();
+            next_doc += 1;
+            let t = Instant::now();
+            file.insert_documents(std::slice::from_ref(&doc))
+                .unwrap_or_else(|e| {
+                    eprintln!("figure8: insert failed: {e}");
+                    std::process::exit(1);
+                });
+            inserts.record(t);
+        }
+        for r in 0..args.reads_per_write {
+            let q = &queries[next_query % queries.len()];
+            next_query += 1;
+            if r % 2 == 0 {
+                let t = Instant::now();
+                let _ = file.database().query_direct_with(q, Some(10), opts);
+                direct.record(t);
+            } else {
+                let t = Instant::now();
+                let _ = file
+                    .database()
+                    .query_schema_with(q, 10, opts, SchemaEvalConfig::default());
+                schema.record(t);
+            }
+        }
+    }
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let delta = approxql_metrics::snapshot().diff(&metrics_start);
+
+    println!("phase\tops\ttotal_ms\tmean_ms\tops_per_s");
+    inserts.row("insert");
+    deletes.row("delete");
+    direct.row("query_direct");
+    schema.row("query_schema");
+
+    let db = file.database();
+    let after = bytes_per_posting(db);
+    let (live, dead) =
+        db.tree().documents().iter().fold(
+            (0, 0),
+            |(l, d), s| {
+                if s.alive {
+                    (l + 1, d)
+                } else {
+                    (l, d + 1)
+                }
+            },
+        );
+    eprintln!(
+        "# label index after updates: {} postings, {:.2} bytes/posting (initial {:.2}; flat codec: 24)",
+        db.labels().entry_count(),
+        after,
+        before
+    );
+    eprintln!("# documents: {live} live, {dead} tombstoned");
+    eprintln!(
+        "# store: {} doc inserts, {} doc deletes, {} plan-cache invalidations, commit sequence {}",
+        delta.get(Metric::StoreDocInserts),
+        delta.get(Metric::StoreDocDeletes),
+        delta.get(Metric::PlanCacheInvalidations),
+        file.commit_sequence()
+    );
+    eprintln!("# mixed workload wall-clock: {wall_ms:.1} ms");
+
+    drop(file);
+    let t = Instant::now();
+    match Database::check_file(&path) {
+        Ok(_) => eprintln!("# post-workload check: ok ({:.1?})", t.elapsed()),
+        Err(e) => {
+            eprintln!("figure8: post-workload check FAILED: {e}");
+            std::process::exit(3);
+        }
+    }
+    if args.db.is_none() {
+        // lint:allow(fs-outside-pager) bench scratch file cleanup
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,7 +1,7 @@
 //! Command implementations for the `approxql` binary.
 
 use approxql_core::schema_eval::SchemaEvalConfig;
-use approxql_core::{Database, DatabaseError, EvalOptions, QueryHit};
+use approxql_core::{Database, DatabaseError, DbFile, EvalOptions, QueryHit};
 use approxql_cost::{parse_cost_file, CostModel};
 use approxql_eval::dataset::{Dataset, DatasetError, KSpec};
 use approxql_eval::{EvalError, RunOptions};
@@ -26,6 +26,16 @@ usage:
        --explain prints the compiled physical plan with per-operator entry
        counts instead of results; --repeat re-runs the query N times in
        one process to exercise the compiled-plan cache)
+
+  approxql insert  <db.axql> <doc.xml>...
+      append documents to an existing database, incrementally updating
+      the label indexes, secondary index, and schema; each document is
+      sealed with its own atomic commit, so a crash never loses more
+      than the in-flight document
+
+  approxql delete  <db.axql> <root-pre>
+      tombstone the document whose root is node ROOT-PRE (document roots
+      are listed by `stats`; result nodes by `query`); one atomic commit
 
   approxql stats   <db.axql>
       print collection, index, and schema statistics
@@ -68,6 +78,9 @@ pub enum CliError {
     /// Malformed evaluation dataset (a usage-class error: the input file
     /// is wrong, not the system under test).
     Dataset(DatasetError),
+    /// Data-level operation failure (e.g. deleting a node that is not a
+    /// live document root).
+    Op(String),
 }
 
 impl CliError {
@@ -80,7 +93,8 @@ impl CliError {
             CliError::Db(
                 DatabaseError::Storage(_)
                 | DatabaseError::Persist(_)
-                | DatabaseError::TreeDecode(_),
+                | DatabaseError::TreeDecode(_)
+                | DatabaseError::Schema(_),
             ) => 3,
             _ => 1,
         }
@@ -95,6 +109,7 @@ impl fmt::Display for CliError {
             CliError::Db(e) => write!(f, "{e}"),
             CliError::Costs(e) => write!(f, "{e}"),
             CliError::Dataset(e) => write!(f, "{e}"),
+            CliError::Op(m) => write!(f, "{m}"),
         }
     }
 }
@@ -210,6 +225,8 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let flags = parse_flags(rest)?;
     match cmd.as_str() {
         "build" => cmd_build(&flags),
+        "insert" => cmd_insert(&flags),
+        "delete" => cmd_delete(&flags),
         "query" => cmd_query(&flags),
         "stats" => cmd_stats(&flags),
         "explain" => cmd_explain(&flags),
@@ -245,6 +262,55 @@ fn cmd_build(flags: &Flags) -> Result<(), CliError> {
     println!(
         "built {out}: {} elements, {} words, {} distinct labels",
         stats.element_count, stats.word_count, stats.distinct_labels
+    );
+    Ok(())
+}
+
+fn cmd_insert(flags: &Flags) -> Result<(), CliError> {
+    let [db_path, docs @ ..] = flags.positional.as_slice() else {
+        return Err(usage(
+            "insert needs a database path and at least one document",
+        ));
+    };
+    if docs.is_empty() {
+        return Err(usage("insert needs at least one XML document"));
+    }
+    let mut parsed: Vec<Document> = Vec::with_capacity(docs.len());
+    for path in docs {
+        let text = std::fs::read_to_string(path)?;
+        parsed.push(approxql_xml::parse_document(&text).map_err(DatabaseError::Xml)?);
+    }
+    let mut file = DbFile::open(db_path)?;
+    let spans = file.insert_documents(&parsed)?;
+    let nodes: u32 = spans.iter().map(|s| s.bound - s.start + 1).sum();
+    println!(
+        "inserted {} document(s) into {db_path}: {nodes} nodes, roots {}",
+        spans.len(),
+        spans
+            .iter()
+            .map(|s| s.start.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    Ok(())
+}
+
+fn cmd_delete(flags: &Flags) -> Result<(), CliError> {
+    let [db_path, root] = flags.positional.as_slice() else {
+        return Err(usage(
+            "delete needs a database path and a document root node",
+        ));
+    };
+    let pre: u32 = root
+        .parse()
+        .map_err(|_| usage(format!("invalid node number `{root}`")))?;
+    let mut file = DbFile::open(db_path)?;
+    let span = file
+        .delete_document(approxql_tree::NodeId(pre))?
+        .ok_or_else(|| CliError::Op(format!("node {pre} is not a live document root")))?;
+    println!(
+        "deleted document at node {pre} from {db_path}: {} nodes tombstoned",
+        span.bound - span.start + 1
     );
     Ok(())
 }
@@ -365,7 +431,13 @@ fn cmd_stats(flags: &Flags) -> Result<(), CliError> {
     let db = Database::open(db_path)?;
     let t = db.tree().stats();
     let s = db.schema().stats();
+    let docs = db.tree().documents();
+    let live = docs.iter().filter(|d| d.alive).count();
     println!("data tree:");
+    println!(
+        "  documents        {live} live, {} tombstoned",
+        docs.len() - live
+    );
     println!("  nodes            {}", t.node_count);
     println!("  elements         {}", t.element_count);
     println!("  word occurrences {}", t.word_count);
@@ -652,6 +724,56 @@ mod tests {
                 "--threads",
                 "0",
             ]),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn insert_and_delete_verbs_mutate_the_database() {
+        let dir = tmpdir("mutate");
+        let doc1 = dir.join("one.xml");
+        std::fs::write(&doc1, "<cd><title>piano concerto</title></cd>").unwrap();
+        let doc2 = dir.join("two.xml");
+        std::fs::write(&doc2, "<cd><title>piano sonata</title></cd>").unwrap();
+        let db = dir.join("db.axql");
+        run_words(&["build", db.to_str().unwrap(), doc1.to_str().unwrap()]).unwrap();
+        run_words(&["insert", db.to_str().unwrap(), doc2.to_str().unwrap()]).unwrap();
+        run_words(&["check", db.to_str().unwrap()]).unwrap();
+        {
+            let reopened = Database::open(&db).unwrap();
+            assert_eq!(
+                reopened
+                    .query_direct(r#"cd[title["piano"]]"#, None)
+                    .unwrap()
+                    .len(),
+                2
+            );
+        }
+        // The first document's root is the first span start (node 1).
+        run_words(&["delete", db.to_str().unwrap(), "1"]).unwrap();
+        run_words(&["check", db.to_str().unwrap()]).unwrap();
+        {
+            let reopened = Database::open(&db).unwrap();
+            assert_eq!(
+                reopened
+                    .query_direct(r#"cd[title["piano"]]"#, None)
+                    .unwrap()
+                    .len(),
+                1
+            );
+        }
+        // Deleting the same root again is a data-level error, exit 1.
+        let err = run_words(&["delete", db.to_str().unwrap(), "1"]).unwrap_err();
+        assert!(matches!(err, CliError::Op(_)));
+        assert_eq!(err.exit_code(), 1);
+        // A non-numeric node is a usage error.
+        assert!(matches!(
+            run_words(&["delete", db.to_str().unwrap(), "first"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_words(&["insert", db.to_str().unwrap()]),
             Err(CliError::Usage(_))
         ));
         std::fs::remove_dir_all(&dir).unwrap();

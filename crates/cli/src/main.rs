@@ -3,6 +3,8 @@
 //!
 //! ```text
 //! approxql build  <out.axql> <doc.xml>... [--costs FILE]
+//! approxql insert <db.axql> <doc.xml>...
+//! approxql delete <db.axql> <root-pre>
 //! approxql query  <db.axql> <QUERY> [-n N] [--direct|--schema] [--costs FILE] [--xml] [--stats]
 //! approxql stats  <db.axql>
 //! approxql explain <db.axql> <QUERY> [--costs FILE] [-k K]

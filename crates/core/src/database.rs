@@ -2,19 +2,24 @@
 
 use crate::direct::{self, DirectStats, EvalOptions};
 use crate::schema_eval::{self, EvalStats, SchemaEvalConfig};
-use approxql_cost::{parse_cost_file, write_cost_file, Cost, CostFileError, CostModel};
+use approxql_cost::{parse_cost_file, write_cost_file, Cost, CostFileError, CostModel, NodeType};
 use approxql_index::persist::{
-    load_blob, load_label_index, save_blob, save_label_index, PersistError,
+    load_blob, load_label_index, load_secondary_index, save_blob, save_label_index,
+    save_secondary_index, PersistError,
 };
-use approxql_index::LabelIndex;
+use approxql_index::{LabelIndex, Posting};
 use approxql_metrics::Metric;
-use approxql_plan::{self as plan, Plan};
+use approxql_plan::{self as plan, Plan, PlanOp};
 use approxql_query::expand::ExpandedQuery;
 use approxql_query::{parse_query, ParseError, Query};
-use approxql_schema::Schema;
+use approxql_schema::{Schema, SchemaAssembleError, SchemaDelta};
 use approxql_storage::{CheckReport, StorageError, Store};
-use approxql_tree::{DataTree, DataTreeBuilder, NodeId, TreeDecodeError, TreeError};
+use approxql_tree::{
+    decode_doc_segment, decode_docmap, decode_interner, encode_docmap, encode_interner, DataTree,
+    DataTreeBuilder, DocSpan, LabelId, NodeId, TreeDecodeError, TreeError,
+};
 use approxql_xml::{parse_document, Document, Element, XmlError};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::path::Path;
 use std::sync::{Arc, Mutex};
@@ -36,6 +41,8 @@ pub enum DatabaseError {
     TreeDecode(TreeDecodeError),
     /// Stored cost file failed to parse.
     CostFile(CostFileError),
+    /// The persisted schema parts contradict the data tree.
+    Schema(SchemaAssembleError),
 }
 
 impl fmt::Display for DatabaseError {
@@ -48,6 +55,7 @@ impl fmt::Display for DatabaseError {
             DatabaseError::Persist(e) => write!(f, "{e}"),
             DatabaseError::TreeDecode(e) => write!(f, "{e}"),
             DatabaseError::CostFile(e) => write!(f, "{e}"),
+            DatabaseError::Schema(e) => write!(f, "{e}"),
         }
     }
 }
@@ -71,6 +79,7 @@ from_error!(Storage, StorageError);
 from_error!(Persist, PersistError);
 from_error!(TreeDecode, TreeDecodeError);
 from_error!(CostFile, CostFileError);
+from_error!(Schema, SchemaAssembleError);
 
 /// One result of a query: the embedding root and its cost (Definition 11's
 /// root–cost pair).
@@ -90,14 +99,32 @@ const PLAN_CACHE_CAP: usize = 32;
 /// The keyed plan cache: most-recently-used first. Keys pair the
 /// normalized query text (the parsed query's canonical rendering) with
 /// the cost-model fingerprint, so a plan is only reused when both the
-/// structure *and* the expansion-driving costs are unchanged.
+/// structure *and* the expansion-driving costs are unchanged. Each entry
+/// records the set of labels its plan fetches so mutations can evict
+/// exactly the plans whose inputs they touched (DESIGN.md §15).
 struct PlanCache {
-    entries: Vec<((u64, String), Arc<Plan>)>,
+    entries: Vec<PlanCacheEntry>,
+}
+
+/// One cache entry: `(cost fingerprint, normalized query)` key, the
+/// compiled plan, and its fetch-label invalidation footprint.
+type PlanCacheEntry = ((u64, String), Arc<Plan>, HashSet<String>);
+
+/// The labels a compiled plan reads from the label indexes — the entry's
+/// invalidation footprint.
+fn fetch_labels(plan: &Plan) -> HashSet<String> {
+    plan.ops()
+        .iter()
+        .filter_map(|op| match op {
+            PlanOp::Fetch { label, .. } => Some(label.clone()),
+            _ => None,
+        })
+        .collect()
 }
 
 impl PlanCache {
     fn get(&mut self, key: &(u64, String)) -> Option<Arc<Plan>> {
-        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        let pos = self.entries.iter().position(|(k, _, _)| k == key)?;
         let hit = self.entries.remove(pos);
         let plan = Arc::clone(&hit.1);
         self.entries.insert(0, hit);
@@ -105,9 +132,19 @@ impl PlanCache {
     }
 
     fn insert(&mut self, key: (u64, String), plan: Arc<Plan>) {
-        self.entries.retain(|(k, _)| *k != key);
-        self.entries.insert(0, (key, plan));
+        self.entries.retain(|(k, _, _)| *k != key);
+        let labels = fetch_labels(&plan);
+        self.entries.insert(0, (key, plan, labels));
         self.entries.truncate(PLAN_CACHE_CAP);
+    }
+
+    /// Drops every entry whose fetch set intersects `touched`; returns the
+    /// eviction count.
+    fn invalidate_touching(&mut self, touched: &HashSet<String>) -> u64 {
+        let before = self.entries.len();
+        self.entries
+            .retain(|(_, _, labels)| labels.is_disjoint(touched));
+        (before - self.entries.len()) as u64
     }
 }
 
@@ -122,6 +159,26 @@ fn cost_fingerprint(costs: &CostModel) -> u64 {
     h
 }
 
+/// What one document mutation changed, at the granularity the
+/// persistence layer writes: the affected preorder span, the data-level
+/// label postings rewritten or emptied, the schema-side delta, and
+/// whether the mutation interned new labels. Produced by
+/// [`Database::insert_document`] / [`Database::delete_document`] and
+/// consumed by [`crate::DbFile`] to persist only the changed keys.
+#[derive(Debug)]
+pub struct MutationDelta {
+    /// Preorder range of the inserted or tombstoned document.
+    pub span: DocSpan,
+    /// Label postings whose block lists changed (rewrite their keys).
+    pub touched_labels: Vec<(NodeType, LabelId)>,
+    /// Label postings that emptied entirely (delete their keys).
+    pub removed_labels: Vec<(NodeType, LabelId)>,
+    /// Schema-side changes (secondary postings, structural rebuild flag).
+    pub schema: SchemaDelta,
+    /// `true` when the mutation added strings to the interner.
+    pub interner_changed: bool,
+}
+
 /// An approXQL database: the data tree with its label indexes, schema, and
 /// cost model. See the crate docs for an end-to-end example.
 pub struct Database {
@@ -131,6 +188,10 @@ pub struct Database {
     schema: Schema,
     /// Fingerprint of `costs` (part of every plan-cache key).
     costs_fp: u64,
+    /// Bumped once per document mutation: external caches keyed on query
+    /// results (anything outside the plan cache) compare stamps to detect
+    /// staleness.
+    generation: u64,
     /// Compiled physical plans keyed by (cost fingerprint, query text).
     plan_cache: Mutex<PlanCache>,
 }
@@ -144,6 +205,7 @@ impl Database {
             labels,
             schema,
             costs_fp,
+            generation: 0,
             plan_cache: Mutex::new(PlanCache {
                 entries: Vec::new(),
             }),
@@ -201,6 +263,113 @@ impl Database {
     /// The schema with its indexes.
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// The mutation generation stamp: starts at 0 and increments once per
+    /// [`Database::insert_document`] / [`Database::delete_document`].
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Appends one document to the collection, incrementally maintaining
+    /// the label indexes, secondary index, and schema (DESIGN.md §15).
+    /// The new document's nodes take fresh preorder numbers past the
+    /// current maximum; no existing node is relabelled. Cached plans that
+    /// fetch any label occurring in the document are evicted.
+    pub fn insert_document(&mut self, doc: &Document) -> MutationDelta {
+        let interner_before = self.tree.interner().len();
+        let span = self.tree.append_document(doc, &self.costs);
+        let mut grouped: HashMap<(NodeType, LabelId), Vec<Posting>> = HashMap::new();
+        for pre in span.start..=span.bound {
+            let n = NodeId(pre);
+            grouped
+                .entry((self.tree.node_type(n), self.tree.label_id(n)))
+                .or_default()
+                .push(Posting::from_node(&self.tree, n));
+        }
+        let mut touched_labels: Vec<(NodeType, LabelId)> = grouped.keys().copied().collect();
+        for (&(ty, label), posting) in &grouped {
+            // Preorder iteration above leaves each group pre-sorted.
+            self.labels.append_postings(ty, label, posting);
+        }
+        // The virtual root's bound just grew: rewrite its one-entry
+        // posting so the index stays identical to a batch rebuild.
+        let root = NodeId(0);
+        let root_label = self.tree.label_id(root);
+        self.labels.insert_posting(
+            NodeType::Struct,
+            root_label,
+            vec![Posting::from_node(&self.tree, root)],
+        );
+        touched_labels.push((NodeType::Struct, root_label));
+        touched_labels.sort_unstable_by_key(|&(t, l)| (t as u8, l.index()));
+        touched_labels.dedup();
+        let schema = self.schema.insert_range(&self.tree, span, &self.costs);
+        self.after_mutation(&touched_labels);
+        MutationDelta {
+            span,
+            touched_labels,
+            removed_labels: Vec::new(),
+            schema,
+            interner_changed: self.tree.interner().len() != interner_before,
+        }
+    }
+
+    /// Tombstones the document rooted at `root` (a top-level document
+    /// root, as listed by the tree's document map), removing its nodes
+    /// from every index. Preorder numbers of other documents are
+    /// untouched; the gap is never reused. Returns `None` when `root` is
+    /// not a live document root.
+    pub fn delete_document(&mut self, root: NodeId) -> Option<MutationDelta> {
+        let span = self.tree.delete_document(root)?;
+        let mut keys: Vec<(NodeType, LabelId)> = (span.start..=span.bound)
+            .map(|pre| {
+                let n = NodeId(pre);
+                (self.tree.node_type(n), self.tree.label_id(n))
+            })
+            .collect();
+        keys.sort_unstable_by_key(|&(t, l)| (t as u8, l.index()));
+        keys.dedup();
+        let mut touched_labels = Vec::new();
+        let mut removed_labels = Vec::new();
+        for &(ty, label) in &keys {
+            let removed = self.labels.remove_range(ty, label, span.start, span.bound);
+            debug_assert!(removed > 0, "tombstoned node missing from label index");
+            if self.labels.blocks(ty, label).is_some() {
+                touched_labels.push((ty, label));
+            } else {
+                removed_labels.push((ty, label));
+            }
+        }
+        let schema = self.schema.delete_range(&self.tree, span);
+        self.after_mutation(&keys);
+        Some(MutationDelta {
+            span,
+            touched_labels,
+            removed_labels,
+            schema,
+            interner_changed: false,
+        })
+    }
+
+    /// Post-mutation bookkeeping: evict cached plans that fetch a touched
+    /// label (counted by `plan.cache_invalidations`) and bump the
+    /// generation stamp.
+    fn after_mutation(&mut self, touched: &[(NodeType, LabelId)]) {
+        let names: HashSet<String> = touched
+            .iter()
+            .map(|&(_, l)| self.tree.interner().resolve(l).to_string())
+            .collect();
+        let mut cache = self
+            .plan_cache
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let evicted = cache.invalidate_touching(&names);
+        drop(cache);
+        if evicted > 0 {
+            Metric::PlanCacheInvalidations.add(evicted);
+        }
+        self.generation += 1;
     }
 
     /// Parses and expands a query against this database's cost model.
@@ -375,43 +544,100 @@ impl Database {
         Ok(self.tree.subtree_element(hit.root)?)
     }
 
-    /// Persists the database (data tree, cost model, label indexes) into a
-    /// single store file. The schema is cheap to rebuild and is derived
-    /// again on [`Database::open`].
+    /// Persists the database into a single store file using the segmented
+    /// layout (DESIGN.md §15): cost model, interner, document map, one
+    /// segment per live document, both label indexes, the secondary
+    /// index, and the schema tree. The schema is persisted — not rebuilt
+    /// on open — so schema preorder numbers (which tie-break equal-cost
+    /// second-level queries) survive a save/open cycle bit-for-bit.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DatabaseError> {
         let mut store = Store::create_file(path)?;
-        save_blob(&mut store, "tree", &self.tree.to_bytes())?;
-        save_blob(&mut store, "costs", write_cost_file(&self.costs).as_bytes())?;
-        save_label_index(&mut store, &self.labels, self.tree.interner())?;
+        write_full_image(&mut store, self)?;
         store.commit()?;
         Ok(())
     }
 
-    /// Opens a database saved with [`Database::save`].
+    /// Opens a database saved with [`Database::save`] (or grown through
+    /// [`crate::DbFile`] mutations), validating the persisted parts
+    /// against each other.
     pub fn open(path: impl AsRef<Path>) -> Result<Database, DatabaseError> {
         let mut store = Store::open_file(path)?;
-        let tree_bytes = load_blob(&mut store, "tree")?;
-        let tree = DataTree::from_bytes(&tree_bytes)?;
-        let cost_bytes = load_blob(&mut store, "costs")?;
-        let costs = parse_cost_file(&String::from_utf8_lossy(&cost_bytes))?;
-        let labels = load_label_index(&mut store, tree.interner())?;
-        let schema = Schema::build(&tree, &costs);
-        Ok(Database::assemble(tree, costs, labels, schema))
+        load_from_store(&mut store)
     }
 
-    /// Verifies the on-disk integrity of a database file without loading
-    /// it: opens the store (recovering to the newest intact commit if
-    /// needed), walks every page, checksum, and B+-tree invariant, and
-    /// then validates every compressed posting list (skip-header
-    /// monotonicity, per-frame entry counts, decode round-trip — see
-    /// DESIGN.md §14). Returns the storage layer's [`CheckReport`] on
-    /// success.
+    /// Verifies the on-disk integrity of a database file: opens the store
+    /// (recovering to the newest intact commit if needed), walks every
+    /// page, checksum, and B+-tree invariant, validates every compressed
+    /// posting list (skip-header monotonicity, per-frame entry counts,
+    /// decode round-trip — see DESIGN.md §14), and then performs a full
+    /// decode so cross-structure corruption (docmap partition, segment
+    /// columns, schema/secondary consistency) also surfaces. Returns the
+    /// storage layer's [`CheckReport`] on success.
     pub fn check_file(path: impl AsRef<Path>) -> Result<CheckReport, DatabaseError> {
         let mut store = Store::open_file(path)?;
         let report = store.check()?;
         approxql_index::persist::check_posting_blocks(&mut store)?;
+        let _ = load_from_store(&mut store)?;
         Ok(report)
     }
+}
+
+/// The store key of a live document's column segment: `doc#` + the
+/// big-endian start preorder (big-endian so a prefix scan yields
+/// documents in preorder).
+pub(crate) fn doc_key(start: u32) -> Vec<u8> {
+    let mut k = b"doc#".to_vec();
+    k.extend_from_slice(&start.to_be_bytes());
+    k
+}
+
+/// Writes every key of the segmented layout into `store` (no commit).
+/// Shared by [`Database::save`] and [`crate::DbFile`]'s full rewrites.
+pub(crate) fn write_full_image(store: &mut Store, db: &Database) -> Result<(), DatabaseError> {
+    save_blob(store, "costs", write_cost_file(&db.costs).as_bytes())?;
+    save_blob(store, "interner", &encode_interner(db.tree.interner()))?;
+    save_blob(
+        store,
+        "docmap",
+        &encode_docmap(db.tree.len() as u32, db.tree.documents()),
+    )?;
+    for &span in db.tree.documents() {
+        if span.alive {
+            store.put(&doc_key(span.start), &db.tree.doc_segment_bytes(span))?;
+        }
+    }
+    save_label_index(store, &db.labels, db.tree.interner())?;
+    save_secondary_index(store, db.schema.secondary(), db.tree.interner())?;
+    save_blob(store, "schema", &db.schema.tree().to_bytes())?;
+    Ok(())
+}
+
+/// Reassembles a database from a store holding the segmented layout,
+/// validating the parts against each other (segment spans vs. the
+/// document map, labels vs. the interner, secondary keys vs. the schema
+/// tree).
+pub(crate) fn load_from_store(store: &mut Store) -> Result<Database, DatabaseError> {
+    let cost_bytes = load_blob(store, "costs")?;
+    let costs = parse_cost_file(&String::from_utf8_lossy(&cost_bytes))?;
+    let interner = decode_interner(&load_blob(store, "interner")?)?;
+    let (total_len, docs) = decode_docmap(&load_blob(store, "docmap")?)?;
+    let mut segments = Vec::new();
+    for &span in &docs {
+        if !span.alive {
+            continue;
+        }
+        let bytes = store
+            .get(&doc_key(span.start))?
+            .ok_or(PersistError::MissingBlob("document segment"))?;
+        let seg = decode_doc_segment(&bytes, span, interner.len())?;
+        segments.push((span, seg));
+    }
+    let tree = DataTree::from_doc_segments(interner, total_len, docs, &segments, &costs)?;
+    let labels = load_label_index(store, tree.interner())?;
+    let secondary = load_secondary_index(store, tree.interner())?;
+    let schema_tree = DataTree::from_bytes(&load_blob(store, "schema")?)?;
+    let schema = Schema::assemble(&tree, schema_tree, secondary)?;
+    Ok(Database::assemble(tree, costs, labels, schema))
 }
 
 #[cfg(test)]
@@ -524,6 +750,67 @@ mod tests {
             .unwrap();
         let delta = approxql_metrics::snapshot().diff(&before);
         assert_eq!(delta.get(Metric::PlanCacheHits), 1);
+    }
+
+    #[test]
+    fn incremental_insert_matches_batch_build() {
+        let docs = [
+            "<cd><title>piano concerto</title></cd>",
+            "<cd><title>cello suite</title><composer>Bach</composer></cd>",
+            "<mc><title>piano</title><track>allegro</track></mc>",
+        ];
+        let mut grown = Database::from_xml_str(docs[0], paper_section6_costs()).unwrap();
+        for d in &docs[1..] {
+            grown.insert_document(&parse_document(d).unwrap());
+        }
+        let batch = Database::from_xml_strs(&docs, paper_section6_costs()).unwrap();
+        // Same tree bytes, same postings, same schema parts.
+        assert_eq!(grown.tree().to_bytes(), batch.tree().to_bytes());
+        assert_eq!(grown.generation(), 2);
+        for q in [r#"cd[title["piano"]]"#, r#"mc[track]"#, r#"cd[composer]"#] {
+            assert_eq!(
+                grown.query_direct(q, None).unwrap(),
+                batch.query_direct(q, None).unwrap()
+            );
+            assert_eq!(
+                grown.query_schema(q, 5).unwrap(),
+                batch.query_schema(q, 5).unwrap()
+            );
+        }
+        let posting_dump = |db: &Database| {
+            let mut v: Vec<_> = db
+                .labels()
+                .iter()
+                .map(|((ty, l), blocks)| (ty as u8, l.index(), blocks.to_bytes()))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(posting_dump(&grown), posting_dump(&batch));
+    }
+
+    #[test]
+    fn delete_hides_document_and_invalidates_plans() {
+        let docs = [
+            "<cd><title>piano</title></cd>",
+            "<cd><title>cello</title></cd>",
+        ];
+        let mut db = Database::from_xml_strs(&docs, paper_section6_costs()).unwrap();
+        let before = approxql_metrics::snapshot();
+        // Warm the cache, then mutate a touched label: the entry must go.
+        let all = db.query_direct(r#"cd[title]"#, None).unwrap();
+        assert_eq!(all.len(), 2);
+        let first = db.tree().documents()[0];
+        let delta = db.delete_document(NodeId(first.start)).expect("live root");
+        assert_eq!(delta.span.start, first.start);
+        let d = approxql_metrics::snapshot().diff(&before);
+        assert_eq!(d.get(Metric::PlanCacheInvalidations), 1);
+        let left = db.query_direct(r#"cd[title]"#, None).unwrap();
+        assert_eq!(left.len(), 1);
+        assert!(left[0].root.0 > first.bound);
+        // Double delete is a no-op.
+        assert!(db.delete_document(NodeId(first.start)).is_none());
+        assert_eq!(db.generation(), 1);
     }
 
     #[test]

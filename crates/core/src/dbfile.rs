@@ -1,0 +1,275 @@
+//! Mutable on-disk databases (DESIGN.md §15).
+//!
+//! A [`DbFile`] pairs an open [`Store`] with its in-memory [`Database`]
+//! and keeps the two in lockstep: every [`DbFile::insert_documents`] /
+//! [`DbFile::delete_document`] call applies the mutation in memory,
+//! writes exactly the changed keys, and seals them with **one atomic
+//! commit per document**. A crash at any point therefore rolls back to
+//! the last committed document boundary — never to a half-indexed state —
+//! which is what the mutation crash-torture suite sweeps for.
+
+use crate::database::{doc_key, load_from_store, write_full_image, Database, DatabaseError};
+use approxql_index::persist::{label_key, save_blob, save_secondary_index, sec_key};
+use approxql_metrics::Metric;
+use approxql_storage::Store;
+use approxql_tree::{encode_docmap, encode_interner, DocSpan, NodeId};
+use approxql_xml::Document;
+use std::path::Path;
+
+/// A database bound to the store file it lives in, accepting incremental
+/// document mutations. Created with [`DbFile::create`] (writes a full
+/// image) or [`DbFile::open`] (reassembles the persisted state).
+pub struct DbFile {
+    store: Store,
+    db: Database,
+}
+
+impl DbFile {
+    /// Creates a new store file at `path` holding `db`'s full image.
+    pub fn create(path: impl AsRef<Path>, db: Database) -> Result<DbFile, DatabaseError> {
+        DbFile::create_in(Store::create_file(path)?, db)
+    }
+
+    /// Like [`DbFile::create`] over an already-constructed (fresh) store —
+    /// the entry point for fault-injecting backends in tests.
+    pub fn create_in(mut store: Store, db: Database) -> Result<DbFile, DatabaseError> {
+        write_full_image(&mut store, &db)?;
+        store.commit()?;
+        Ok(DbFile { store, db })
+    }
+
+    /// Opens the database stored at `path` for reading and mutation.
+    pub fn open(path: impl AsRef<Path>) -> Result<DbFile, DatabaseError> {
+        DbFile::open_in(Store::open_file(path)?)
+    }
+
+    /// Like [`DbFile::open`] over an already-opened store.
+    pub fn open_in(mut store: Store) -> Result<DbFile, DatabaseError> {
+        let db = load_from_store(&mut store)?;
+        Ok(DbFile { store, db })
+    }
+
+    /// The in-memory database (query entry points live here).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The store's commit sequence number (one increment per persisted
+    /// document mutation).
+    pub fn commit_sequence(&self) -> u64 {
+        self.store.commit_sequence()
+    }
+
+    /// Inserts each parsed document as its own atomically-committed
+    /// mutation, returning the new documents' preorder spans. If the
+    /// process dies partway through, every fully-committed document
+    /// survives recovery and the in-flight one vanishes entirely.
+    pub fn insert_documents(&mut self, docs: &[Document]) -> Result<Vec<DocSpan>, DatabaseError> {
+        let mut spans = Vec::with_capacity(docs.len());
+        for doc in docs {
+            let delta = self.db.insert_document(doc);
+            save_blob(
+                &mut self.store,
+                "docmap",
+                &encode_docmap(self.db.tree().len() as u32, self.db.tree().documents()),
+            )?;
+            if delta.interner_changed {
+                save_blob(
+                    &mut self.store,
+                    "interner",
+                    &encode_interner(self.db.tree().interner()),
+                )?;
+            }
+            self.store.put(
+                &doc_key(delta.span.start),
+                &self.db.tree().doc_segment_bytes(delta.span),
+            )?;
+            self.write_label_updates(&delta.touched_labels, &delta.removed_labels)?;
+            if delta.schema.rebuilt {
+                // A structural extension remapped schema preorder numbers:
+                // every secondary key may have moved, so clear and rewrite
+                // the whole `sec#` keyspace along with the schema tree.
+                let stale: Vec<Vec<u8>> = self
+                    .store
+                    .scan_prefix(b"sec#")?
+                    .collect_all()?
+                    .into_iter()
+                    .map(|(k, _)| k)
+                    .collect();
+                for k in stale {
+                    self.store.delete(&k)?;
+                }
+                save_secondary_index(
+                    &mut self.store,
+                    self.db.schema().secondary(),
+                    self.db.tree().interner(),
+                )?;
+                save_blob(
+                    &mut self.store,
+                    "schema",
+                    &self.db.schema().tree().to_bytes(),
+                )?;
+            } else {
+                self.write_secondary_updates(&delta.schema.touched_sec, &delta.schema.removed_sec)?;
+            }
+            self.store.commit()?;
+            Metric::StoreDocInserts.incr();
+            spans.push(delta.span);
+        }
+        Ok(spans)
+    }
+
+    /// Tombstones the document rooted at `root` and commits. Returns the
+    /// removed span, or `None` (with nothing written) when `root` is not
+    /// a live document root.
+    pub fn delete_document(&mut self, root: NodeId) -> Result<Option<DocSpan>, DatabaseError> {
+        let Some(delta) = self.db.delete_document(root) else {
+            return Ok(None);
+        };
+        save_blob(
+            &mut self.store,
+            "docmap",
+            &encode_docmap(self.db.tree().len() as u32, self.db.tree().documents()),
+        )?;
+        self.store.delete(&doc_key(delta.span.start))?;
+        self.write_label_updates(&delta.touched_labels, &delta.removed_labels)?;
+        // Deletion never restructures the schema tree (instance-less
+        // nodes are retained so preorder numbers stay stable).
+        self.write_secondary_updates(&delta.schema.touched_sec, &delta.schema.removed_sec)?;
+        self.store.commit()?;
+        Metric::StoreDocDeletes.incr();
+        Ok(Some(delta.span))
+    }
+
+    /// Rewrites the changed label-index keys and deletes the emptied ones.
+    fn write_label_updates(
+        &mut self,
+        touched: &[(approxql_cost::NodeType, approxql_tree::LabelId)],
+        removed: &[(approxql_cost::NodeType, approxql_tree::LabelId)],
+    ) -> Result<(), DatabaseError> {
+        for &(ty, label) in touched {
+            let name = self.db.tree().interner().resolve(label);
+            let Some(blocks) = self.db.labels().blocks(ty, label) else {
+                debug_assert!(false, "touched label posting missing from index");
+                continue;
+            };
+            self.store.put(&label_key(ty, name), &blocks.to_bytes())?;
+        }
+        for &(ty, label) in removed {
+            let name = self.db.tree().interner().resolve(label);
+            self.store.delete(&label_key(ty, name))?;
+        }
+        Ok(())
+    }
+
+    /// Rewrites the changed secondary-index keys and deletes the emptied
+    /// ones.
+    fn write_secondary_updates(
+        &mut self,
+        touched: &[(u32, approxql_tree::LabelId)],
+        removed: &[(u32, approxql_tree::LabelId)],
+    ) -> Result<(), DatabaseError> {
+        for &(pre, label) in touched {
+            let name = self.db.tree().interner().resolve(label);
+            let Some(blocks) = self.db.schema().secondary().blocks(pre, label) else {
+                debug_assert!(false, "touched secondary posting missing from index");
+                continue;
+            };
+            self.store.put(&sec_key(pre, name), &blocks.to_bytes())?;
+        }
+        for &(pre, label) in removed {
+            let name = self.db.tree().interner().resolve(label);
+            self.store.delete(&sec_key(pre, name))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use approxql_cost::CostModel;
+    use approxql_xml::parse_document;
+
+    fn doc(xml: &str) -> Document {
+        parse_document(xml).unwrap()
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("axql-dbfile-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("db.axql")
+    }
+
+    #[test]
+    fn insert_then_reopen_matches_memory() {
+        let path = temp_path("insert");
+        let db = Database::from_xml_str("<cd><title>piano</title></cd>", CostModel::new()).unwrap();
+        let mut file = DbFile::create(&path, db).unwrap();
+        file.insert_documents(&[doc("<cd><title>cello</title></cd>")])
+            .unwrap();
+        let live = file.database().query_direct(r#"cd[title]"#, None).unwrap();
+        assert_eq!(live.len(), 2);
+        drop(file);
+        let reopened = DbFile::open(&path).unwrap();
+        let persisted = reopened
+            .database()
+            .query_direct(r#"cd[title]"#, None)
+            .unwrap();
+        assert_eq!(live, persisted);
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn delete_then_reopen_matches_memory() {
+        let path = temp_path("delete");
+        let db = Database::from_xml_strs(
+            &[
+                "<cd><title>piano</title></cd>",
+                "<cd><title>cello</title></cd>",
+            ],
+            CostModel::new(),
+        )
+        .unwrap();
+        let mut file = DbFile::create(&path, db).unwrap();
+        let first = file.database().tree().documents()[0];
+        let span = file
+            .delete_document(approxql_tree::NodeId(first.start))
+            .unwrap()
+            .expect("first document is live");
+        assert_eq!(span.start, first.start);
+        assert!(file
+            .delete_document(approxql_tree::NodeId(span.start))
+            .unwrap()
+            .is_none());
+        let live = file.database().query_direct(r#"cd[title]"#, None).unwrap();
+        assert_eq!(live.len(), 1);
+        drop(file);
+        let reopened = DbFile::open(&path).unwrap();
+        assert_eq!(
+            reopened
+                .database()
+                .query_direct(r#"cd[title]"#, None)
+                .unwrap(),
+            live
+        );
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn mutation_metrics_count_commits() {
+        let before = approxql_metrics::snapshot();
+        let db = Database::from_xml_str("<a><b>x</b></a>", CostModel::new()).unwrap();
+        let mut file = DbFile::create_in(Store::in_memory().unwrap(), db).unwrap();
+        let csn_created = file.commit_sequence();
+        let spans = file
+            .insert_documents(&[doc("<a><b>y</b></a>"), doc("<a><b>z</b></a>")])
+            .unwrap();
+        file.delete_document(NodeId(spans[0].start)).unwrap();
+        let delta = approxql_metrics::snapshot().diff(&before);
+        assert_eq!(delta.get(Metric::StoreDocInserts), 2);
+        assert_eq!(delta.get(Metric::StoreDocDeletes), 1);
+        // One commit per mutation: 2 inserts + 1 delete.
+        assert_eq!(file.commit_sequence(), csn_created + 3);
+    }
+}

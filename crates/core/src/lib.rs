@@ -32,6 +32,7 @@
 //! `cost_leaf` unless [`EvalOptions::enforce_leaf_match`] is switched off.
 
 pub mod database;
+pub mod dbfile;
 pub mod direct;
 pub mod list;
 pub mod reference;
@@ -40,7 +41,8 @@ pub mod secondary;
 pub mod topk;
 
 pub use approxql_storage::CheckReport;
-pub use database::{Database, DatabaseError, QueryHit};
+pub use database::{Database, DatabaseError, MutationDelta, QueryHit};
+pub use dbfile::DbFile;
 pub use direct::{DirectStats, EvalOptions};
 pub use reference::ReferenceEvaluator;
 pub use schema_eval::{EvalStats, ResultStream, SchemaEvalConfig};

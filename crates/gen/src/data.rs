@@ -112,14 +112,19 @@ impl Sink for ElementSink {
         self.stack.push(Element::new(name));
     }
     fn end(&mut self) {
-        let el = self.stack.pop().expect("balanced begin/end");
+        // The generator emits strictly balanced begin/end pairs; an
+        // unmatched end would only mean a generator bug, so drop it.
+        let Some(el) = self.stack.pop() else { return };
         match self.stack.last_mut() {
             Some(parent) => parent.children.push(approxql_xml::XmlNode::Element(el)),
             None => self.done.push(el),
         }
     }
     fn word(&mut self, w: &str) {
-        let el = self.stack.last_mut().expect("words occur inside elements");
+        // Words only occur inside an open element (same invariant).
+        let Some(el) = self.stack.last_mut() else {
+            return;
+        };
         if let Some(approxql_xml::XmlNode::Text(t)) = el.children.last_mut() {
             t.push(' ');
             t.push_str(w);

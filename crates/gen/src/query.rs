@@ -119,7 +119,9 @@ impl QueryGenerator {
 
     fn pick(rng: &mut StdRng, pool: &[String], weights: &[u64], weighted: bool) -> String {
         let idx = if weighted {
-            let total = *weights.last().expect("non-empty pool");
+            // Pools are non-empty by construction; 1 keeps gen_range sane
+            // if that ever changes.
+            let total = weights.last().copied().unwrap_or(1).max(1);
             let u = rng.gen_range(0..total);
             weights.partition_point(|&w| w <= u)
         } else {
@@ -204,6 +206,7 @@ impl QueryGenerator {
     /// Panics if `pattern` is not a valid pattern (patterns are parsed
     /// with the ordinary approXQL grammar).
     pub fn generate(&mut self, pattern: &str) -> GeneratedQuery {
+        // lint:allow(no-panic) the documented `# Panics` contract above
         let parsed = parse_query(pattern).expect("invalid query pattern");
         let root = self.instantiate(&parsed.root);
         let query = approxql_query::Query { root };

@@ -399,6 +399,124 @@ impl BlockList {
         })
     }
 
+    /// Appends strictly pre-sorted postings whose preorder numbers all
+    /// exceed the list's current maximum (document inserts allocate fresh
+    /// preorder numbers past the end, so this is the only append shape the
+    /// mutation path needs).
+    ///
+    /// The merge is canonical-form preserving: full frames are kept as-is,
+    /// a partial tail frame is decoded and re-chunked together with the
+    /// new entries, so the result is byte-identical to
+    /// [`BlockList::from_postings`] over the concatenated list (which
+    /// [`BlockList::check_integrity`] demands).
+    pub fn append_postings(&mut self, new: &[Posting]) {
+        if new.is_empty() {
+            return;
+        }
+        debug_assert!(
+            new.windows(2).all(|w| w[0].pre < w[1].pre),
+            "appended postings must have strictly increasing preorder numbers"
+        );
+        debug_assert!(
+            self.headers.last().is_none_or(|h| h.max_pre < new[0].pre),
+            "appended postings must start past the current maximum"
+        );
+        // Re-chunk from the first frame that is not full (only the tail
+        // frame can be partial in canonical form).
+        let keep = self
+            .headers
+            .iter()
+            .position(|h| (h.count as usize) < BLOCK_SIZE)
+            .unwrap_or(self.headers.len());
+        let mut pending = Vec::with_capacity(
+            self.headers[keep..]
+                .iter()
+                .map(|h| h.count as usize)
+                .sum::<usize>()
+                + new.len(),
+        );
+        for i in keep..self.headers.len() {
+            // Not `decode_block_into`: mutations must not count toward the
+            // query-time decode metrics.
+            let r = self.decode_frame_into(i, &mut pending);
+            debug_assert!(r.is_ok(), "tail frame {i} failed to decode: {r:?}");
+        }
+        pending.extend_from_slice(new);
+        self.truncate_frames(keep);
+        self.encode_frames(&pending);
+    }
+
+    /// Removes every posting with `pre` in `[lo, hi]`, returning the number
+    /// removed. Frames entirely below `lo` are kept untouched; the list is
+    /// re-chunked from the first affected frame, so the result stays a
+    /// canonical encoding.
+    pub fn remove_range(&mut self, lo: u32, hi: u32) -> usize {
+        let keep = self
+            .headers
+            .iter()
+            .position(|h| h.max_pre >= lo)
+            .unwrap_or(self.headers.len());
+        if keep == self.headers.len() {
+            return 0;
+        }
+        let mut tail = Vec::new();
+        for i in keep..self.headers.len() {
+            let r = self.decode_frame_into(i, &mut tail);
+            debug_assert!(r.is_ok(), "frame {i} failed to decode: {r:?}");
+        }
+        let before = tail.len();
+        tail.retain(|p| p.pre < lo || p.pre > hi);
+        let removed = before - tail.len();
+        if removed == 0 {
+            return 0;
+        }
+        self.truncate_frames(keep);
+        self.encode_frames(&tail);
+        removed
+    }
+
+    /// Drops frames `from..` (headers and payload).
+    fn truncate_frames(&mut self, from: usize) {
+        let cut = self
+            .headers
+            .get(from)
+            .map(|h| h.offset as usize)
+            .unwrap_or(self.payload.len());
+        let dropped: usize = self.headers[from..].iter().map(|h| h.count as usize).sum();
+        self.payload.truncate(cut);
+        self.headers.truncate(from);
+        self.entries -= dropped;
+    }
+
+    /// Encodes `postings` as frames appended after the existing ones.
+    /// Callers must guarantee the existing frames are all full and the new
+    /// entries start past the current maximum (canonical-form invariants).
+    fn encode_frames(&mut self, postings: &[Posting]) {
+        for frame in postings.chunks(BLOCK_SIZE) {
+            let offset = self.payload.len() as u32;
+            let mut prev_pre = frame[0].pre;
+            let mut max_bound = 0u32;
+            for (k, p) in frame.iter().enumerate() {
+                if k > 0 {
+                    write_varint(&mut self.payload, u64::from(p.pre.wrapping_sub(prev_pre)));
+                    prev_pre = p.pre;
+                }
+                write_varint(&mut self.payload, u64::from(p.bound.wrapping_sub(p.pre)));
+                write_varint(&mut self.payload, encode_cost(p.pathcost));
+                write_varint(&mut self.payload, encode_cost(p.inscost));
+                max_bound = max_bound.max(p.bound);
+            }
+            self.headers.push(BlockHeader {
+                min_pre: frame[0].pre,
+                max_pre: prev_pre,
+                max_bound,
+                count: frame.len() as u32,
+                offset,
+            });
+        }
+        self.entries += postings.len();
+    }
+
     /// Full integrity check used by `approxql check`: every frame must
     /// decode, the decoded entries must match the skip header
     /// (`min_pre`/`max_pre`/`max_bound`/count, strictly increasing pre),
@@ -662,6 +780,40 @@ impl InstanceBlocks {
         })
     }
 
+    /// Removes every instance with `pre` in `[lo, hi]`, returning the
+    /// number removed. Instance lists are per `(schema node, label)` and
+    /// small, so this decodes and rebuilds rather than splicing frames.
+    pub fn remove_range(&mut self, lo: u32, hi: u32) -> usize {
+        if self
+            .headers
+            .last()
+            .map(|h| h.max_pre)
+            .max(self.tail.last().map(|p| p.pre))
+            .is_none_or(|max| max < lo)
+        {
+            return 0;
+        }
+        let mut all = Vec::with_capacity(self.entry_count());
+        for (i, h) in self.headers.iter().enumerate() {
+            let start = h.offset as usize;
+            let end = self
+                .headers
+                .get(i + 1)
+                .map(|h| h.offset as usize)
+                .unwrap_or(self.payload.len());
+            let r = decode_instance_frame(&self.payload, start, end, h, &mut all);
+            debug_assert!(r.is_ok(), "instance frame {i} failed to decode: {r:?}");
+        }
+        all.extend_from_slice(&self.tail);
+        let before = all.len();
+        all.retain(|p| p.pre < lo || p.pre > hi);
+        let removed = before - all.len();
+        if removed > 0 {
+            *self = InstanceBlocks::from_instances(&all);
+        }
+        removed
+    }
+
     /// Full decode round-trip check used by `approxql check`.
     pub fn check_integrity(&self) -> Result<(), PostingDecodeError> {
         let mut all = Vec::with_capacity(self.sealed);
@@ -883,6 +1035,72 @@ mod tests {
             assert_eq!(loaded.decode_all(), ps, "n = {n}");
             loaded.check_integrity().unwrap();
         }
+    }
+
+    #[test]
+    fn append_postings_matches_batch_encoding() {
+        for base in [0u32, 1, 127, 128, 129, 300] {
+            for added in [1u32, 5, 127, 128, 200] {
+                let mut ps = sample_postings(base);
+                let start = ps.last().map(|p| p.pre + 1).unwrap_or(0);
+                let new: Vec<Posting> = (0..added)
+                    .map(|i| Posting {
+                        pre: start + i * 2,
+                        bound: start + i * 2 + 1,
+                        pathcost: Cost::finite(u64::from(i)),
+                        inscost: Cost::finite(1),
+                    })
+                    .collect();
+                let mut bl = BlockList::from_postings(&ps);
+                bl.append_postings(&new);
+                ps.extend_from_slice(&new);
+                assert_eq!(bl, BlockList::from_postings(&ps), "base {base} + {added}");
+                bl.check_integrity().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn remove_range_matches_filtered_batch_encoding() {
+        let ps = sample_postings(300);
+        for (lo, hi) in [(0u32, 0u32), (1, 400), (390, 600), (0, 10_000), (880, 905)] {
+            let mut bl = BlockList::from_postings(&ps);
+            let removed = bl.remove_range(lo, hi);
+            let kept: Vec<Posting> = ps
+                .iter()
+                .filter(|p| p.pre < lo || p.pre > hi)
+                .copied()
+                .collect();
+            assert_eq!(removed, ps.len() - kept.len(), "range {lo}..={hi}");
+            assert_eq!(bl, BlockList::from_postings(&kept), "range {lo}..={hi}");
+            bl.check_integrity().unwrap();
+        }
+        // Removing everything leaves the canonical empty list.
+        let mut bl = BlockList::from_postings(&ps);
+        bl.remove_range(0, u32::MAX);
+        assert!(bl.is_empty());
+        assert_eq!(bl, BlockList::default());
+    }
+
+    #[test]
+    fn instance_remove_range_filters_sealed_and_tail() {
+        let ps: Vec<InstancePosting> = (0..200u32)
+            .map(|i| InstancePosting {
+                pre: i * 2 + 1,
+                bound: i * 2 + 1,
+            })
+            .collect();
+        let mut ib = InstanceBlocks::from_instances(&ps);
+        let removed = ib.remove_range(100, 300);
+        let kept: Vec<InstancePosting> = ps
+            .iter()
+            .filter(|p| p.pre < 100 || p.pre > 300)
+            .copied()
+            .collect();
+        assert_eq!(removed, ps.len() - kept.len());
+        assert_eq!(ib.decode_all(), kept);
+        ib.check_integrity().unwrap();
+        assert_eq!(ib.remove_range(10_000, 20_000), 0);
     }
 
     #[test]

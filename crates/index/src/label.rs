@@ -25,7 +25,7 @@ impl LabelIndex {
     pub fn build(tree: &DataTree) -> LabelIndex {
         let _timer = time(TimerMetric::IndexBuild);
         let mut flat: HashMap<(NodeType, LabelId), Vec<Posting>> = HashMap::new();
-        for n in tree.nodes() {
+        for n in tree.live_nodes() {
             flat.entry((tree.node_type(n), tree.label_id(n)))
                 .or_default()
                 .push(Posting::from_node(tree, n));
@@ -94,6 +94,44 @@ impl LabelIndex {
     /// storage).
     pub fn insert_blocks(&mut self, ty: NodeType, label: LabelId, blocks: BlockList) {
         self.map.insert((ty, label), blocks);
+    }
+
+    /// The compressed posting for `(ty, label)` without any metric
+    /// side-effects, for the persistence write path. `None` if absent.
+    pub fn blocks(&self, ty: NodeType, label: LabelId) -> Option<&BlockList> {
+        self.map.get(&(ty, label))
+    }
+
+    /// Appends postings (all with `pre` past the current maximum) to the
+    /// list of `(ty, label)`, creating it if absent. Only the partial tail
+    /// frame is re-encoded (DESIGN.md §15).
+    pub fn append_postings(&mut self, ty: NodeType, label: LabelId, new: &[Posting]) {
+        if new.is_empty() {
+            return;
+        }
+        self.map
+            .entry((ty, label))
+            .or_default()
+            .append_postings(new);
+    }
+
+    /// Removes a whole posting. Returns `true` if it existed.
+    pub fn remove_entry(&mut self, ty: NodeType, label: LabelId) -> bool {
+        self.map.remove(&(ty, label)).is_some()
+    }
+
+    /// Removes every posting of `(ty, label)` with `lo <= pre <= hi`,
+    /// dropping the entry entirely when it empties. Returns the number of
+    /// postings removed.
+    pub fn remove_range(&mut self, ty: NodeType, label: LabelId, lo: u32, hi: u32) -> usize {
+        let Some(blocks) = self.map.get_mut(&(ty, label)) else {
+            return 0;
+        };
+        let removed = blocks.remove_range(lo, hi);
+        if blocks.entry_count() == 0 {
+            self.map.remove(&(ty, label));
+        }
+        removed
     }
 
     /// All labels of a given type that occur in the index, with their

@@ -59,7 +59,8 @@ impl From<PostingDecodeError> for PersistError {
     }
 }
 
-fn label_key(ty: NodeType, label: &str) -> Vec<u8> {
+/// The store key of a label posting: `ls#<label>` / `lt#<label>`.
+pub fn label_key(ty: NodeType, label: &str) -> Vec<u8> {
     let mut k = match ty {
         NodeType::Struct => b"ls#".to_vec(),
         NodeType::Text => b"lt#".to_vec(),
@@ -68,7 +69,9 @@ fn label_key(ty: NodeType, label: &str) -> Vec<u8> {
     k
 }
 
-fn sec_key(schema_pre: u32, label: &str) -> Vec<u8> {
+/// The store key of a secondary posting:
+/// `sec#<schema-pre, big-endian u32>#<label>`.
+pub fn sec_key(schema_pre: u32, label: &str) -> Vec<u8> {
     let mut k = b"sec#".to_vec();
     k.extend_from_slice(&schema_pre.to_be_bytes());
     k.push(b'#');

@@ -101,6 +101,31 @@ impl SecondaryIndex {
     pub fn insert_blocks(&mut self, schema_pre: u32, label: LabelId, blocks: InstanceBlocks) {
         self.map.insert((schema_pre, label), blocks);
     }
+
+    /// The compressed posting for `(schema_pre, label)` without any metric
+    /// side-effects, for the persistence write path. `None` if absent.
+    pub fn blocks(&self, schema_pre: u32, label: LabelId) -> Option<&InstanceBlocks> {
+        self.map.get(&(schema_pre, label))
+    }
+
+    /// Removes every instance of `(schema_pre, label)` with
+    /// `lo <= pre <= hi`, dropping the entry entirely when it empties.
+    /// Returns the number of instances removed.
+    pub fn remove_range(&mut self, schema_pre: u32, label: LabelId, lo: u32, hi: u32) -> usize {
+        let Some(blocks) = self.map.get_mut(&(schema_pre, label)) else {
+            return 0;
+        };
+        let removed = blocks.remove_range(lo, hi);
+        if blocks.entry_count() == 0 {
+            self.map.remove(&(schema_pre, label));
+        }
+        removed
+    }
+
+    /// Removes a whole posting. Returns `true` if it existed.
+    pub fn remove_key(&mut self, schema_pre: u32, label: LabelId) -> bool {
+        self.map.remove(&(schema_pre, label)).is_some()
+    }
 }
 
 #[cfg(test)]

@@ -24,7 +24,8 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "no-panic",
         summary: "no unwrap/expect/panic!/unreachable!/todo! in non-test code of \
-                  crates/storage and crates/core (typed StorageError paths only)",
+                  crates/storage, crates/core, crates/cli, and crates/gen \
+                  (typed error paths and documented exit codes only)",
         run: no_panic,
     },
     Rule {
@@ -73,9 +74,16 @@ fn in_any(path: &str, prefixes: &[&str]) -> bool {
 // ---------------------------------------------------------------------------
 
 /// Crates whose non-test code must stay panic-free: the storage layer
-/// promises typed [`StorageError`]s on every path (PR 3), and `core` runs
-/// inside the executor where a panic poisons the whole scope.
-const PANIC_SCOPE: &[&str] = &["crates/storage/src/", "crates/core/src/"];
+/// promises typed [`StorageError`]s on every path (PR 3), `core` runs
+/// inside the executor where a panic poisons the whole scope, and the
+/// `cli`/`gen` binaries promise their documented exit codes — a panic
+/// would bypass them (PR 8).
+const PANIC_SCOPE: &[&str] = &[
+    "crates/storage/src/",
+    "crates/core/src/",
+    "crates/cli/src/",
+    "crates/gen/src/",
+];
 
 fn no_panic(ws: &Workspace, out: &mut Vec<Finding>) {
     for f in &ws.files {
@@ -612,12 +620,21 @@ mod tests {
                      z.unwrap_or(0); }\n#[cfg(test)]\nmod t { fn g() { q.unwrap(); } }\n",
                 ),
                 ("crates/cli/src/main.rs", "fn main() { x.unwrap(); }"),
+                ("crates/xml/src/lib.rs", "fn p() { x.unwrap(); }"),
             ],
             None,
         );
         let f = run_one(&ws, "no-panic");
-        assert_eq!(f.len(), 4, "{f:?}");
-        assert!(f.iter().all(|x| x.path == "crates/storage/src/pager.rs"));
+        assert_eq!(f.len(), 5, "{f:?}");
+        assert_eq!(
+            f.iter()
+                .filter(|x| x.path == "crates/storage/src/pager.rs")
+                .count(),
+            4
+        );
+        // cli is in scope since the scope expansion; xml is not.
+        assert!(f.iter().any(|x| x.path == "crates/cli/src/main.rs"));
+        assert!(f.iter().all(|x| x.path != "crates/xml/src/lib.rs"));
     }
 
     #[test]

@@ -115,6 +115,8 @@ metrics! {
     // -- store (commit/recovery) ------------------------------------------
     StoreCommits => (Store, "store.commits", "Successful dual-slot commits."),
     StoreRecoveryRollbacks => (Store, "store.recovery_rollbacks", "Opens that fell back to the previous commit's header slot."),
+    StoreDocInserts => (Store, "store.doc_inserts", "Documents inserted into a mutable database file (one commit each)."),
+    StoreDocDeletes => (Store, "store.doc_deletes", "Documents tombstoned in a mutable database file (one commit each)."),
     // -- b+-tree ----------------------------------------------------------
     BtreeGets => (Btree, "btree.gets", "Point lookups."),
     BtreeInserts => (Btree, "btree.inserts", "Key insertions (including overwrites)."),
@@ -146,6 +148,7 @@ metrics! {
     PlanCacheHits => (Plan, "plan.cache_hits", "Plan-cache lookups answered without compiling."),
     PlanCacheMisses => (Plan, "plan.cache_misses", "Plan-cache lookups that had to compile."),
     PlanCseReuses => (Plan, "plan.cse_reuses", "Subplans shared by common-subexpression elimination during compiles."),
+    PlanCacheInvalidations => (Plan, "plan.cache_invalidations", "Cached plans evicted because a mutation touched one of their fetch labels."),
     // -- block-compressed postings ----------------------------------------
     PostingsBlocksDecoded => (Postings, "postings.blocks_decoded", "Compressed posting blocks decoded by query operators."),
     PostingsBlocksSkipped => (Postings, "postings.blocks_skipped", "Compressed posting blocks skipped via skip headers without decoding."),

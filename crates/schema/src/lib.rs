@@ -33,11 +33,38 @@
 
 use approxql_cost::{CostModel, NodeType};
 use approxql_index::{InstancePosting, LabelIndex, Posting, SecondaryIndex};
-use approxql_tree::{DataTree, DataTreeBuilder, LabelId, NodeId};
+use approxql_tree::{DataTree, DataTreeBuilder, DocSpan, LabelId, NodeId};
 use std::collections::HashMap;
+use std::fmt;
 
 /// Reserved label of merged text-class nodes in the schema tree.
 pub const TEXT_CLASS_LABEL: &str = "\u{0}text";
+
+/// Errors raised while reassembling a schema from persisted parts.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SchemaAssembleError(&'static str);
+
+impl fmt::Display for SchemaAssembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inconsistent persisted schema: {}", self.0)
+    }
+}
+
+impl std::error::Error for SchemaAssembleError {}
+
+/// What a mutation changed in the schema's secondary index, so the
+/// persistence layer can rewrite only the affected `sec#` keys.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SchemaDelta {
+    /// `(schema_pre, label)` keys whose instance posting changed.
+    pub touched_sec: Vec<(u32, LabelId)>,
+    /// `(schema_pre, label)` keys that emptied and were dropped.
+    pub removed_sec: Vec<(u32, LabelId)>,
+    /// `true` when a new label-type path forced a schema-tree rebuild:
+    /// every schema preorder number may have moved, so the whole `sec#`
+    /// keyspace and the schema tree blob must be rewritten.
+    pub rebuilt: bool,
+}
 
 /// Aggregate statistics of a schema.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,13 +79,22 @@ pub struct SchemaStats {
     pub max_instances: usize,
 }
 
+/// `(parent schema pre, child type, child data label)` — the key of the
+/// shape lookup; the label is `None` for merged text classes.
+type ChildKey = (u32, NodeType, Option<LabelId>);
+
 /// The compacted schema of a data tree, with its indexes.
 pub struct Schema {
     tree: DataTree,
     labels: LabelIndex,
     secondary: SecondaryIndex,
-    /// `class_of[data_pre] = schema_pre`.
+    /// `class_of[data_pre] = schema_pre`. Entries of tombstoned data nodes
+    /// go stale and must not be read (liveness is checked at the tree).
     class_of: Vec<u32>,
+    /// [`ChildKey`] → child schema pre. This is the persistent form of the
+    /// shape lookup used during the build, kept so inserts can classify new
+    /// nodes without an O(data) pass.
+    child_lookup: HashMap<ChildKey, u32>,
 }
 
 impl Schema {
@@ -82,8 +118,8 @@ impl Schema {
         }];
         let n = data.len();
         let mut node_shape: Vec<usize> = vec![0; n];
-        for i in 1..n {
-            let node = NodeId(i as u32);
+        for node in data.live_nodes().filter(|n| n.0 != 0) {
+            let i = node.index();
             let parent_shape = node_shape[data.parent(node).expect("non-root").index()];
             let ty = data.node_type(node);
             let key = match ty {
@@ -143,8 +179,8 @@ impl Schema {
         // ---- pass 2: instances, I_sec, and the schema label index -------
         let mut class_of: Vec<u32> = vec![0; n];
         let mut secondary = SecondaryIndex::new();
-        for i in 1..n {
-            let node = NodeId(i as u32);
+        for node in data.live_nodes().filter(|n| n.0 != 0) {
+            let i = node.index();
             let class = shape_pre[node_shape[i]];
             class_of[i] = class;
             secondary.push(
@@ -156,23 +192,12 @@ impl Schema {
                 },
             );
         }
-        // Every (schema node, label) key of I_sec yields one posting entry
-        // for the schema-level label index: the query's `fetch` against the
-        // schema must find, for a word, all text classes under which the
-        // word occurs, and for a name, all schema nodes with that name.
-        let mut label_postings: HashMap<(NodeType, LabelId), Vec<Posting>> = HashMap::new();
-        for ((schema_pre, label), _) in secondary.iter() {
-            let schema_node = NodeId(schema_pre);
-            label_postings
-                .entry((tree.node_type(schema_node), label))
-                .or_default()
-                .push(Posting::from_node(&tree, schema_node));
-        }
-        let mut labels = LabelIndex::default();
-        for ((ty, label), mut postings) in label_postings {
-            postings.sort_by_key(|p| p.pre);
-            postings.dedup_by_key(|p| p.pre);
-            labels.insert_posting(ty, label, postings);
+        let labels = derive_label_index(&tree, &secondary);
+        let mut child_lookup = HashMap::new();
+        for (s, node) in shape.iter().enumerate() {
+            for &c in &node.children {
+                child_lookup.insert((shape_pre[s], shape[c].ty, shape[c].label), shape_pre[c]);
+            }
         }
 
         Schema {
@@ -180,7 +205,310 @@ impl Schema {
             labels,
             secondary,
             class_of,
+            child_lookup,
         }
+    }
+
+    /// Reassembles a schema from its persisted parts: the schema tree and
+    /// the secondary index (both maintained incrementally and committed
+    /// with every mutation). The label index, the node classes of the live
+    /// data nodes, and the shape lookup are derived — this reproduces the
+    /// incremental state *exactly*, including schema preorder numbers, so
+    /// recovered stores answer queries byte-identically.
+    pub fn assemble(
+        data: &DataTree,
+        tree: DataTree,
+        secondary: SecondaryIndex,
+    ) -> Result<Schema, SchemaAssembleError> {
+        let child_lookup = lookup_from_tree(&tree, data)?;
+        let mut class_of: Vec<u32> = vec![0; data.len()];
+        for node in data.live_nodes().filter(|n| n.0 != 0) {
+            let parent_class = class_of[data.parent(node).expect("non-root").index()];
+            let key = match data.node_type(node) {
+                NodeType::Struct => (parent_class, NodeType::Struct, Some(data.label_id(node))),
+                NodeType::Text => (parent_class, NodeType::Text, None),
+            };
+            let Some(&class) = child_lookup.get(&key) else {
+                return Err(SchemaAssembleError(
+                    "a live data node has no class in the schema tree",
+                ));
+            };
+            class_of[node.index()] = class;
+        }
+        for ((schema_pre, _), _) in secondary.iter() {
+            if schema_pre as usize >= tree.len() {
+                return Err(SchemaAssembleError(
+                    "secondary key points past the schema tree",
+                ));
+            }
+        }
+        let labels = derive_label_index(&tree, &secondary);
+        Ok(Schema {
+            tree,
+            labels,
+            secondary,
+            class_of,
+            child_lookup,
+        })
+    }
+
+    /// Incrementally absorbs a freshly appended document range (`span`
+    /// must be the last live range of `data`, already present in its node
+    /// columns). New label-type paths force a schema-tree rebuild that
+    /// preserves the historical first-occurrence order of all existing
+    /// paths; otherwise only the touched secondary postings change.
+    pub fn insert_range(
+        &mut self,
+        data: &DataTree,
+        span: DocSpan,
+        costs: &CostModel,
+    ) -> SchemaDelta {
+        let mut delta = SchemaDelta::default();
+        // Classify with a dry run: any missing path triggers the
+        // structural path (rebuild + remap) before instances are added.
+        if !self.range_is_classifiable(data, span) {
+            self.extend_structure(data, span, costs);
+            delta.rebuilt = true;
+        }
+        if self.class_of.len() < data.len() {
+            self.class_of.resize(data.len(), 0);
+        }
+        let mut touched: Vec<(u32, LabelId)> = Vec::new();
+        for pre in span.start..=span.bound {
+            let node = NodeId(pre);
+            let parent_class = self.class_of[data.parent(node).expect("non-root").index()];
+            let key = match data.node_type(node) {
+                NodeType::Struct => (parent_class, NodeType::Struct, Some(data.label_id(node))),
+                NodeType::Text => (parent_class, NodeType::Text, None),
+            };
+            let class = *self
+                .child_lookup
+                .get(&key)
+                .expect("extend_structure covers every path of the range");
+            self.class_of[node.index()] = class;
+            let label = data.label_id(node);
+            let sec_key = (class, label);
+            if self.secondary.blocks(class, label).is_none() {
+                // A key new to I_sec: the schema label index gains this
+                // schema node for the label (small list, re-encoded).
+                let ty = self.tree.node_type(NodeId(class));
+                let mut posting = self
+                    .labels
+                    .blocks(ty, label)
+                    .map(|b| b.decode_all())
+                    .unwrap_or_default();
+                let entry = Posting::from_node(&self.tree, NodeId(class));
+                if let Err(pos) = posting.binary_search_by_key(&class, |p: &Posting| p.pre) {
+                    posting.insert(pos, entry);
+                    self.labels.insert_posting(ty, label, posting);
+                }
+            }
+            self.secondary.push(
+                class,
+                label,
+                InstancePosting {
+                    pre,
+                    bound: data.bound(node),
+                },
+            );
+            touched.push(sec_key);
+        }
+        touched.sort_unstable_by_key(|&(p, l)| (p, l.0));
+        touched.dedup();
+        delta.touched_sec = touched;
+        delta
+    }
+
+    /// Incrementally removes a tombstoned document range from the
+    /// secondary index and the schema label index. The schema tree keeps
+    /// instance-less path nodes (they are harmless: with no instances they
+    /// can never produce a hit) so schema preorder numbers stay stable.
+    pub fn delete_range(&mut self, data: &DataTree, span: DocSpan) -> SchemaDelta {
+        let mut keys: Vec<(u32, LabelId)> = (span.start..=span.bound)
+            .map(|pre| (self.class_of[pre as usize], data.label_id(NodeId(pre))))
+            .collect();
+        keys.sort_unstable_by_key(|&(p, l)| (p, l.0));
+        keys.dedup();
+        let mut delta = SchemaDelta::default();
+        for (class, label) in keys {
+            let removed = self
+                .secondary
+                .remove_range(class, label, span.start, span.bound);
+            debug_assert!(removed > 0, "dead range instance missing from I_sec");
+            if self.secondary.blocks(class, label).is_none() {
+                // The key emptied: drop this schema node from the label's
+                // schema-level posting.
+                delta.removed_sec.push((class, label));
+                let ty = self.tree.node_type(NodeId(class));
+                let mut posting = self
+                    .labels
+                    .blocks(ty, label)
+                    .map(|b| b.decode_all())
+                    .unwrap_or_default();
+                posting.retain(|p| p.pre != class);
+                if posting.is_empty() {
+                    self.labels.remove_entry(ty, label);
+                } else {
+                    self.labels.insert_posting(ty, label, posting);
+                }
+            } else {
+                delta.touched_sec.push((class, label));
+            }
+        }
+        delta
+    }
+
+    /// `true` when every node of `span` maps onto an existing schema path.
+    fn range_is_classifiable(&self, data: &DataTree, span: DocSpan) -> bool {
+        // Walk with a scratch class array local to the range (the range is
+        // contiguous and parents precede children within it).
+        let mut scratch: HashMap<u32, u32> = HashMap::new();
+        for pre in span.start..=span.bound {
+            let node = NodeId(pre);
+            let parent = data.parent(node).expect("non-root").0;
+            let parent_class = if parent < span.start {
+                0 // the virtual root
+            } else {
+                scratch[&parent]
+            };
+            let key = match data.node_type(node) {
+                NodeType::Struct => (parent_class, NodeType::Struct, Some(data.label_id(node))),
+                NodeType::Text => (parent_class, NodeType::Text, None),
+            };
+            match self.child_lookup.get(&key) {
+                Some(&class) => {
+                    scratch.insert(pre, class);
+                }
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Grows the schema tree with the new label-type paths of `span`,
+    /// preserving the historical first-occurrence order of existing paths
+    /// (existing siblings keep their order; new children append after
+    /// them), then remaps every schema preorder number.
+    fn extend_structure(&mut self, data: &DataTree, span: DocSpan, costs: &CostModel) {
+        // ---- shape graph from the current schema tree -------------------
+        // Shape index == old schema pre for existing nodes.
+        let old_len = self.tree.len();
+        #[derive(Clone)]
+        struct ShapeNode {
+            /// Data-interner label for new struct nodes; existing nodes
+            /// resolve their label from the old schema tree.
+            label: Option<LabelId>,
+            ty: NodeType,
+            children: Vec<usize>,
+        }
+        let mut shape: Vec<ShapeNode> = (0..old_len)
+            .map(|s| ShapeNode {
+                label: None,
+                ty: self.tree.node_type(NodeId(s as u32)),
+                children: self
+                    .tree
+                    .children(NodeId(s as u32))
+                    .map(|c| c.index())
+                    .collect(),
+            })
+            .collect();
+        // (shape parent, ty, data label) → shape child, seeded from the
+        // persistent lookup (old pre == shape index).
+        let mut lookup: HashMap<(usize, NodeType, Option<LabelId>), usize> = self
+            .child_lookup
+            .iter()
+            .map(|(&(p, ty, l), &c)| ((p as usize, ty, l), c as usize))
+            .collect();
+        // ---- absorb the new range's paths -------------------------------
+        let mut node_shape: HashMap<u32, usize> = HashMap::new();
+        for pre in span.start..=span.bound {
+            let node = NodeId(pre);
+            let parent = data.parent(node).expect("non-root").0;
+            let parent_shape = if parent < span.start {
+                0
+            } else {
+                node_shape[&parent]
+            };
+            let key = match data.node_type(node) {
+                NodeType::Struct => (parent_shape, NodeType::Struct, Some(data.label_id(node))),
+                NodeType::Text => (parent_shape, NodeType::Text, None),
+            };
+            let s = match lookup.get(&key) {
+                Some(&s) => s,
+                None => {
+                    let s = shape.len();
+                    shape.push(ShapeNode {
+                        label: key.2,
+                        ty: key.1,
+                        children: Vec::new(),
+                    });
+                    shape[parent_shape].children.push(s);
+                    lookup.insert(key, s);
+                    s
+                }
+            };
+            node_shape.insert(pre, s);
+        }
+        // ---- re-linearize -----------------------------------------------
+        let mut builder = DataTreeBuilder::new();
+        let mut shape_pre: Vec<u32> = vec![0; shape.len()];
+        let mut stack: Vec<(usize, bool)> = shape[0]
+            .children
+            .iter()
+            .rev()
+            .map(|&c| (c, false))
+            .collect();
+        while let Some((s, closing)) = stack.pop() {
+            if closing {
+                builder.end();
+                continue;
+            }
+            let label: String = if s < old_len {
+                self.tree.label(NodeId(s as u32)).to_owned()
+            } else {
+                match shape[s].ty {
+                    NodeType::Struct => data
+                        .resolve_label(shape[s].label.expect("new struct shape has a label"))
+                        .to_owned(),
+                    NodeType::Text => TEXT_CLASS_LABEL.to_owned(),
+                }
+            };
+            match shape[s].ty {
+                NodeType::Struct => {
+                    shape_pre[s] = builder.begin_struct(&label).0;
+                    stack.push((s, true));
+                    for &c in shape[s].children.iter().rev() {
+                        stack.push((c, false));
+                    }
+                }
+                NodeType::Text => {
+                    debug_assert!(shape[s].children.is_empty());
+                    shape_pre[s] = builder.add_word(&label).0;
+                }
+            }
+        }
+        let new_tree = builder.build(costs);
+        // ---- remap every schema preorder number -------------------------
+        let remap = |old: u32| shape_pre[old as usize];
+        for c in &mut self.class_of {
+            *c = remap(*c);
+        }
+        let entries: Vec<_> = self
+            .secondary
+            .iter()
+            .map(|((p, l), blocks)| ((remap(p), l), blocks.clone()))
+            .collect();
+        let mut secondary = SecondaryIndex::new();
+        for ((p, l), blocks) in entries {
+            secondary.insert_blocks(p, l, blocks);
+        }
+        self.secondary = secondary;
+        self.child_lookup = lookup
+            .into_iter()
+            .map(|((p, ty, l), c)| ((shape_pre[p], ty, l), shape_pre[c]))
+            .collect();
+        self.tree = new_tree;
+        self.labels = derive_label_index(&self.tree, &self.secondary);
     }
 
     /// The schema tree (encoded like a data tree).
@@ -224,6 +552,57 @@ impl Schema {
                 .unwrap_or(0),
         }
     }
+}
+
+/// The schema-level label index, derived from the secondary index: every
+/// `(schema node, label)` key of `I_sec` yields one posting entry — the
+/// query's `fetch` against the schema must find, for a word, all text
+/// classes under which the word occurs, and for a name, all schema nodes
+/// with that name.
+fn derive_label_index(tree: &DataTree, secondary: &SecondaryIndex) -> LabelIndex {
+    let mut label_postings: HashMap<(NodeType, LabelId), Vec<Posting>> = HashMap::new();
+    for ((schema_pre, label), _) in secondary.iter() {
+        let schema_node = NodeId(schema_pre);
+        label_postings
+            .entry((tree.node_type(schema_node), label))
+            .or_default()
+            .push(Posting::from_node(tree, schema_node));
+    }
+    let mut labels = LabelIndex::default();
+    for ((ty, label), mut postings) in label_postings {
+        postings.sort_by_key(|p| p.pre);
+        postings.dedup_by_key(|p| p.pre);
+        labels.insert_posting(ty, label, postings);
+    }
+    labels
+}
+
+/// Rebuilds the shape lookup from a schema tree, translating schema labels
+/// back into the data tree's label ids.
+fn lookup_from_tree(
+    tree: &DataTree,
+    data: &DataTree,
+) -> Result<HashMap<ChildKey, u32>, SchemaAssembleError> {
+    let mut lookup = HashMap::new();
+    for s in tree.nodes() {
+        for c in tree.children(s) {
+            let key = match tree.node_type(c) {
+                NodeType::Text => (s.0, NodeType::Text, None),
+                NodeType::Struct => {
+                    let Some(label) = data.lookup_label(tree.label(c)) else {
+                        return Err(SchemaAssembleError(
+                            "schema label missing from the data interner",
+                        ));
+                    };
+                    (s.0, NodeType::Struct, Some(label))
+                }
+            };
+            if lookup.insert(key, c.0).is_some() {
+                return Err(SchemaAssembleError("duplicate label-type path"));
+            }
+        }
+    }
+    Ok(lookup)
 }
 
 #[cfg(test)]
@@ -379,6 +758,155 @@ mod tests {
         assert_eq!(st.schema_nodes, 9);
         assert_eq!(st.data_nodes, d.len());
         assert_eq!(st.max_instances, 2); // the two cd instances
+    }
+
+    /// Decoded `I_sec` contents: `(schema pre, label)` → instance spans.
+    type SecSnapshot = Vec<((u32, u32), Vec<(u32, u32)>)>;
+    /// Decoded label-index contents: `(node type, label)` → pres.
+    type LabSnapshot = Vec<((u8, u32), Vec<u32>)>;
+
+    /// Orders the decoded contents of two schemas' indexes for comparison.
+    fn snapshot(s: &Schema) -> (Vec<u8>, SecSnapshot, LabSnapshot) {
+        let tree_bytes = s.tree().to_bytes();
+        let mut sec: Vec<_> = s
+            .secondary()
+            .iter()
+            .map(|((p, l), b)| {
+                (
+                    (p, l.0),
+                    b.decode_all().iter().map(|i| (i.pre, i.bound)).collect(),
+                )
+            })
+            .collect();
+        sec.sort();
+        let mut lab: Vec<_> = s
+            .labels()
+            .iter()
+            .map(|((ty, l), b)| {
+                (
+                    (ty as u8, l.0),
+                    b.decode_all().iter().map(|p| p.pre).collect(),
+                )
+            })
+            .collect();
+        lab.sort();
+        (tree_bytes, sec, lab)
+    }
+
+    #[test]
+    fn insert_range_matches_batch_build() {
+        use approxql_xml::parse_document;
+        let costs = CostModel::new();
+        let docs = [
+            r#"<cd><title>piano concerto</title></cd>"#,
+            r#"<cd><title>cello suite</title><composer>someone</composer></cd>"#, // new path
+            r#"<dvd><title>piano</title></dvd>"#,                                 // new path
+            r#"<cd><title>violin</title></cd>"#,                                  // no new path
+        ];
+        // Incremental: one doc at a time.
+        let mut tree = {
+            let mut b = DataTreeBuilder::new();
+            b.add_document(&parse_document(docs[0]).unwrap());
+            b.build(&costs)
+        };
+        let mut schema = Schema::build(&tree, &costs);
+        for d in &docs[1..] {
+            let span = tree.append_document(&parse_document(d).unwrap(), &costs);
+            schema.insert_range(&tree, span, &costs);
+        }
+        // Batch: all docs at once (same first-occurrence order).
+        let batch_tree = {
+            let mut b = DataTreeBuilder::new();
+            for d in &docs {
+                b.add_document(&parse_document(d).unwrap());
+            }
+            b.build(&costs)
+        };
+        let batch = Schema::build(&batch_tree, &costs);
+        assert_eq!(snapshot(&schema), snapshot(&batch));
+        assert_eq!(schema.class_of, batch.class_of);
+        assert_eq!(schema.child_lookup, batch.child_lookup);
+    }
+
+    #[test]
+    fn insert_range_reports_rebuilds() {
+        use approxql_xml::parse_document;
+        let costs = CostModel::new();
+        let mut tree = {
+            let mut b = DataTreeBuilder::new();
+            b.add_document(&parse_document("<cd><title>piano</title></cd>").unwrap());
+            b.build(&costs)
+        };
+        let mut schema = Schema::build(&tree, &costs);
+        let span = tree.append_document(
+            &parse_document("<cd><title>cello</title></cd>").unwrap(),
+            &costs,
+        );
+        let delta = schema.insert_range(&tree, span, &costs);
+        assert!(!delta.rebuilt, "no new path must not rebuild");
+        assert!(!delta.touched_sec.is_empty());
+        let span = tree.append_document(
+            &parse_document("<lp><title>organ</title></lp>").unwrap(),
+            &costs,
+        );
+        let delta = schema.insert_range(&tree, span, &costs);
+        assert!(delta.rebuilt, "new top-level path must rebuild");
+    }
+
+    #[test]
+    fn delete_range_empties_keys_and_assemble_roundtrips() {
+        use approxql_xml::parse_document;
+        let costs = CostModel::new();
+        let mut tree = {
+            let mut b = DataTreeBuilder::new();
+            b.add_document(&parse_document("<cd><title>piano</title></cd>").unwrap());
+            b.add_document(&parse_document("<cd><title>piano cello</title></cd>").unwrap());
+            b.build(&costs)
+        };
+        let mut schema = Schema::build(&tree, &costs);
+        let first = tree.documents()[0];
+        tree.delete_document(NodeId(first.start)).unwrap();
+        let delta = schema.delete_range(&tree, first);
+        assert!(!delta.rebuilt);
+        // "piano" survives in doc 2, so its key is touched, not removed.
+        let piano = tree.lookup_label("piano").unwrap();
+        assert!(delta.touched_sec.iter().any(|&(_, l)| l == piano));
+        // Deleting the second doc empties everything.
+        let second = tree.documents()[1];
+        tree.delete_document(NodeId(second.start)).unwrap();
+        let delta = schema.delete_range(&tree, second);
+        assert!(delta.touched_sec.is_empty());
+        assert!(!delta.removed_sec.is_empty());
+        assert!(schema.secondary().is_empty());
+        assert!(schema.labels().is_empty());
+
+        // Reassembly from the persisted parts reproduces the state exactly.
+        let assembled =
+            Schema::assemble(&tree, schema.tree().clone(), schema.secondary().clone()).unwrap();
+        assert_eq!(snapshot(&assembled), snapshot(&schema));
+        assert_eq!(assembled.child_lookup, schema.child_lookup);
+    }
+
+    #[test]
+    fn deleted_paths_keep_schema_nodes_but_produce_no_hits() {
+        use approxql_xml::parse_document;
+        let costs = CostModel::new();
+        let mut tree = {
+            let mut b = DataTreeBuilder::new();
+            b.add_document(&parse_document("<cd><title>piano</title></cd>").unwrap());
+            b.add_document(&parse_document("<dvd>film</dvd>").unwrap());
+            b.build(&costs)
+        };
+        let mut schema = Schema::build(&tree, &costs);
+        let nodes_before = schema.tree().len();
+        let first = tree.documents()[0];
+        tree.delete_document(NodeId(first.start)).unwrap();
+        schema.delete_range(&tree, first);
+        // The schema tree is untouched (stable pres)…
+        assert_eq!(schema.tree().len(), nodes_before);
+        // …but the cd class no longer appears in the label index.
+        let cd = tree.lookup_label("cd").unwrap();
+        assert!(schema.labels().blocks(NodeType::Struct, cd).is_none());
     }
 
     #[test]

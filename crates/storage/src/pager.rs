@@ -201,7 +201,11 @@ struct Frame {
 /// clock (second-chance) sweep evicts clean pages to make room. Dirty pages
 /// are never evicted — they hold unflushed data — so a burst of allocations
 /// may temporarily exceed the capacity until the next [`Pager::flush`]
-/// makes the pages clean (and thus evictable) again.
+/// makes the pages clean (and thus evictable) again. The `dirty` counter
+/// keeps that burst O(1) per touch: when no clean page exists the sweep is
+/// skipped entirely instead of scanning the whole (all-dirty) ring on
+/// every insertion — without it, one large uncommitted transaction
+/// degrades to a quadratic number of futile clock steps.
 pub struct Pager {
     backend: Box<dyn Backend>,
     cache: HashMap<PageId, Frame>,
@@ -211,6 +215,9 @@ pub struct Pager {
     ring: Vec<PageId>,
     hand: usize,
     capacity: usize,
+    /// Number of cached frames with `dirty == true` (maintained on every
+    /// dirty-flag transition; only clean frames are eviction candidates).
+    dirty: usize,
     next_page: u32,
     /// Pages `< committed` belong to the last committed state and must
     /// never be rewritten in place (copy-on-write discipline).
@@ -232,6 +239,7 @@ impl Pager {
             ring: Vec::new(),
             hand: 0,
             capacity: capacity.max(1),
+            dirty: 0,
             next_page,
             committed: next_page,
         }
@@ -271,7 +279,7 @@ impl Pager {
 
     /// `true` if any cached page holds unflushed data.
     pub fn has_dirty(&self) -> bool {
-        self.cache.values().any(|f| f.dirty)
+        self.dirty > 0
     }
 
     /// Rewinds the allocation cursor to `pages` (recovery rollback: pages
@@ -283,6 +291,7 @@ impl Pager {
         let cache = &self.cache;
         self.ring.retain(|id| cache.contains_key(id));
         self.hand = 0;
+        self.dirty = self.cache.values().filter(|f| f.dirty).count();
     }
 
     /// Evicts one clean page via the clock sweep. Returns `false` when
@@ -325,7 +334,12 @@ impl Pager {
     /// Inserts a page, evicting first so the new page itself can never be
     /// the victim (callers hand out references to it immediately).
     fn insert_frame(&mut self, id: PageId, frame: Frame) {
-        while self.cache.len() >= self.capacity && self.evict_one() {}
+        while self.cache.len() >= self.capacity && self.cache.len() > self.dirty && self.evict_one()
+        {
+        }
+        if frame.dirty {
+            self.dirty += 1;
+        }
         self.cache.insert(id, frame);
         self.ring.push(id);
     }
@@ -333,7 +347,9 @@ impl Pager {
     /// Shrinks an over-budget cache (e.g. after a flush turned a burst of
     /// dirty allocations clean) back under its capacity.
     fn enforce_budget(&mut self) {
-        while self.cache.len() > self.capacity && self.evict_one() {}
+        while self.cache.len() > self.capacity && self.cache.len() > self.dirty && self.evict_one()
+        {
+        }
     }
 
     /// Allocates a fresh page (zero-filled) and returns its id.
@@ -423,7 +439,10 @@ impl Pager {
             );
         }
         let frame = frame_mut(&mut self.cache, id)?;
-        frame.dirty = true;
+        if !frame.dirty {
+            self.dirty += 1;
+            frame.dirty = true;
+        }
         frame.referenced = true;
         Ok(&mut frame.buf)
     }
@@ -459,6 +478,7 @@ impl Pager {
         for id in dirty {
             frame_mut(&mut self.cache, id)?.dirty = false;
         }
+        self.dirty = 0;
         Ok(())
     }
 
@@ -467,7 +487,9 @@ impl Pager {
     /// protocol). Any cached copy of the page is dropped so the cache never
     /// shadows the slot.
     pub fn write_direct(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
-        self.cache.remove(&id);
+        if self.cache.remove(&id).is_some_and(|f| f.dirty) {
+            self.dirty -= 1;
+        }
         self.backend.write_page(id, buf)?;
         if id.0 >= self.next_page {
             self.next_page = id.0 + 1;
@@ -754,6 +776,35 @@ mod tests {
             assert!(p.cached_pages() <= 16);
         }
         assert!(p.cached_pages() <= 4 + 1);
+    }
+
+    #[test]
+    fn dirty_counter_tracks_every_transition() {
+        let mut p = Pager::with_capacity(Box::new(MemBackend::new()), 4);
+        let ids: Vec<PageId> = (0..16).map(|_| p.allocate()).collect();
+        // Re-marking an already-dirty page must not double-count.
+        for &id in &ids {
+            p.write(id).unwrap()[0] = 1;
+        }
+        assert!(p.has_dirty());
+        assert_eq!(p.cached_pages(), 16);
+        p.flush().unwrap();
+        assert!(!p.has_dirty());
+        // Clean pages are evictable again: the next touch shrinks the
+        // over-budget cache.
+        let _ = p.read(ids[0]).unwrap();
+        assert!(p.cached_pages() <= 4 + 1);
+        // `write_direct` drops a dirty cached copy without leaking the
+        // counter (the commit header path).
+        p.write(ids[1]).unwrap()[0] = 2;
+        assert!(p.has_dirty());
+        p.write_direct(ids[1], &[0u8; PAGE_SIZE]).unwrap();
+        assert!(!p.has_dirty());
+        // A recovery rollback recomputes the counter over the survivors.
+        p.write(ids[2]).unwrap()[0] = 3;
+        assert!(p.has_dirty());
+        p.truncate_to(0);
+        assert!(!p.has_dirty());
     }
 
     #[test]

@@ -174,6 +174,18 @@ impl DataTreeBuilder {
             let p = self.parents[i] as usize;
             pathcosts[i] = pathcosts[p] + inscosts[p];
         }
+        // Document registry: one span per child of the virtual root.
+        let mut docs = Vec::new();
+        let mut c = 1usize;
+        while c < n {
+            let bound = self.bounds[c];
+            docs.push(crate::tree::DocSpan {
+                start: c as u32,
+                bound,
+                alive: true,
+            });
+            c = bound as usize + 1;
+        }
         DataTree {
             labels: self.labels,
             types: self.types,
@@ -182,6 +194,7 @@ impl DataTreeBuilder {
             inscosts,
             pathcosts,
             interner: self.interner,
+            docs,
         }
     }
 }

@@ -29,8 +29,11 @@ mod tree;
 
 pub use builder::{DataTreeBuilder, VIRTUAL_ROOT_LABEL};
 pub use interner::{Interner, LabelId};
-pub use ser::TreeDecodeError;
-pub use tree::{DataTree, NodeId, TreeError, TreeStats};
+pub use ser::{
+    decode_doc_segment, decode_docmap, decode_interner, encode_docmap, encode_interner, DocSegment,
+    TreeDecodeError,
+};
+pub use tree::{DataTree, DocSpan, NodeId, TreeError, TreeStats};
 
 // Re-export the shared vocabulary types so downstream crates can name them
 // without depending on approxql-cost directly.

@@ -1,8 +1,10 @@
-//! The immutable, encoded data tree.
+//! The encoded data tree: immutable node columns plus a document registry
+//! that supports append-at-end inserts and tombstone deletes.
 
 use crate::interner::{Interner, LabelId};
-use approxql_cost::{Cost, NodeType};
-use approxql_xml::Element;
+use crate::text::split_words;
+use approxql_cost::{Cost, CostModel, NodeType};
+use approxql_xml::{Document, Element, XmlNode};
 use std::fmt;
 
 /// A node of a [`DataTree`], identified by its 0-based preorder number.
@@ -59,11 +61,31 @@ pub struct TreeStats {
     pub max_depth: usize,
 }
 
+/// One document subtree hanging off the virtual root: a contiguous
+/// preorder range `[start, bound]` plus a liveness flag.
+///
+/// The registry realizes gap-based labelling (DESIGN.md §15): inserts
+/// append a fresh range past the current maximum (existing nodes never
+/// relabel) and deletes flip `alive` off, leaving the range as a permanent
+/// gap in the preorder sequence. Interval-based ancestor tests stay valid
+/// because surviving nodes keep their `pre`/`bound` values verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DocSpan {
+    /// Preorder number of the document root (a child of the virtual root).
+    pub start: u32,
+    /// Largest preorder number in the document subtree.
+    pub bound: u32,
+    /// `false` once the document has been deleted (tombstoned).
+    pub alive: bool,
+}
+
 /// The encoded data tree (Sections 4 and 6.2).
 ///
 /// Nodes are stored in preorder; [`NodeId`] *is* the preorder number `pre`.
-/// The structure is immutable once built by
-/// [`DataTreeBuilder`](crate::DataTreeBuilder).
+/// Node columns are append-only: [`DataTree::append_document`] adds a
+/// fresh preorder range at the end and [`DataTree::delete_document`]
+/// tombstones a document's range in the [`DocSpan`] registry without
+/// touching any other node.
 #[derive(Clone, Debug)]
 pub struct DataTree {
     pub(crate) labels: Vec<LabelId>,
@@ -74,6 +96,8 @@ pub struct DataTree {
     pub(crate) inscosts: Vec<Cost>,
     pub(crate) pathcosts: Vec<Cost>,
     pub(crate) interner: Interner,
+    /// Document registry: the ranges under the virtual root, in preorder.
+    pub(crate) docs: Vec<DocSpan>,
 }
 
 impl DataTree {
@@ -209,9 +233,122 @@ impl DataTree {
         &self.interner
     }
 
-    /// All node ids in preorder.
+    /// All node ids in preorder, including tombstoned ranges.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
         (0..self.len() as u32).map(NodeId)
+    }
+
+    /// The document registry: one span per document ever inserted, in
+    /// preorder, tombstones included.
+    pub fn documents(&self) -> &[DocSpan] {
+        &self.docs
+    }
+
+    /// The live document whose range contains `pre`, if any.
+    pub fn doc_of(&self, pre: u32) -> Option<DocSpan> {
+        let i = self
+            .docs
+            .partition_point(|d| d.start <= pre)
+            .checked_sub(1)?;
+        let d = self.docs[i];
+        (pre <= d.bound && d.alive).then_some(d)
+    }
+
+    /// `true` if `n` is the virtual root or belongs to a live document.
+    pub fn is_live(&self, n: NodeId) -> bool {
+        n.0 == 0 || self.doc_of(n.0).is_some()
+    }
+
+    /// All live node ids in preorder (the root, then each live document's
+    /// range).
+    pub fn live_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        std::iter::once(NodeId(0)).chain(
+            self.docs
+                .iter()
+                .filter(|d| d.alive)
+                .flat_map(|d| (d.start..=d.bound).map(NodeId)),
+        )
+    }
+
+    /// Number of live nodes, including the virtual root.
+    pub fn live_node_count(&self) -> usize {
+        1 + self
+            .docs
+            .iter()
+            .filter(|d| d.alive)
+            .map(|d| (d.bound - d.start + 1) as usize)
+            .sum::<usize>()
+    }
+
+    /// Appends `doc` as a new document at the end of the preorder range
+    /// and returns its span. Existing nodes keep their preorder numbers
+    /// verbatim (gap-based labelling); only the virtual root's bound grows.
+    pub fn append_document(&mut self, doc: &Document, costs: &CostModel) -> DocSpan {
+        let start = self.labels.len() as u32;
+        self.append_element(&doc.root, 0, costs);
+        let n = self.labels.len();
+        // Bounds right-to-left within the new range: propagate each child's
+        // bound to its parent (mirrors DataTreeBuilder::build).
+        for i in (start as usize..n).rev() {
+            let p = self.parents[i] as usize;
+            if p >= start as usize && self.bounds[i] > self.bounds[p] {
+                self.bounds[p] = self.bounds[i];
+            }
+        }
+        let bound = (n - 1) as u32;
+        self.bounds[0] = bound;
+        let span = DocSpan {
+            start,
+            bound,
+            alive: true,
+        };
+        self.docs.push(span);
+        span
+    }
+
+    /// Tombstones the document rooted at `root` (a live child of the
+    /// virtual root) and returns its span. The node columns and every
+    /// surviving preorder number are untouched; the root's bound is *not*
+    /// shrunk (it only ever grows, which keeps it a valid upper bound).
+    pub fn delete_document(&mut self, root: NodeId) -> Option<DocSpan> {
+        let d = self
+            .docs
+            .iter_mut()
+            .find(|d| d.start == root.0 && d.alive)?;
+        d.alive = false;
+        Some(*d)
+    }
+
+    fn append_node(&mut self, label: &str, ty: NodeType, parent: u32, costs: &CostModel) -> u32 {
+        let pre = u32::try_from(self.labels.len()).expect("tree larger than u32 preorder space");
+        self.labels.push(self.interner.intern(label));
+        self.types.push(ty);
+        self.parents.push(parent);
+        self.bounds.push(pre);
+        self.inscosts.push(costs.insert_cost(ty, label));
+        let p = parent as usize;
+        self.pathcosts.push(self.pathcosts[p] + self.inscosts[p]);
+        pre
+    }
+
+    fn append_element(&mut self, el: &Element, parent: u32, costs: &CostModel) {
+        let pre = self.append_node(&el.name, NodeType::Struct, parent, costs);
+        for (name, value) in &el.attributes {
+            let a = self.append_node(name, NodeType::Struct, pre, costs);
+            for w in split_words(value) {
+                self.append_node(&w, NodeType::Text, a, costs);
+            }
+        }
+        for child in &el.children {
+            match child {
+                XmlNode::Element(e) => self.append_element(e, pre, costs),
+                XmlNode::Text(t) => {
+                    for w in split_words(t) {
+                        self.append_node(&w, NodeType::Text, pre, costs);
+                    }
+                }
+            }
+        }
     }
 
     /// Reconstructs the subtree rooted at `n` as an XML element.
@@ -221,7 +358,7 @@ impl DataTree {
     /// data model deliberately erases the element/attribute distinction,
     /// see Section 4).
     pub fn subtree_element(&self, n: NodeId) -> Result<Element, TreeError> {
-        if n.index() >= self.len() {
+        if n.index() >= self.len() || !self.is_live(n) {
             return Err(TreeError::InvalidNode(n));
         }
         if self.node_type(n) != NodeType::Struct {
@@ -247,13 +384,13 @@ impl DataTree {
         Ok(el)
     }
 
-    /// Aggregate statistics.
+    /// Aggregate statistics over the live nodes.
     pub fn stats(&self) -> TreeStats {
         let mut element_count = 0;
         let mut word_count = 0;
         let mut max_depth = 0;
         let mut depths = vec![0usize; self.len()];
-        for n in self.nodes() {
+        for n in self.live_nodes() {
             if n.0 != 0 {
                 let p = self.parents[n.index()] as usize;
                 depths[n.index()] = depths[p] + 1;
@@ -265,7 +402,7 @@ impl DataTree {
             }
         }
         TreeStats {
-            node_count: self.len(),
+            node_count: self.live_node_count(),
             element_count,
             word_count,
             distinct_labels: self.interner.len(),
@@ -285,12 +422,16 @@ impl Iterator for Children<'_> {
     type Item = NodeId;
 
     fn next(&mut self) -> Option<NodeId> {
-        if self.next > self.bound {
-            return None;
+        // Skip tombstoned documents: a dead doc root's bounds entry still
+        // covers its whole range, so one jump clears the gap.
+        while self.next <= self.bound {
+            let id = NodeId(self.next);
+            self.next = self.tree.bounds[id.index()] + 1;
+            if self.tree.is_live(id) {
+                return Some(id);
+            }
         }
-        let id = NodeId(self.next);
-        self.next = self.tree.bounds[id.index()] + 1;
-        Some(id)
+        None
     }
 }
 
@@ -442,5 +583,100 @@ mod tests {
         let t = small_tree();
         let d: Vec<_> = t.descendants_inclusive(NodeId(2)).collect();
         assert_eq!(d, vec![NodeId(2), NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn append_document_matches_batch_build() {
+        use approxql_xml::parse_document;
+        let costs = CostModel::new();
+        let xml_a = r#"<cd year="1901"><title>Piano Concerto</title></cd>"#;
+        let xml_b = "<cd><composer>Rachmaninov</composer></cd>";
+
+        let mut incremental = {
+            let mut b = DataTreeBuilder::new();
+            b.add_document(&parse_document(xml_a).unwrap());
+            b.build(&costs)
+        };
+        let span = incremental.append_document(&parse_document(xml_b).unwrap(), &costs);
+
+        let batch = {
+            let mut b = DataTreeBuilder::new();
+            b.add_document(&parse_document(xml_a).unwrap());
+            b.add_document(&parse_document(xml_b).unwrap());
+            b.build(&costs)
+        };
+        assert_eq!(incremental.len(), batch.len());
+        assert_eq!(span.bound as usize, batch.len() - 1);
+        assert_eq!(incremental.documents(), batch.documents());
+        for n in batch.nodes() {
+            assert_eq!(incremental.label(n), batch.label(n), "label of {n}");
+            assert_eq!(incremental.node_type(n), batch.node_type(n));
+            assert_eq!(incremental.parent(n), batch.parent(n));
+            assert_eq!(incremental.bound(n), batch.bound(n), "bound of {n}");
+            assert_eq!(incremental.inscost(n), batch.inscost(n));
+            assert_eq!(
+                incremental.pathcost(n),
+                batch.pathcost(n),
+                "pathcost of {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn delete_document_tombstones_the_range() {
+        use approxql_xml::parse_document;
+        let costs = CostModel::new();
+        let mut b = DataTreeBuilder::new();
+        b.add_document(&parse_document("<a><x>one</x></a>").unwrap());
+        b.add_document(&parse_document("<b>two</b>").unwrap());
+        let mut t = b.build(&costs);
+        let first = t.documents()[0];
+        assert!(t.is_live(NodeId(first.start)));
+
+        let deleted = t.delete_document(NodeId(first.start)).unwrap();
+        assert_eq!(deleted.start, first.start);
+        assert!(!t.is_live(NodeId(first.start)));
+        assert!(!t.is_live(NodeId(first.bound)));
+        // Second delete of the same doc is a no-op.
+        assert!(t.delete_document(NodeId(first.start)).is_none());
+        // Non-root nodes cannot be deleted.
+        assert!(t.delete_document(NodeId(first.start + 1)).is_none());
+
+        // The surviving document keeps its ids and the root skips the gap.
+        let kids: Vec<_> = t
+            .children(t.root())
+            .map(|c| t.label(c).to_owned())
+            .collect();
+        assert_eq!(kids, vec!["b"]);
+        let stats = t.stats();
+        assert_eq!(stats.node_count, 1 + 2); // root + <b> + "two"
+        assert_eq!(
+            t.subtree_element(NodeId(first.start)),
+            Err(TreeError::InvalidNode(NodeId(first.start)))
+        );
+        let live: Vec<_> = t.live_nodes().collect();
+        assert_eq!(live.len(), t.live_node_count());
+        assert!(live.iter().all(|&n| t.is_live(n)));
+    }
+
+    #[test]
+    fn append_after_delete_leaves_the_gap() {
+        use approxql_xml::parse_document;
+        let costs = CostModel::new();
+        let mut b = DataTreeBuilder::new();
+        b.add_document(&parse_document("<a>one two</a>").unwrap());
+        let mut t = b.build(&costs);
+        let first = t.documents()[0];
+        t.delete_document(NodeId(first.start)).unwrap();
+        let span = t.append_document(&parse_document("<c/>").unwrap(), &costs);
+        // New ids start after the tombstoned range — never reused.
+        assert_eq!(span.start, first.bound + 1);
+        assert_eq!(t.bound(t.root()), span.bound);
+        let kids: Vec<_> = t
+            .children(t.root())
+            .map(|c| t.label(c).to_owned())
+            .collect();
+        assert_eq!(kids, vec!["c"]);
+        assert!(t.is_ancestor(t.root(), NodeId(span.start)));
     }
 }

@@ -28,7 +28,8 @@
 //! ```
 
 pub use approxql_core::{
-    Database, DatabaseError, EvalOptions, EvalStats, QueryHit, ReferenceEvaluator,
+    Database, DatabaseError, DbFile, EvalOptions, EvalStats, MutationDelta, QueryHit,
+    ReferenceEvaluator,
 };
 pub use approxql_metrics::{
     reset as reset_metrics, snapshot as metrics_snapshot, Metric, MetricsSnapshot, TimerMetric,

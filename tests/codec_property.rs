@@ -54,8 +54,103 @@ fn gen_instances() -> impl Strategy<Value = Vec<InstancePosting>> {
     })
 }
 
+/// One step of a randomized mutation sequence: a batch append (gaps are
+/// relative to the list's running maximum, keeping preorders strictly
+/// increasing) or a range tombstone.
+#[derive(Clone, Debug)]
+enum MutOp {
+    Append(Vec<(u32, u32, Cost, Cost)>),
+    Remove(u32, u32),
+}
+
+fn gen_mut_ops() -> impl Strategy<Value = Vec<MutOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::collection::vec((1u32..500, 0u32..1_000, gen_cost(), gen_cost()), 1..60)
+                .prop_map(MutOp::Append),
+            (0u32..600_000, 0u32..50_000)
+                .prop_map(|(lo, span)| MutOp::Remove(lo, lo.saturating_add(span))),
+        ],
+        1..12,
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Incremental maintenance (PR 8): after any interleaving of batch
+    /// appends and range removals, the block list stays integrity-clean,
+    /// byte-identical to a batch build over a `Vec` model (the canonical
+    /// form `check_integrity` demands), and its skip cursor still agrees
+    /// with a linear scan of the model.
+    #[test]
+    fn block_list_mutations_match_vec_model(
+        initial in gen_postings(),
+        ops in gen_mut_ops(),
+        raw_targets in proptest::collection::vec(0u32..2_000_000, 1..20),
+    ) {
+        let mut model = initial.clone();
+        let mut blocks = BlockList::from_postings(&initial);
+        for op in ops {
+            match op {
+                MutOp::Append(raw) => {
+                    let mut pre = model.last().map(|p| p.pre).unwrap_or(0);
+                    let batch: Vec<Posting> = raw
+                        .into_iter()
+                        .map(|(gap, span, pathcost, inscost)| {
+                            pre += gap;
+                            Posting { pre, bound: pre + span, pathcost, inscost }
+                        })
+                        .collect();
+                    blocks.append_postings(&batch);
+                    model.extend(batch);
+                }
+                MutOp::Remove(lo, hi) => {
+                    let removed = blocks.remove_range(lo, hi);
+                    let before = model.len();
+                    model.retain(|p| p.pre < lo || p.pre > hi);
+                    prop_assert_eq!(removed, before - model.len());
+                }
+            }
+            prop_assert_eq!(blocks.entry_count(), model.len());
+            prop_assert!(blocks.check_integrity().is_ok(), "integrity lost after mutation");
+            prop_assert_eq!(blocks.to_bytes(), BlockList::from_postings(&model).to_bytes());
+        }
+        prop_assert_eq!(blocks.decode_all(), model.clone());
+        let mut targets = raw_targets;
+        targets.sort_unstable();
+        let mut cursor = BlockCursor::new(&blocks);
+        for t in targets {
+            let want = model.iter().find(|p| p.pre >= t).copied();
+            prop_assert_eq!(cursor.seek(t), want, "seek({}) diverged after mutations", t);
+        }
+    }
+
+    /// The same invariant for instance frames: `push`/`remove_range`
+    /// sequences stay integrity-clean and decode to the `Vec` model.
+    #[test]
+    fn instance_blocks_mutations_match_vec_model(
+        instances in gen_instances(),
+        removes in proptest::collection::vec((0u32..600_000, 0u32..50_000), 1..8),
+    ) {
+        let mut blocks = InstanceBlocks::default();
+        let mut model: Vec<InstancePosting> = Vec::new();
+        // Interleave pushes with removals of already-pushed ranges.
+        let chunk = instances.len() / removes.len().max(1) + 1;
+        for (i, (lo, span)) in removes.iter().enumerate() {
+            for &p in instances.iter().skip(i * chunk).take(chunk) {
+                blocks.push(p);
+                model.push(p);
+            }
+            let (lo, hi) = (*lo, lo.saturating_add(*span));
+            let removed = blocks.remove_range(lo, hi);
+            let before = model.len();
+            model.retain(|p| p.pre < lo || p.pre > hi);
+            prop_assert_eq!(removed, before - model.len());
+            prop_assert!(blocks.check_integrity().is_ok(), "integrity lost after remove");
+            prop_assert_eq!(blocks.decode_all(), model.clone());
+        }
+    }
 
     /// encode → to_bytes → from_bytes → decode is the identity, the
     /// integrity check accepts every well-formed list, and `byte_len`

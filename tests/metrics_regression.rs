@@ -168,30 +168,33 @@ fn save_open_storage_op_counts() {
         assert_eq!(db2.tree().stats().node_count, db.tree().stats().node_count);
     });
     std::fs::remove_dir_all(&dir).unwrap();
+    // The segmented layout (DESIGN.md §15) writes more, smaller keys than
+    // the old monolithic tree blob: per-document segments, the secondary
+    // index, and the schema tree now persist too.
     assert_counts(
         &save_diff,
         &[
-            (Metric::PagerPageReads, 14),
-            (Metric::PagerPageWrites, 29),
-            (Metric::PagerPageAllocs, 18),
-            (Metric::PagerBackendWrites, 18),
+            (Metric::PagerPageReads, 30),
+            (Metric::PagerPageWrites, 61),
+            (Metric::PagerPageAllocs, 34),
+            (Metric::PagerBackendWrites, 34),
             (Metric::PagerFlushes, 2),
             (Metric::StoreCommits, 2),
-            (Metric::BtreeInserts, 14),
-            (Metric::BtreeNodeReads, 14),
+            (Metric::BtreeInserts, 30),
+            (Metric::BtreeNodeReads, 30),
         ],
     );
     assert_counts(
         &open_diff,
         &[
-            (Metric::PagerPageReads, 32),
-            (Metric::PagerCacheMisses, 15),
-            (Metric::BtreeGets, 2),
-            (Metric::BtreeNodeReads, 18),
-            (Metric::BtreeScanSteps, 14),
-            // Compressed frames: smaller than the 384 bytes the flat
-            // 24-byte-per-posting codec used to store for this catalog.
-            (Metric::IndexBytesDecoded, 340),
+            (Metric::PagerPageReads, 66),
+            (Metric::PagerCacheMisses, 31),
+            (Metric::BtreeGets, 5),
+            (Metric::BtreeNodeReads, 36),
+            (Metric::BtreeScanSteps, 27),
+            // Compressed frames, now covering both the label and the
+            // secondary index (the schema is reassembled, not rebuilt).
+            (Metric::IndexBytesDecoded, 669),
         ],
     );
 }
@@ -345,6 +348,8 @@ fn registry_is_exactly_the_documented_catalogue() {
             (Metric::PagerChecksumFailures, "pager.checksum_failures"),
             (Metric::StoreCommits, "store.commits"),
             (Metric::StoreRecoveryRollbacks, "store.recovery_rollbacks"),
+            (Metric::StoreDocInserts, "store.doc_inserts"),
+            (Metric::StoreDocDeletes, "store.doc_deletes"),
             (Metric::BtreeGets, "btree.gets"),
             (Metric::BtreeInserts, "btree.inserts"),
             (Metric::BtreeDeletes, "btree.deletes"),
@@ -371,6 +376,7 @@ fn registry_is_exactly_the_documented_catalogue() {
             (Metric::PlanCacheHits, "plan.cache_hits"),
             (Metric::PlanCacheMisses, "plan.cache_misses"),
             (Metric::PlanCseReuses, "plan.cse_reuses"),
+            (Metric::PlanCacheInvalidations, "plan.cache_invalidations"),
             (Metric::PostingsBlocksDecoded, "postings.blocks_decoded"),
             (Metric::PostingsBlocksSkipped, "postings.blocks_skipped"),
             (Metric::PostingsBytes, "postings.bytes"),
