@@ -292,7 +292,11 @@ impl BlockList {
     /// impossible for lists built by [`BlockList::from_postings`] —
     /// degrades to the entries decoded so far instead of panicking.
     pub fn decode_block(&self, i: usize) -> Vec<Posting> {
-        let mut out = Vec::with_capacity(self.headers.get(i).map_or(0, |h| h.count as usize));
+        let mut out = Vec::with_capacity(
+            self.headers
+                .get(i)
+                .map_or(0, |h| (h.count as usize).min(BLOCK_SIZE)),
+        );
         self.decode_block_into(i, &mut out);
         out
     }
@@ -321,6 +325,10 @@ impl BlockList {
 
     /// Decodes every frame (the flat-compatibility path).
     pub fn decode_all(&self) -> Vec<Posting> {
+        // `entries` is re-derived by `from_bytes`, which bounds every
+        // frame's count against its payload byte span, so the sum is ≤
+        // the input length.
+        // lint:allow(untrusted-length)
         let mut out = Vec::with_capacity(self.entries);
         for i in 0..self.headers.len() {
             self.decode_block_into(i, &mut out);
@@ -351,6 +359,21 @@ impl BlockList {
     /// `index.bytes_decoded` metric; the full decode round-trip check is
     /// [`BlockList::check_integrity`].
     pub fn from_bytes(data: &[u8]) -> Result<BlockList, PostingDecodeError> {
+        // A posting frame carries 4 varints per entry (pre delta, bound
+        // delta, two costs), the first entry's pre delta elided.
+        BlockList::from_bytes_with_entry_floor(data, 4)
+    }
+
+    /// [`BlockList::from_bytes`] with a caller-chosen entry byte floor:
+    /// every frame must span at least `min_varints_per_entry × count − 1`
+    /// payload bytes (each varint is ≥ 1 byte). This caps the decoded
+    /// `entries` total by the input length, so a hostile header cannot
+    /// claim counts the payload could never hold. Instance frames
+    /// ([`InstanceBlocks`]) carry 2 varints per entry.
+    fn from_bytes_with_entry_floor(
+        data: &[u8],
+        min_varints_per_entry: usize,
+    ) -> Result<BlockList, PostingDecodeError> {
         Metric::IndexBytesDecoded.add(data.len() as u64);
         let Some(n_bytes) = data.get(0..4) else {
             return Err(PostingDecodeError("block list shorter than its header"));
@@ -380,6 +403,10 @@ impl BlockList {
                 if h.offset <= prev.offset || prev.max_pre >= h.min_pre {
                     return Err(PostingDecodeError("skip headers not monotone"));
                 }
+                let span = (h.offset - prev.offset) as usize;
+                if span + 1 < min_varints_per_entry * prev.count as usize {
+                    return Err(PostingDecodeError("frame too short for its entry count"));
+                }
             } else if h.offset != 0 {
                 return Err(PostingDecodeError("first frame must start at offset 0"));
             }
@@ -388,6 +415,12 @@ impl BlockList {
             }
             entries += h.count as usize;
             headers.push(h);
+        }
+        if let Some(last) = headers.last() {
+            let span = payload.len() - last.offset as usize;
+            if span + 1 < min_varints_per_entry * last.count as usize {
+                return Err(PostingDecodeError("frame too short for its entry count"));
+            }
         }
         if n == 0 && !payload.is_empty() {
             return Err(PostingDecodeError("payload without frames"));
@@ -428,6 +461,10 @@ impl BlockList {
             .iter()
             .position(|h| (h.count as usize) < BLOCK_SIZE)
             .unwrap_or(self.headers.len());
+        // Mutation path over in-memory headers: every `count` was
+        // bounds-checked (≤ BLOCK_SIZE, frame byte floor) when the list
+        // was decoded or built by `encode_frames`.
+        // lint:allow(untrusted-length)
         let mut pending = Vec::with_capacity(
             self.headers[keep..]
                 .iter()
@@ -523,6 +560,9 @@ impl BlockList {
     /// and re-encoding the decoded list must reproduce this representation
     /// byte for byte.
     pub fn check_integrity(&self) -> Result<(), PostingDecodeError> {
+        // `entries` was capped against the payload byte length by
+        // `from_bytes`' per-frame floor check.
+        // lint:allow(untrusted-length)
         let mut all = Vec::with_capacity(self.entries);
         for (i, h) in self.headers.iter().enumerate() {
             let before = all.len();
@@ -770,8 +810,10 @@ impl InstanceBlocks {
     /// structural header validation as [`BlockList::from_bytes`].
     pub fn from_bytes(data: &[u8]) -> Result<InstanceBlocks, PostingDecodeError> {
         // Headers share the BlockList layout; reuse its validation, then
-        // reinterpret the payload as instance frames.
-        let bl = BlockList::from_bytes(data)?;
+        // reinterpret the payload as instance frames. Instance entries
+        // carry 2 varints (pre delta, bound delta), so the frame byte
+        // floor is lower than the posting one.
+        let bl = BlockList::from_bytes_with_entry_floor(data, 2)?;
         Ok(InstanceBlocks {
             headers: bl.headers,
             payload: bl.payload,

@@ -16,7 +16,10 @@
 //! The rule catalogue lives in [`rules::RULES`]; DESIGN.md §11 documents
 //! each rule, the baseline format, and how to suppress findings.
 
+pub mod ast;
 pub mod baseline;
+pub mod cfg;
+pub mod flow;
 pub mod lexer;
 pub mod rules;
 
@@ -48,6 +51,52 @@ impl fmt::Display for Finding {
             self.path, self.line, self.rule, self.message
         )
     }
+}
+
+/// Renders findings as a JSON array (`--format json`): one object per
+/// finding with `rule`, `path`, `line`, `snippet` (the whitespace-normalized
+/// offending source line) and `message`. The output is a single machine
+/// layer for CI annotation scripts — no trailing text, stable key order.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"rule\": ");
+        json_string(&mut out, f.rule);
+        out.push_str(", \"path\": ");
+        json_string(&mut out, &f.path);
+        out.push_str(&format!(", \"line\": {}", f.line));
+        out.push_str(", \"snippet\": ");
+        json_string(&mut out, &f.key);
+        out.push_str(", \"message\": ");
+        json_string(&mut out, &f.message);
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Appends `s` as a JSON string literal (quotes, backslashes and control
+/// characters escaped; everything else passes through as UTF-8).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Collapses runs of whitespace to single spaces (the baseline match key).
@@ -82,6 +131,9 @@ pub struct SourceFile {
     /// `true` when the whole file is test code (under a `tests/` or
     /// `benches/` directory).
     pub test_path: bool,
+    /// Every `fn` item parsed from the token stream ([`ast::parse_fns`]),
+    /// the input to the per-function dataflow rules.
+    pub fns: Vec<ast::FnDef>,
     /// Line ranges covered by `#[cfg(test)]` items.
     test_ranges: Vec<(u32, u32)>,
 }
@@ -94,12 +146,14 @@ impl SourceFile {
             .split('/')
             .any(|c| c == "tests" || c == "benches" || c == "examples");
         let test_ranges = cfg_test_ranges(&lexed.tokens);
+        let fns = ast::parse_fns(&lexed.tokens);
         SourceFile {
             rel_path,
             tokens: lexed.tokens,
             allows: lexed.allows,
             lines: src.lines().map(str::to_string).collect(),
             test_path,
+            fns,
             test_ranges,
         }
     }

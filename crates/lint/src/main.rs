@@ -3,8 +3,14 @@
 //!
 //! ```text
 //! approxql-lint --workspace [--root DIR] [--baseline FILE] [--update-baseline]
+//!               [--format text|json]
 //! approxql-lint --list-rules
 //! ```
+//!
+//! `--format json` prints the non-baselined findings as a JSON array on
+//! stdout (`rule`, `path`, `line`, `snippet`, `message`; `[]` when clean)
+//! and moves the human summary to stderr, so CI can map findings to
+//! GitHub annotations without scraping text output.
 //!
 //! Exit codes are stable (CI and tests rely on them):
 //!
@@ -16,18 +22,26 @@
 //! | 1    | internal error (I/O, malformed baseline)   |
 
 use approxql_lint::baseline::Baseline;
-use approxql_lint::{rules, Workspace};
+use approxql_lint::{render_json, rules, Workspace};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: approxql-lint --workspace [--root DIR] [--baseline FILE] \
-                     [--update-baseline]\n       approxql-lint --list-rules\n";
+                     [--update-baseline] [--format text|json]\n       \
+                     approxql-lint --list-rules\n";
+
+#[derive(PartialEq, Clone, Copy)]
+enum Format {
+    Text,
+    Json,
+}
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
     let mut workspace = false;
     let mut update_baseline = false;
+    let mut format = Format::Text;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -50,6 +64,12 @@ fn main() -> ExitCode {
             "--baseline" => match args.next() {
                 Some(v) => baseline_path = Some(PathBuf::from(v)),
                 None => return usage_error("--baseline needs a value"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some(v) => return usage_error(&format!("unknown format {v:?}")),
+                None => return usage_error("--format needs a value (text|json)"),
             },
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -113,22 +133,35 @@ fn main() -> ExitCode {
             e.rule, e.path, e.key
         );
     }
+    if format == Format::Json {
+        print!("{}", render_json(&result.new_findings));
+    }
     if result.new_findings.is_empty() {
-        println!(
+        let summary = format!(
             "approxql-lint: clean ({} files, {} rules, {} grandfathered)",
             ws.files.len(),
             rules::RULES.len(),
             baseline.entries.len() - result.unused.len()
         );
+        match format {
+            Format::Text => println!("{summary}"),
+            Format::Json => eprintln!("{summary}"),
+        }
         return ExitCode::SUCCESS;
     }
-    for f in &result.new_findings {
-        println!("{f}");
+    if format == Format::Text {
+        for f in &result.new_findings {
+            println!("{f}");
+        }
     }
-    println!(
+    let summary = format!(
         "approxql-lint: {} finding(s) not in baseline",
         result.new_findings.len()
     );
+    match format {
+        Format::Text => println!("{summary}"),
+        Format::Json => eprintln!("{summary}"),
+    }
     ExitCode::from(3)
 }
 

@@ -1,12 +1,23 @@
 //! The rule catalogue: each project invariant from PRs 1–3, encoded as a
-//! token-level check over the lexed workspace.
+//! check over the lexed (and, for the dataflow rules, parsed) workspace.
 //!
 //! Every rule has a stable kebab-case id (used in `lint:allow(...)`
 //! directives and baseline entries), a one-line summary, and a `run`
 //! function. Rules are path-scoped: the scopes and the small number of
 //! allowlisted files are part of the rule definition itself, so the
 //! invariant reads off this file.
+//!
+//! Two generations of rules coexist. The PR 4 originals are token-window
+//! pattern matches. The newer rules (untrusted-length, error-swallow,
+//! commit-protocol, lock-across-spawn) are built on the [`crate::ast`] →
+//! [`crate::cfg`] → [`crate::flow`] stack: they reason per function about
+//! dominance ("a bound check precedes this allocation on every path") and
+//! dataflow facts ("this name may carry a disk-decoded length", "this
+//! lock guard may still be live").
 
+use crate::ast::{CallSite, Expr, FnDef, Stmt};
+use crate::cfg::{Action, Cfg};
+use crate::flow::{self, Facts};
 use crate::lexer::{Token, TokenKind};
 use crate::{Finding, SourceFile, Workspace};
 
@@ -54,9 +65,29 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "lock-across-spawn",
-        summary: "no Mutex guard bound across a Scope::map/map_deferred/spawn call \
-                  (line-window heuristic)",
+        summary: "no Mutex guard live across a Scope::map/map_deferred/spawn call \
+                  (CFG guard-liveness: drops, rebinds and scope exits release)",
         run: lock_across_spawn,
+    },
+    Rule {
+        id: "untrusted-length",
+        summary: "allocations (with_capacity/reserve) sized by a value decoded from \
+                  disk bytes must be dominated by a bound check (taint dataflow over \
+                  the CFG in the decode crates)",
+        run: untrusted_length,
+    },
+    Rule {
+        id: "error-swallow",
+        summary: "no `let _ = fallible(…)` or statement-level `.ok()` in non-test \
+                  storage/core/index code without a lint:allow justification",
+        run: error_swallow,
+    },
+    Rule {
+        id: "commit-protocol",
+        summary: "in pager.rs/dbfile.rs/store.rs, every header-slot write_direct is \
+                  dominated by a flush and followed by a sync on all success paths \
+                  (statically re-proves the PR 3 commit ordering)",
+        run: commit_protocol,
     },
 ];
 
@@ -480,106 +511,513 @@ fn fs_outside_pager(ws: &Workspace, out: &mut Vec<Finding>) {
 }
 
 // ---------------------------------------------------------------------------
-// lock-across-spawn
+// shared dataflow plumbing
 // ---------------------------------------------------------------------------
 
-/// Lines a Mutex guard may live before a spawn in the same window counts
-/// as "held across" it. A held guard inside `Scope::map` fan-out is a
-/// deadlock waiting for a work-stealing schedule that never drains.
-const LOCK_WINDOW: u32 = 10;
+/// Iterates a file's functions whose bodies are live (non-test) code.
+fn live_fns(f: &SourceFile) -> impl Iterator<Item = &FnDef> {
+    f.fns.iter().filter(move |d| !f.is_test_line(d.line))
+}
+
+/// The expression evaluated by an action, if any.
+fn action_expr(a: &Action) -> Option<&Expr> {
+    match a {
+        Action::Bind { init, .. } => init.as_ref(),
+        Action::Assign { value, .. } => Some(value),
+        Action::Eval { expr, .. } => Some(expr),
+        Action::Kill { .. } => None,
+    }
+}
+
+/// `true` when any action or the branch expression of block `b` satisfies
+/// `pred`.
+fn block_mentions(cfg: &Cfg, b: usize, pred: impl Fn(&Expr) -> bool) -> bool {
+    cfg.blocks[b]
+        .actions
+        .iter()
+        .filter_map(action_expr)
+        .chain(cfg.blocks[b].branch.as_ref())
+        .any(pred)
+}
+
+// ---------------------------------------------------------------------------
+// lock-across-spawn (v2: guard liveness over the CFG)
+// ---------------------------------------------------------------------------
 
 /// Receivers whose `.map(...)` is an executor fan-out, not iterator `map`.
 const SCOPE_RECEIVERS: &[&str] = &["scope", "sc"];
 
+/// `true` for a call that fans work out to the executor.
+fn is_spawnish(c: &CallSite) -> bool {
+    c.is_method
+        && match c.name.as_str() {
+            "spawn" | "map_deferred" => true,
+            "map" => c
+                .receiver
+                .as_deref()
+                .is_some_and(|r| SCOPE_RECEIVERS.contains(&r)),
+            _ => false,
+        }
+}
+
+/// `true` for an initializer that takes a Mutex/RwLock guard.
+fn takes_guard(e: &Expr) -> bool {
+    e.calls.iter().any(|c| c.is_method && c.name == "lock")
+}
+
+/// The guard-liveness transfer: a bind whose initializer locks makes the
+/// names live; any other bind/assign of the name releases it; `drop(g)`
+/// releases it. Scope exits and `break`/`continue` edges are handled by
+/// the solver's kill machinery.
+fn guard_transfer(a: &Action, facts: &mut Facts) {
+    match a {
+        Action::Bind { names, init, .. } => {
+            if init.as_ref().is_some_and(takes_guard) {
+                facts.extend(names.iter().cloned());
+            } else {
+                for n in names {
+                    facts.remove(n);
+                }
+            }
+        }
+        Action::Assign { target, value, .. } => {
+            if let Some(t) = target {
+                if takes_guard(value) {
+                    facts.insert(t.clone());
+                } else {
+                    facts.remove(t);
+                }
+            }
+        }
+        Action::Eval { expr, .. } => {
+            for c in &expr.calls {
+                if c.name == "drop" && !c.is_method {
+                    for arg in &c.args {
+                        for n in &arg.idents {
+                            facts.remove(n);
+                        }
+                    }
+                }
+            }
+        }
+        Action::Kill { .. } => {}
+    }
+}
+
 fn lock_across_spawn(ws: &Workspace, out: &mut Vec<Finding>) {
     for f in &ws.files {
-        let toks = &f.tokens;
-
-        // `let [mut] NAME = … .lock() … ;` bindings (guard lives past the
-        // statement). Expression-statement locks create a temporary that
-        // drops at the `;`, so only `let` bindings are tracked.
-        let mut bindings: Vec<(String, u32)> = Vec::new();
-        let mut i = 0usize;
-        while i < toks.len() {
-            if toks[i].ident() != Some("let") {
-                i += 1;
-                continue;
-            }
-            let mut j = i + 1;
-            if toks.get(j).and_then(Token::ident) == Some("mut") {
-                j += 1;
-            }
-            let Some(name) = toks.get(j).and_then(Token::ident) else {
-                i += 1;
-                continue;
-            };
-            let (name, let_line) = (name.to_string(), toks[i].line);
-            let mut locked = false;
-            while j < toks.len() && !toks[j].is_punct(';') {
-                if toks[j].ident() == Some("lock")
-                    && j > 0
-                    && toks[j - 1].is_punct('.')
-                    && toks.get(j + 1).is_some_and(|t| t.is_punct('('))
-                {
-                    locked = true;
+        for def in live_fns(f) {
+            let cfg = Cfg::build(def);
+            let sol = flow::forward_may(&cfg, &Facts::new(), guard_transfer);
+            // Bind lines per guard name, for the finding message.
+            let mut bind_lines: Vec<(String, u32)> = Vec::new();
+            for b in &cfg.blocks {
+                for a in &b.actions {
+                    if let Action::Bind {
+                        names,
+                        init: Some(init),
+                        line,
+                        ..
+                    } = a
+                    {
+                        if takes_guard(init) {
+                            bind_lines.extend(names.iter().map(|n| (n.clone(), *line)));
+                        }
+                    }
                 }
-                j += 1;
             }
-            if locked && !f.is_test_line(let_line) {
-                bindings.push((name, let_line));
+            for (bi, blk) in cfg.blocks.iter().enumerate() {
+                for (ai, a) in blk.actions.iter().enumerate() {
+                    let Some(expr) = action_expr(a) else { continue };
+                    for c in expr.calls.iter().filter(|c| is_spawnish(c)) {
+                        let live = flow::facts_before(&cfg, &sol, bi, ai, guard_transfer);
+                        for name in &live {
+                            let bound = bind_lines
+                                .iter()
+                                .filter(|(n, l)| n == name && *l <= c.line)
+                                .map(|(_, l)| *l)
+                                .max()
+                                .or_else(|| {
+                                    bind_lines.iter().find(|(n, _)| n == name).map(|(_, l)| *l)
+                                });
+                            let Some(bound) = bound else { continue };
+                            f.finding(
+                                "lock-across-spawn",
+                                c.line,
+                                format!(
+                                    "`.{}(…)` while Mutex guard `{name}` (bound on line {bound}) \
+                                     may still be held; drop the guard before fanning out",
+                                    c.name
+                                ),
+                                out,
+                            );
+                        }
+                    }
+                }
             }
-            i = j;
         }
-        if bindings.is_empty() {
+    }
+}
+
+// ---------------------------------------------------------------------------
+// untrusted-length
+// ---------------------------------------------------------------------------
+
+/// Crates that decode attacker-controllable on-disk bytes. A server
+/// (ROADMAP tentpole) hands these decoders bytes from any client, so a
+/// length field must never size an allocation before a bound check.
+const DECODE_SCOPE: &[&str] = &[
+    "crates/index/src/",
+    "crates/tree/src/",
+    "crates/storage/src/",
+];
+
+/// Integer widths whose `from_le_bytes`/`from_be_bytes` yield an
+/// untrusted length. `u8`/`u16` are excluded: 255/65535 caps are harmless
+/// capacities by themselves.
+const WIDE_INT_QUALIFIERS: &[&str] = &["u32", "u64", "usize", "i32", "i64"];
+
+/// Calls that read a wide integer straight out of a byte cursor.
+const DECODE_CALLS: &[&str] = &["read_varint", "read_u32", "read_u64", "u32", "u64"];
+
+/// Struct fields that carry decoded entry counts in the codec layer.
+const COUNT_FIELDS: &[&str] = &["entries", "count"];
+
+/// Allocation sinks whose first argument is an element count.
+const ALLOC_SINKS: &[&str] = &["with_capacity", "reserve", "reserve_exact"];
+
+/// Guard-shaped calls: a dominating branch that passes the length through
+/// one of these has bounded it (`data.get(..n)`, `cur.claim(n, sz)`,
+/// `n.checked_mul(sz)`, …).
+fn is_guardish_call(name: &str) -> bool {
+    matches!(
+        name,
+        "get" | "min" | "claim" | "validate" | "ensure" | "check"
+    ) || name.starts_with("checked_")
+}
+
+/// `true` for an expression that *originates* an untrusted length.
+fn is_length_source(e: &Expr) -> bool {
+    e.calls.iter().any(|c| match c.name.as_str() {
+        "from_le_bytes" | "from_be_bytes" => c
+            .qualifier
+            .as_deref()
+            .is_some_and(|q| WIDE_INT_QUALIFIERS.contains(&q)),
+        n => DECODE_CALLS.contains(&n) && c.is_method || n == "read_varint",
+    }) || e.fields.iter().any(|f| COUNT_FIELDS.contains(&f.as_str()))
+}
+
+/// `true` when the expression clamps its value (`.min(cap)`, `.clamp(…)`)
+/// — a bound check folded into the expression itself.
+fn is_clamped(e: &Expr) -> bool {
+    e.calls
+        .iter()
+        .any(|c| c.is_method && matches!(c.name.as_str(), "min" | "clamp"))
+}
+
+/// The taint transfer: a bind/assign from a source (or from an already
+/// tainted name) taints the target; a clamped initializer, or any other
+/// initializer, untaints it (strong update — names are block-scoped and
+/// the analysis is per-function).
+fn taint_transfer(a: &Action, facts: &mut Facts) {
+    let tainted = |e: &Expr, facts: &Facts| {
+        !is_clamped(e) && (is_length_source(e) || e.idents.iter().any(|i| facts.contains(i)))
+    };
+    match a {
+        Action::Bind {
+            names,
+            init: Some(init),
+            ..
+        } => {
+            if tainted(init, facts) {
+                facts.extend(names.iter().cloned());
+            } else {
+                for n in names {
+                    facts.remove(n);
+                }
+            }
+        }
+        Action::Bind {
+            names, init: None, ..
+        } => {
+            for n in names {
+                facts.remove(n);
+            }
+        }
+        Action::Assign {
+            target: Some(t),
+            compound,
+            value,
+            ..
+        } => {
+            if tainted(value, facts) {
+                facts.insert(t.clone());
+            } else if !compound {
+                facts.remove(t);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// `true` when branch expression `e` bounds witness `w`: it mentions the
+/// witness and either compares it or passes it through a guard-shaped
+/// call.
+fn branch_guards(e: &Expr, w: &str) -> bool {
+    (e.reads(w) || e.fields.iter().any(|f| f == w))
+        && (e.has_cmp || e.calls.iter().any(|c| is_guardish_call(&c.name)))
+}
+
+fn untrusted_length(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in &ws.files {
+        if !in_any(&f.rel_path, DECODE_SCOPE) {
             continue;
         }
-
-        // `drop(NAME)` releases a guard early.
-        let drops: Vec<(&str, u32)> = toks
-            .windows(3)
-            .filter_map(|w| {
-                (w[0].ident() == Some("drop") && w[1].is_punct('(')).then_some(())?;
-                Some((w[2].ident()?, w[2].line))
-            })
-            .collect();
-
-        // Executor fan-outs: `.spawn(` / `.map_deferred(` on anything,
-        // `.map(` only on a scope-shaped receiver.
-        for i in 0..toks.len() {
-            let Some(id) = toks[i].ident() else { continue };
-            let line = toks[i].line;
-            let is_call = i > 0
-                && toks[i - 1].is_punct('.')
-                && toks.get(i + 1).is_some_and(|t| t.is_punct('('));
-            let spawnish = match id {
-                "spawn" | "map_deferred" => is_call,
-                "map" => {
-                    is_call
-                        && i >= 2
-                        && toks[i - 2]
-                            .ident()
-                            .is_some_and(|r| SCOPE_RECEIVERS.contains(&r))
-                }
-                _ => false,
-            };
-            if !spawnish {
-                continue;
-            }
-            for (name, let_line) in &bindings {
-                if *let_line <= line && line <= let_line + LOCK_WINDOW {
-                    let released = drops
+        for def in live_fns(f) {
+            let cfg = Cfg::build(def);
+            let sol = flow::forward_may(&cfg, &Facts::new(), taint_transfer);
+            let dom = cfg.dominators();
+            for (bi, blk) in cfg.blocks.iter().enumerate() {
+                for (ai, a) in blk.actions.iter().enumerate() {
+                    let Some(expr) = action_expr(a) else { continue };
+                    for c in expr
+                        .calls
                         .iter()
-                        .any(|(d, dl)| d == name && *let_line <= *dl && *dl < line);
-                    if !released {
+                        .filter(|c| ALLOC_SINKS.contains(&c.name.as_str()))
+                    {
+                        let Some(arg) = c.args.first() else { continue };
+                        if is_clamped(arg) {
+                            continue;
+                        }
+                        let live = flow::facts_before(&cfg, &sol, bi, ai, taint_transfer);
+                        // Witnesses: tainted names the size argument reads,
+                        // plus count-fields it projects directly.
+                        let mut witnesses: Vec<&str> = arg
+                            .idents
+                            .iter()
+                            .filter(|i| live.contains(i.as_str()))
+                            .map(String::as_str)
+                            .collect();
+                        witnesses.extend(
+                            arg.fields
+                                .iter()
+                                .filter(|fl| COUNT_FIELDS.contains(&fl.as_str()))
+                                .map(String::as_str),
+                        );
+                        let direct_source = witnesses.is_empty() && is_length_source(arg);
+                        if witnesses.is_empty() && !direct_source {
+                            continue;
+                        }
+                        // A strictly dominating branch that bounds every
+                        // witness sanitizes the sink. A direct source has
+                        // no name to guard on — it must be bound first.
+                        let guarded = !direct_source
+                            && witnesses.iter().all(|w| {
+                                dom[bi].iter().filter(|&d| d != bi).any(|d| {
+                                    cfg.blocks[d]
+                                        .branch
+                                        .as_ref()
+                                        .is_some_and(|e| branch_guards(e, w))
+                                })
+                            });
+                        if guarded {
+                            continue;
+                        }
+                        let what = if direct_source {
+                            "a freshly decoded integer".to_string()
+                        } else {
+                            format!("untrusted decoded value `{}`", witnesses.join("`/`"))
+                        };
                         f.finding(
-                            "lock-across-spawn",
-                            line,
+                            "untrusted-length",
+                            c.line,
                             format!(
-                                "`.{id}(…)` while Mutex guard `{name}` (bound on line {let_line}) \
-                                 may still be held; drop the guard before fanning out"
+                                "`{}` sized by {what} with no dominating bound check; \
+                                 validate against the input length first",
+                                c.name
                             ),
                             out,
                         );
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// error-swallow
+// ---------------------------------------------------------------------------
+
+/// Crates where a silently dropped `Result` can hide data loss: the
+/// storage engine, the core database layer, and the index codecs.
+const SWALLOW_SCOPE: &[&str] = &[
+    "crates/storage/src/",
+    "crates/core/src/",
+    "crates/index/src/",
+];
+
+/// Recursively visits every statement of a block.
+fn visit_stmts<'a>(blk: &'a crate::ast::Block, f: &mut impl FnMut(&'a Stmt)) {
+    for s in &blk.stmts {
+        f(s);
+        match s {
+            Stmt::Let {
+                else_block: Some(b),
+                ..
+            } => visit_stmts(b, f),
+            Stmt::If {
+                then_block,
+                else_block,
+                ..
+            } => {
+                visit_stmts(then_block, f);
+                if let Some(b) = else_block {
+                    visit_stmts(b, f);
+                }
+            }
+            Stmt::While { body, .. } | Stmt::Loop { body, .. } | Stmt::For { body, .. } => {
+                visit_stmts(body, f)
+            }
+            Stmt::Match { arms, .. } => {
+                for a in arms {
+                    visit_stmts(&a.body, f);
+                }
+            }
+            Stmt::BlockStmt { block, .. } => visit_stmts(block, f),
+            _ => {}
+        }
+    }
+}
+
+fn error_swallow(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in &ws.files {
+        if !in_any(&f.rel_path, SWALLOW_SCOPE) {
+            continue;
+        }
+        for def in live_fns(f) {
+            visit_stmts(&def.body, &mut |s| match s {
+                // `let _ = fallible();` — a `?` in the initializer handles
+                // the error, so only try-free discards are swallows.
+                Stmt::Let {
+                    wildcard: true,
+                    init: Some(init),
+                    line,
+                    ..
+                } if !init.has_try && !f.is_test_line(*line) => {
+                    f.finding(
+                        "error-swallow",
+                        *line,
+                        "`let _ = …` discards a result with no `?`; handle the error \
+                         or justify with lint:allow(error-swallow)"
+                            .to_string(),
+                        out,
+                    );
+                }
+                // Statement-level `….ok();` — the Result is converted to
+                // an Option and immediately dropped.
+                Stmt::Expr { expr, line } if !f.is_test_line(*line) => {
+                    let last_is_ok = expr
+                        .calls
+                        .last()
+                        .is_some_and(|c| c.is_method && c.name == "ok" && c.args.is_empty());
+                    if last_is_ok && !expr.has_try {
+                        f.finding(
+                            "error-swallow",
+                            *line,
+                            "statement-level `.ok()` swallows a Result; handle the error \
+                             or justify with lint:allow(error-swallow)"
+                                .to_string(),
+                            out,
+                        );
+                    }
+                }
+                _ => {}
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// commit-protocol
+// ---------------------------------------------------------------------------
+
+/// Files that implement the commit path. The PR 3 invariant: a header
+/// slot may only be written after every dirty page reached the backend
+/// (`flush`, which itself syncs), and the write must be made durable
+/// (`sync`) before the commit is reported — header-before-flush was the
+/// original torn-commit bug.
+fn commit_protocol_scope(rel: &str) -> bool {
+    rel.ends_with("/pager.rs") || rel.ends_with("/dbfile.rs") || rel.ends_with("/store.rs")
+}
+
+fn commit_protocol(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in &ws.files {
+        if !commit_protocol_scope(&f.rel_path) {
+            continue;
+        }
+        for def in live_fns(f) {
+            let cfg = Cfg::build(def);
+            let mut dom = None;
+            let mut pdom = None;
+            for (bi, blk) in cfg.blocks.iter().enumerate() {
+                for (ai, a) in blk.actions.iter().enumerate() {
+                    let Some(expr) = action_expr(a) else { continue };
+                    for c in expr
+                        .calls
+                        .iter()
+                        .filter(|c| c.is_method && c.name == "write_direct")
+                    {
+                        let calls_flush = |e: &Expr| e.calls_named("flush");
+                        let calls_sync = |e: &Expr| {
+                            e.calls.iter().any(|c| {
+                                matches!(c.name.as_str(), "sync" | "sync_all" | "sync_data")
+                            })
+                        };
+                        // Flush must precede the write: earlier in this
+                        // block, or in any strictly dominating block.
+                        let dom = dom.get_or_insert_with(|| cfg.dominators());
+                        let flushed = blk.actions[..ai]
+                            .iter()
+                            .filter_map(action_expr)
+                            .any(calls_flush)
+                            || dom[bi]
+                                .iter()
+                                .filter(|&d| d != bi)
+                                .any(|d| block_mentions(&cfg, d, calls_flush));
+                        if !flushed {
+                            f.finding(
+                                "commit-protocol",
+                                c.line,
+                                "header-slot `write_direct` not dominated by a flush of \
+                                 dirty pages (PR 3 commit ordering)"
+                                    .to_string(),
+                                out,
+                            );
+                        }
+                        // Sync must follow on every success path: later in
+                        // this block (its branch expression included), or
+                        // in every-success-path postdominators.
+                        let pdom = pdom.get_or_insert_with(|| cfg.success_postdominators());
+                        let synced = blk.actions[ai + 1..]
+                            .iter()
+                            .filter_map(action_expr)
+                            .chain(blk.branch.as_ref())
+                            .any(calls_sync)
+                            || pdom[bi]
+                                .iter()
+                                .filter(|&p| p != bi)
+                                .any(|p| block_mentions(&cfg, p, calls_sync));
+                        if !synced {
+                            f.finding(
+                                "commit-protocol",
+                                c.line,
+                                "header-slot `write_direct` not followed by a sync on every \
+                                 success path (torn-commit window)"
+                                    .to_string(),
+                                out,
+                            );
+                        }
                     }
                 }
             }
@@ -768,5 +1206,144 @@ timer_metrics! {
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].path, "crates/core/src/a.rs");
         assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn untrusted_length_taint_guard_and_clamp() {
+        let bad = "fn f(cur: &mut C) -> Result<V, E> {\n\
+                   let n = cur.read_varint()? as usize;\n\
+                   let mut out = Vec::with_capacity(n);\n\
+                   Ok(out)\n\
+                   }\n";
+        let guarded = "fn f(cur: &mut C) -> Result<V, E> {\n\
+                       let n = cur.read_varint()? as usize;\n\
+                       cur.claim(n, 4)?;\n\
+                       let mut out = Vec::with_capacity(n);\n\
+                       Ok(out)\n\
+                       }\n";
+        let cmp_guarded = "fn f(data: &[u8], v: &mut Vec<u32>, limit: usize) {\n\
+                           let n = u32::from_le_bytes(h(data)) as usize;\n\
+                           if n > limit { return; }\n\
+                           v.reserve(n);\n\
+                           }\n";
+        let clamped = "fn f(data: &[u8], v: &mut Vec<u32>) {\n\
+                       let n = u32::from_le_bytes(h(data)) as usize;\n\
+                       v.reserve(n.min(64));\n\
+                       }\n";
+        let direct = "fn f(cur: &mut C, v: &mut Vec<u32>) {\n\
+                      v.reserve_exact(cur.read_u32() as usize);\n\
+                      }\n";
+        let ws = ws_with(
+            vec![
+                ("crates/index/src/a.rs", bad),
+                ("crates/index/src/b.rs", guarded),
+                ("crates/index/src/c.rs", cmp_guarded),
+                ("crates/index/src/d.rs", clamped),
+                ("crates/index/src/e.rs", direct),
+                // Same decode shape outside the codec crates: not in scope.
+                ("crates/query/src/q.rs", bad),
+            ],
+            None,
+        );
+        let f = run_one(&ws, "untrusted-length");
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f
+            .iter()
+            .any(|x| x.path == "crates/index/src/a.rs" && x.line == 3));
+        assert!(f
+            .iter()
+            .any(|x| x.path == "crates/index/src/e.rs" && x.line == 2));
+    }
+
+    #[test]
+    fn untrusted_length_guard_must_dominate() {
+        // The bound check sits on one branch only, so it does NOT
+        // dominate the allocation — the line-blind window heuristics this
+        // pass replaces would have accepted it.
+        let sneaky = "fn f(cur: &mut C, flag: bool) -> Result<V, E> {\n\
+                      let n = cur.read_varint()? as usize;\n\
+                      if flag { cur.claim(n, 4)?; }\n\
+                      let mut out = Vec::with_capacity(n);\n\
+                      Ok(out)\n\
+                      }\n";
+        let ws = ws_with(vec![("crates/index/src/a.rs", sneaky)], None);
+        let f = run_one(&ws, "untrusted-length");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn error_swallow_wildcard_and_trailing_ok() {
+        let bad = "fn f(file: &mut B) {\n\
+                   let _ = file.flush();\n\
+                   file.advise().ok();\n\
+                   }\n";
+        let ok = "fn f(file: &mut B) -> Result<(), E> {\n\
+                  let _ = file.flush()?;\n\
+                  Ok(())\n\
+                  }\n\
+                  fn g(file: &mut B) -> Option<u8> {\n\
+                  let v = file.read().ok();\n\
+                  v\n\
+                  }\n";
+        let ws = ws_with(
+            vec![
+                ("crates/storage/src/io.rs", bad),
+                ("crates/storage/src/fine.rs", ok),
+                // Out of the storage/core/index scope entirely.
+                ("crates/query/src/q.rs", bad),
+            ],
+            None,
+        );
+        let f = run_one(&ws, "error-swallow");
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.path == "crates/storage/src/io.rs"));
+        assert!(f.iter().any(|x| x.line == 2));
+        assert!(f.iter().any(|x| x.line == 3));
+    }
+
+    #[test]
+    fn commit_protocol_reproves_the_pr3_ordering() {
+        let header_first = "fn commit(&mut self) -> Result<(), E> {\n\
+                            self.write_direct(SLOT, buf)?;\n\
+                            self.flush()?;\n\
+                            self.backend.sync_all()?;\n\
+                            Ok(())\n\
+                            }\n";
+        let no_sync = "fn commit(&mut self) -> Result<(), E> {\n\
+                       self.flush()?;\n\
+                       self.write_direct(SLOT, buf)?;\n\
+                       Ok(())\n\
+                       }\n";
+        let good = "fn commit(&mut self) -> Result<(), E> {\n\
+                    self.flush()?;\n\
+                    self.write_direct(SLOT, buf)?;\n\
+                    self.backend.sync_all()?;\n\
+                    Ok(())\n\
+                    }\n";
+        let ws = ws_with(
+            vec![
+                ("crates/storage/src/pager.rs", header_first),
+                ("crates/storage/src/dbfile.rs", no_sync),
+                ("crates/storage/src/store.rs", good),
+                // The rule keys on commit-layer filenames only.
+                ("crates/core/src/other.rs", header_first),
+            ],
+            None,
+        );
+        let f = run_one(&ws, "commit-protocol");
+        assert_eq!(f.len(), 2, "{f:?}");
+        let flush = f
+            .iter()
+            .find(|x| x.path == "crates/storage/src/pager.rs")
+            .expect("pager finding");
+        assert_eq!(flush.line, 2);
+        assert!(flush.message.contains("not dominated by a flush"));
+        let sync = f
+            .iter()
+            .find(|x| x.path == "crates/storage/src/dbfile.rs")
+            .expect("dbfile finding");
+        assert_eq!(sync.line, 3);
+        assert!(sync.message.contains("not followed by a sync"));
     }
 }

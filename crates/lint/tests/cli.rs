@@ -49,9 +49,12 @@ fn violations_fixture_fires_every_rule() {
     assert_eq!(count_of("no-rc"), 2, "{stdout}");
     assert_eq!(count_of("metric-coverage"), 3, "{stdout}");
     assert_eq!(count_of("fs-outside-pager"), 1, "{stdout}");
-    assert_eq!(count_of("lock-across-spawn"), 1, "{stdout}");
+    assert_eq!(count_of("lock-across-spawn"), 2, "{stdout}");
+    assert_eq!(count_of("untrusted-length"), 2, "{stdout}");
+    assert_eq!(count_of("error-swallow"), 2, "{stdout}");
+    assert_eq!(count_of("commit-protocol"), 2, "{stdout}");
     assert!(
-        stdout.contains("approxql-lint: 9 finding(s) not in baseline"),
+        stdout.contains("approxql-lint: 16 finding(s) not in baseline"),
         "{stdout}"
     );
 
@@ -78,6 +81,99 @@ fn violations_fixture_fires_every_rule() {
         stdout.contains("`pager.phantom_ctr` is documented but not registered"),
         "{stdout}"
     );
+
+    // The dataflow rules: each fixture case pins its diagnosis site.
+    assert!(
+        stdout.contains("crates/exec/src/lib.rs:15: [lock-across-spawn]")
+            && stdout.contains("guard `g` (bound on line 11)"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/index/src/codec.rs:6: [untrusted-length]")
+            && stdout.contains("untrusted decoded value `n`"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/index/src/codec.rs:14: [untrusted-length]")
+            && stdout.contains("a freshly decoded integer"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/storage/src/io.rs:5: [error-swallow]")
+            && stdout.contains("crates/storage/src/io.rs:6: [error-swallow]"),
+        "{stdout}"
+    );
+    // The PR 3 header-before-flush bug, statically rediscovered…
+    assert!(
+        stdout.contains("crates/storage/src/pager.rs:10: [commit-protocol]")
+            && stdout.contains("not dominated by a flush"),
+        "{stdout}"
+    );
+    // …and its dual: a flush-ordered commit that never syncs.
+    assert!(
+        stdout.contains("crates/storage/src/pager.rs:19: [commit-protocol]")
+            && stdout.contains("not followed by a sync"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn json_format_parses_and_mirrors_the_findings() {
+    let root = fixture("violations");
+    let out = lint(&[
+        "--workspace",
+        "--root",
+        root.to_str().unwrap(),
+        "--format",
+        "json",
+    ]);
+    assert_eq!(code(&out), 3);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The findings list and summary move to machine/stderr layers.
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("16 finding(s)"),
+        "summary should be on stderr"
+    );
+    let parsed = approxql_eval::json::parse(&stdout).expect("--format json output must parse");
+    let arr = parsed.as_arr().expect("top level is an array");
+    assert_eq!(arr.len(), 16, "{stdout}");
+    for f in arr {
+        for key in ["rule", "path", "line", "snippet", "message"] {
+            assert!(f.get(key).is_some(), "missing {key} in {stdout}");
+        }
+    }
+    // Spot-check one finding end to end.
+    let commit = arr
+        .iter()
+        .find(|f| {
+            f.get("rule").and_then(|v| v.as_str()) == Some("commit-protocol")
+                && f.get("line").and_then(|v| v.as_uint()) == Some(10)
+        })
+        .expect("commit-protocol finding at pager.rs:10");
+    assert_eq!(
+        commit.get("path").and_then(|v| v.as_str()),
+        Some("crates/storage/src/pager.rs")
+    );
+    assert_eq!(
+        commit.get("snippet").and_then(|v| v.as_str()),
+        Some("self.write_direct(HEADER_SLOT, &encode(root))?;")
+    );
+}
+
+#[test]
+fn json_format_on_a_clean_tree_is_an_empty_array() {
+    let root = fixture("clean");
+    let out = lint(&[
+        "--workspace",
+        "--root",
+        root.to_str().unwrap(),
+        "--format",
+        "json",
+    ]);
+    assert_eq!(code(&out), 0);
+    let parsed = approxql_eval::json::parse(&String::from_utf8_lossy(&out.stdout))
+        .expect("clean JSON output must parse");
+    assert_eq!(parsed.as_arr().map(<[_]>::len), Some(0));
 }
 
 #[test]
@@ -107,7 +203,7 @@ fn violations_are_absorbed_by_a_matching_baseline() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     std::fs::remove_dir_all(&dir).unwrap();
     assert_eq!(code(&out), 0, "stdout: {stdout}");
-    assert!(stdout.contains("9 grandfathered"), "{stdout}");
+    assert!(stdout.contains("16 grandfathered"), "{stdout}");
 }
 
 #[test]
@@ -118,10 +214,12 @@ fn usage_errors_exit_two() {
     assert_eq!(code(&lint(&["--workspace", "--bogus"])), 2);
     // Missing flag value.
     assert_eq!(code(&lint(&["--workspace", "--root"])), 2);
+    // Unknown --format value.
+    assert_eq!(code(&lint(&["--workspace", "--format", "xml"])), 2);
 }
 
 #[test]
-fn list_rules_names_all_six() {
+fn list_rules_names_all_nine() {
     let out = lint(&["--list-rules"]);
     assert_eq!(code(&out), 0);
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -132,6 +230,9 @@ fn list_rules_names_all_six() {
         "metric-coverage",
         "fs-outside-pager",
         "lock-across-spawn",
+        "untrusted-length",
+        "error-swallow",
+        "commit-protocol",
     ] {
         assert!(stdout.contains(rule), "missing {rule} in {stdout}");
     }

@@ -1,0 +1,9 @@
+#![forbid(unsafe_code)]
+// lock-across-spawn negative: the guard is provably dead (dropped on
+// every path) by the time the pool fans out.
+pub fn fan_out(scope: &Scope, m: &Mutex, items: Items) {
+    let g = m.lock();
+    let seed = g.seed();
+    drop(g);
+    scope.map(items, work(seed));
+}

@@ -1,0 +1,19 @@
+//! untrusted-length negatives: the two sanctioned allocation shapes.
+
+/// A dominating guardish branch (`claim`) bounds `n` before the
+/// allocation.
+pub fn decode_frame(cur: &mut Cursor) -> Result<Vec<Posting>, DecodeError> {
+    let n = cur.read_varint()? as usize;
+    cur.claim(n, POSTING_FLOOR)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(cur.posting()?);
+    }
+    Ok(out)
+}
+
+/// A clamped capacity needs no dominating branch.
+pub fn prefetch(data: &[u8], sink: &mut Vec<u32>) {
+    let n = u32::from_le_bytes(first4(data)) as usize;
+    sink.reserve(n.min(MAX_PREFETCH));
+}

@@ -3,6 +3,15 @@ pub fn read(x: Option<u8>) -> Result<u8, ()> {
     x.ok_or(())
 }
 
+// error-swallow negatives: a propagated error is not a swallow, and a
+// justified best-effort drop carries its allow.
+pub fn shutdown(file: &mut Backend) -> Result<(), ()> {
+    file.flush()?;
+    // Best-effort advisory; failure only costs a later re-read.
+    let _ = file.advise_done(); // lint:allow(error-swallow)
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

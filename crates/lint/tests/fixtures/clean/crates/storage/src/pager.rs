@@ -1,0 +1,14 @@
+//! commit-protocol negative: the ordering the pass re-proves.
+
+pub struct Pager;
+
+impl Pager {
+    /// Data pages flushed, header slot written, backend synced — in that
+    /// order on every success path.
+    pub fn commit(&mut self, root: u64) -> Result<(), IoError> {
+        self.flush()?;
+        self.write_direct(HEADER_SLOT, &encode(root))?;
+        self.backend.sync_all()?;
+        Ok(())
+    }
+}

@@ -3,3 +3,14 @@ pub fn fan_out(scope: &Scope, m: &Mutex, items: Items) {
     let guard = m.lock();
     scope.map(items, work);
 }
+
+// Guard-liveness positive the old line-window heuristic could not model:
+// the guard is dropped on one branch only, so it MAY still be held at the
+// spawn on the other path.
+pub fn fan_out_racy(scope: &Scope, m: &Mutex, items: Items, hot: bool) {
+    let g = m.lock();
+    if hot {
+        drop(g);
+    }
+    scope.map(items, work);
+}

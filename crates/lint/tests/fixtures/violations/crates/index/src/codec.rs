@@ -1,0 +1,15 @@
+//! untrusted-length positives: allocation sized straight from decoded
+//! bytes with no dominating bound check.
+
+pub fn decode_frame(cur: &mut Cursor) -> Result<Vec<Posting>, DecodeError> {
+    let n = cur.read_varint()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(cur.posting()?);
+    }
+    Ok(out)
+}
+
+pub fn prefetch(data: &[u8], sink: &mut Vec<u32>) {
+    sink.reserve(u32::from_le_bytes(first4(data)) as usize);
+}

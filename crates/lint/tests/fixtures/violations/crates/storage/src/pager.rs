@@ -1,0 +1,22 @@
+//! commit-protocol positives: both halves of the torn-commit window.
+
+pub struct Pager;
+
+impl Pager {
+    /// The PR 3 bug shape: the header slot hits the backend before the
+    /// data pages are flushed, so a crash can leave the header pointing
+    /// at pages that were never written.
+    pub fn commit_header_first(&mut self, root: u64) -> Result<(), IoError> {
+        self.write_direct(HEADER_SLOT, &encode(root))?;
+        self.flush()?;
+        self.backend.sync_all()?;
+        Ok(())
+    }
+
+    /// Flushes in order but never makes the header durable.
+    pub fn commit_without_sync(&mut self, root: u64) -> Result<(), IoError> {
+        self.flush()?;
+        self.write_direct(HEADER_SLOT, &encode(root))?;
+        Ok(())
+    }
+}

@@ -76,6 +76,18 @@ impl<'a> Cursor<'a> {
     fn u64(&mut self) -> Result<u64, TreeDecodeError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
+
+    /// Bounds a decoded element count before it sizes an allocation: `n`
+    /// entries of at least `per` bytes each must still fit in the input.
+    /// A hostile header claiming billions of entries in a 20-byte blob is
+    /// rejected here instead of driving `Vec::with_capacity` into an
+    /// allocation-sized-by-attacker abort.
+    fn claim(&self, n: usize, per: usize) -> Result<(), TreeDecodeError> {
+        match n.checked_mul(per) {
+            Some(need) if need <= self.data.len() - self.pos => Ok(()),
+            _ => Err(TreeDecodeError::Truncated),
+        }
+    }
 }
 
 impl DataTree {
@@ -142,6 +154,8 @@ impl DataTree {
             }
         }
         let n = cur.u64()? as usize;
+        // 29 B/node floor: label 4 + type 1 + parent 4 + bound 4 + two costs 16.
+        cur.claim(n, 29)?;
         let mut labels = Vec::with_capacity(n);
         for _ in 0..n {
             let l = cur.u32()?;
@@ -203,6 +217,8 @@ impl DataTree {
             docs
         } else {
             let ndocs = cur.u32()? as usize;
+            // 9 B/span floor: start 4 + bound 4 + liveness 1.
+            cur.claim(ndocs, 9)?;
             let mut docs = Vec::with_capacity(ndocs);
             let mut expect = 1u32;
             for _ in 0..ndocs {
@@ -527,6 +543,8 @@ pub fn decode_docmap(data: &[u8]) -> Result<(u32, Vec<DocSpan>), TreeDecodeError
         return Err(TreeDecodeError::Corrupt("empty docmap"));
     }
     let ndocs = cur.u32()? as usize;
+    // 9 B/span floor: start 4 + bound 4 + liveness 1.
+    cur.claim(ndocs, 9)?;
     let mut docs = Vec::with_capacity(ndocs);
     let mut expect = 1u32;
     for _ in 0..ndocs {
