@@ -1,7 +1,7 @@
 //! Command implementations for the `approxql` binary.
 
 use approxql_core::schema_eval::SchemaEvalConfig;
-use approxql_core::{Database, DatabaseError, DbFile, EvalOptions, QueryHit};
+use approxql_core::{Database, DatabaseError, DbFile, EvalOptions, QueryHit, QueryInput, Surface};
 use approxql_cost::{parse_cost_file, CostModel};
 use approxql_eval::dataset::{Dataset, DatasetError, KSpec};
 use approxql_eval::{EvalError, RunOptions};
@@ -18,14 +18,26 @@ usage:
 
   approxql query   <db.axql> <QUERY> [-n N] [--direct|--schema]
                    [--costs FILE] [--threads N] [--xml] [--stats] [--stats-json]
-                   [--explain] [--repeat N]
+                   [--explain] [--format text|json] [--repeat N] [--surface S]
       run an approximate query; results are ranked by transformation cost
-      (--stats prints per-layer operation counters to stderr,
+      (QUERY may be written in any surface — classic approXQL, the
+       versioned JSON query-IR `{\"v\":1,…}`, or XPath-lite `/a//b[c]`;
+       auto-detected, or pinned with --surface classic|json|xpath;
+       --stats prints per-layer operation counters to stderr,
        --stats-json the same as one JSON object; --threads defaults to the
        available parallelism and 1 reproduces the sequential path exactly;
        --explain prints the compiled physical plan with per-operator entry
-       counts instead of results; --repeat re-runs the query N times in
-       one process to exercise the compiled-plan cache)
+       counts instead of results, and --format json renders it as a JSON
+       plan DAG with the plan's shape fingerprint; --repeat re-runs the
+       query N times in one process to exercise the compiled-plan cache)
+
+  approxql translate <QUERY> [--surface S] [--to classic|json|xpath]
+                   [--out FILE]
+      parse QUERY (any surface, auto-detected or pinned with --surface)
+      and print its canonical form in the --to surface (default: json,
+      the versioned query-IR). Equivalent queries translate to identical
+      canonical forms regardless of the input surface; malformed queries
+      exit 2 with a caret-annotated syntax error
 
   approxql insert  <db.axql> <doc.xml>...
       append documents to an existing database, incrementally updating
@@ -160,6 +172,9 @@ const VALUE_OPTIONS: &[&str] = &[
     "--docs",
     "--repeat",
     "--out",
+    "--surface",
+    "--format",
+    "--to",
 ];
 
 fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
@@ -207,6 +222,18 @@ impl Flags {
     }
 }
 
+/// Parses `--surface` (`None` = auto-detect from the query text).
+fn surface_flag(flags: &Flags) -> Result<Option<Surface>, CliError> {
+    match flags.option("--surface") {
+        None => Ok(None),
+        Some(name) => Surface::from_name(name).map(Some).ok_or_else(|| {
+            usage(format!(
+                "invalid value `{name}` for --surface (classic, json, or xpath)"
+            ))
+        }),
+    }
+}
+
 fn load_costs(flags: &Flags) -> Result<CostModel, CliError> {
     match flags.option("--costs") {
         None => Ok(CostModel::new()),
@@ -230,6 +257,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         "query" => cmd_query(&flags),
         "stats" => cmd_stats(&flags),
         "explain" => cmd_explain(&flags),
+        "translate" => cmd_translate(&flags),
         "gen" => cmd_gen(&flags),
         "check" => cmd_check(&flags),
         "eval" => cmd_eval(&flags),
@@ -346,6 +374,21 @@ fn cmd_query(flags: &Flags) -> Result<(), CliError> {
     }
     let use_direct = flags.switch("--direct");
     let explain = flags.switch("--explain");
+    let explain_json = match flags.option("--format") {
+        None | Some("text") => false,
+        Some("json") => {
+            if !explain {
+                return Err(usage("--format is only valid with --explain"));
+            }
+            true
+        }
+        Some(other) => {
+            return Err(usage(format!(
+                "invalid value `{other}` for --format (text or json)"
+            )))
+        }
+    };
+    let surface = surface_flag(flags)?;
     let repeat: usize = flags.option_parsed("--repeat")?.unwrap_or(1);
     if repeat == 0 {
         return Err(usage("--repeat must be at least 1"));
@@ -372,17 +415,27 @@ fn cmd_query(flags: &Flags) -> Result<(), CliError> {
     // The registry is process-wide; diff against a baseline so the report
     // covers exactly this query's evaluation.
     let before = approxql_metrics::snapshot();
+    let input = QueryInput {
+        text: query,
+        surface,
+    };
     for round in 0..repeat {
         // Repeat rounds re-execute through the plan cache (visible in the
         // plan.cache_hits counter) but print only once.
         let printing = round == 0;
         if explain {
-            let text = db.explain_direct(query, Some(n), opts)?;
+            let text = if explain_json {
+                let mut doc = db.explain_direct_json(input, Some(n), opts)?;
+                doc.push('\n');
+                doc
+            } else {
+                db.explain_direct(input, Some(n), opts)?
+            };
             if printing {
                 print!("{text}");
             }
         } else if use_direct {
-            let (hits, stats) = db.query_direct_with(query, Some(n), opts)?;
+            let (hits, stats) = db.query_direct_with(input, Some(n), opts)?;
             if printing {
                 for (rank, hit) in hits.iter().enumerate() {
                     print_hit(&db, rank, *hit, as_xml)?;
@@ -396,7 +449,7 @@ fn cmd_query(flags: &Flags) -> Result<(), CliError> {
             }
         } else {
             let (hits, stats) =
-                db.query_schema_with(query, n, opts, SchemaEvalConfig::default())?;
+                db.query_schema_with(input, n, opts, SchemaEvalConfig::default())?;
             if printing {
                 for (rank, hit) in hits.iter().enumerate() {
                     print_hit(&db, rank, *hit, as_xml)?;
@@ -468,6 +521,7 @@ fn cmd_explain(flags: &Flags) -> Result<(), CliError> {
         return Err(usage("explain needs a database path and a query string"));
     };
     let k: usize = flags.option_parsed("-k")?.unwrap_or(5);
+    let surface = surface_flag(flags)?;
     let mut db = Database::open(db_path)?;
     if let Some(costs_path) = flags.option("--costs") {
         let text = std::fs::read_to_string(costs_path)?;
@@ -475,7 +529,10 @@ fn cmd_explain(flags: &Flags) -> Result<(), CliError> {
         db = Database::from_tree(db.tree().clone(), costs);
     }
     let metrics_before = approxql_metrics::snapshot();
-    let (parsed, expanded) = db.compile(query)?;
+    let (parsed, expanded) = db.compile(QueryInput {
+        text: query,
+        surface,
+    })?;
     println!("query (canonical): {parsed}");
     println!(
         "separated representation: {} conjunctive quer{}",
@@ -520,6 +577,38 @@ fn cmd_explain(flags: &Flags) -> Result<(), CliError> {
         .lines()
     {
         println!("  {line}");
+    }
+    Ok(())
+}
+
+fn cmd_translate(flags: &Flags) -> Result<(), CliError> {
+    let [query] = flags.positional.as_slice() else {
+        return Err(usage("translate needs a query string"));
+    };
+    let surface = surface_flag(flags)?;
+    let to = match flags.option("--to") {
+        None => Surface::Json,
+        Some(name) => Surface::from_name(name).ok_or_else(|| {
+            usage(format!(
+                "invalid value `{name}` for --to (classic, json, or xpath)"
+            ))
+        })?,
+    };
+    let input = QueryInput {
+        text: query,
+        surface,
+    };
+    // A malformed query is a usage-class failure (exit 2): translate
+    // validates input, it has no system under test.
+    let parsed = input
+        .parse()
+        .map_err(|e| usage(format!("{} query: {e}", input.surface())))?;
+    let mut rendered = to.render(&parsed);
+    rendered.push('\n');
+    match flags.option("--out") {
+        // lint:allow(fs-outside-pager) translate writes a query text, not store state
+        Some(path) => std::fs::write(path, &rendered)?,
+        None => print!("{rendered}"),
     }
     Ok(())
 }
@@ -1020,5 +1109,138 @@ mod tests {
             run_words(&["stats", "/nonexistent/db.axql"]),
             Err(CliError::Db(_) | CliError::Io(_))
         ));
+    }
+
+    #[test]
+    fn translate_converts_between_surfaces() {
+        let dir = tmpdir("translate");
+        let classic = r#"cd[title["piano"] and composer]"#;
+        // classic → json → xpath → classic via --out files comes back to
+        // the canonical classic form.
+        let json_out = dir.join("q.json");
+        run_words(&["translate", classic, "--out", json_out.to_str().unwrap()]).unwrap();
+        let json = std::fs::read_to_string(&json_out).unwrap();
+        assert_eq!(
+            json.trim_end(),
+            r#"{"v":1,"query":{"name":"cd","child":{"and":[{"name":"title","child":{"text":"piano"}},{"name":"composer"}]}}}"#
+        );
+        let xpath_out = dir.join("q.xpath");
+        run_words(&[
+            "translate",
+            json.trim_end(),
+            "--to",
+            "xpath",
+            "--out",
+            xpath_out.to_str().unwrap(),
+        ])
+        .unwrap();
+        let xpath = std::fs::read_to_string(&xpath_out).unwrap();
+        assert_eq!(xpath.trim_end(), format!("/{classic}"));
+        let classic_out = dir.join("q.axq");
+        run_words(&[
+            "translate",
+            xpath.trim_end(),
+            "--to",
+            "classic",
+            "--out",
+            classic_out.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&classic_out).unwrap().trim_end(),
+            classic
+        );
+        // Pinning a surface overrides detection — and a classic query is
+        // not valid JSON-IR.
+        assert!(matches!(
+            run_words(&["translate", classic, "--surface", "json"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_words(&["translate", classic, "--surface", "sql"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run_words(&["translate", classic, "--to", "sql"]),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn translate_errors_render_caret_spans_and_exit_2() {
+        // Satellite: the CLI surfaces line/column + caret-snippet parse
+        // diagnostics, and malformed input is a usage-class (exit 2) error.
+        let err = run_words(&["translate", "cd[a and ]"]).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let rendered = err.to_string();
+        assert!(
+            rendered.contains("query syntax error at line 1, column 10:"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.ends_with("\n  cd[a and ]\n           ^"),
+            "missing caret snippet:\n{rendered}"
+        );
+        // An unsupported JSON-IR version is also exit 2, with the
+        // distinct version message.
+        let err = run_words(&["translate", r#"{"v":2,"query":{"name":"cd"}}"#]).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(
+            err.to_string().contains("unsupported query-IR version 2"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn query_accepts_all_surfaces() {
+        let dir = tmpdir("surfaces");
+        let doc = dir.join("catalog.xml");
+        std::fs::write(
+            &doc,
+            "<catalog><cd><title>piano concerto</title></cd></catalog>",
+        )
+        .unwrap();
+        let db = dir.join("db.axql");
+        run_words(&["build", db.to_str().unwrap(), doc.to_str().unwrap()]).unwrap();
+        for query in [
+            r#"cd[title["piano"]]"#,
+            r#"{"v":1,"query":{"name":"cd","child":{"name":"title","child":{"text":"piano"}}}}"#,
+            r#"/cd//title["piano"]"#,
+        ] {
+            run_words(&["query", db.to_str().unwrap(), query, "--direct"]).unwrap();
+        }
+        // Pinned surface must match the text.
+        assert!(matches!(
+            run_words(&[
+                "query",
+                db.to_str().unwrap(),
+                r#"/cd//title"#,
+                "--surface",
+                "classic",
+            ]),
+            Err(CliError::Db(DatabaseError::Query(_)))
+        ));
+        // --explain --format json; --format without --explain is misuse.
+        run_words(&[
+            "query",
+            db.to_str().unwrap(),
+            r#"cd[title["piano"]]"#,
+            "--explain",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        assert!(matches!(
+            run_words(&[
+                "query",
+                db.to_str().unwrap(),
+                r#"cd[title["piano"]]"#,
+                "--format",
+                "json",
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -6,12 +6,20 @@
 //! approxql insert <db.axql> <doc.xml>...
 //! approxql delete <db.axql> <root-pre>
 //! approxql query  <db.axql> <QUERY> [-n N] [--direct|--schema] [--costs FILE] [--xml] [--stats]
+//!                 [--surface classic|json|xpath] [--explain [--format json]]
 //! approxql stats  <db.axql>
-//! approxql explain <db.axql> <QUERY> [--costs FILE] [-k K]
+//! approxql explain <db.axql> <QUERY> [--costs FILE] [-k K] [--surface S]
+//! approxql translate <QUERY> [--surface S] [--to classic|json|xpath] [--out FILE]
 //! approxql gen    <out-dir> [--elements N] [--names N] [--terms N] [--words N] [--seed S] [--docs N]
 //! approxql check  <db.axql>
 //! approxql eval   <db.axql> <dataset.json> [--json] [--gen-truth] [-k K] [--threads N]
 //! ```
+//!
+//! Queries are accepted in three surfaces — classic approXQL
+//! (`cd[title["piano"]]`), the versioned JSON query-IR
+//! (`{"v":1,"query":…}`), and XPath-lite (`/cd//title["piano"]`) — all
+//! compiling to the same physical plan; the surface is auto-detected
+//! unless pinned with `--surface`.
 //!
 //! Exit codes: 0 success, 1 generic failure, 2 usage error, 3 database
 //! file unreadable / corrupt / failed verification.

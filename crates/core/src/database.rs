@@ -11,7 +11,7 @@ use approxql_index::{LabelIndex, Posting};
 use approxql_metrics::Metric;
 use approxql_plan::{self as plan, Plan, PlanOp};
 use approxql_query::expand::ExpandedQuery;
-use approxql_query::{parse_query, ParseError, Query};
+use approxql_query::{ParseError, Query, QueryInput};
 use approxql_schema::{Schema, SchemaAssembleError, SchemaDelta};
 use approxql_storage::{CheckReport, StorageError, Store};
 use approxql_tree::{
@@ -372,9 +372,17 @@ impl Database {
         self.generation += 1;
     }
 
-    /// Parses and expands a query against this database's cost model.
-    pub fn compile(&self, query: &str) -> Result<(Query, ExpandedQuery), DatabaseError> {
-        let q = parse_query(query)?;
+    /// Parses, normalizes, and expands a query against this database's
+    /// cost model. Accepts any query surface: a plain `&str` auto-detects
+    /// (classic / JSON query-IR / XPath-lite), a [`QueryInput`] pins one.
+    /// Normalization makes the returned `Query` — and so its canonical
+    /// rendering, the plan-cache key — surface-independent: equivalent
+    /// queries from different surfaces share one cached plan.
+    pub fn compile<'a>(
+        &self,
+        query: impl Into<QueryInput<'a>>,
+    ) -> Result<(Query, ExpandedQuery), DatabaseError> {
+        let q = query.into().parse()?;
         let ex = ExpandedQuery::build(&q, &self.costs);
         Ok((q, ex))
     }
@@ -410,18 +418,18 @@ impl Database {
 
     /// Direct evaluation (Section 6): finds **all** approximate results,
     /// sorts them by cost, prunes after `n` (`None` = return everything).
-    pub fn query_direct(
+    pub fn query_direct<'a>(
         &self,
-        query: &str,
+        query: impl Into<QueryInput<'a>>,
         n: Option<usize>,
     ) -> Result<Vec<QueryHit>, DatabaseError> {
         Ok(self.query_direct_with(query, n, EvalOptions::default())?.0)
     }
 
     /// Direct evaluation with explicit options; also returns counters.
-    pub fn query_direct_with(
+    pub fn query_direct_with<'a>(
         &self,
-        query: &str,
+        query: impl Into<QueryInput<'a>>,
         n: Option<usize>,
         opts: EvalOptions,
     ) -> Result<(Vec<QueryHit>, DirectStats), DatabaseError> {
@@ -444,7 +452,11 @@ impl Database {
 
     /// Schema-driven evaluation (Section 7): finds the best `n` results by
     /// generating and executing second-level queries incrementally.
-    pub fn query_schema(&self, query: &str, n: usize) -> Result<Vec<QueryHit>, DatabaseError> {
+    pub fn query_schema<'a>(
+        &self,
+        query: impl Into<QueryInput<'a>>,
+        n: usize,
+    ) -> Result<Vec<QueryHit>, DatabaseError> {
         Ok(self
             .query_schema_with(
                 query,
@@ -457,9 +469,9 @@ impl Database {
 
     /// Schema-driven evaluation with explicit options; also returns
     /// counters.
-    pub fn query_schema_with(
+    pub fn query_schema_with<'a>(
         &self,
-        query: &str,
+        query: impl Into<QueryInput<'a>>,
         n: usize,
         opts: EvalOptions,
         cfg: SchemaEvalConfig,
@@ -499,9 +511,9 @@ impl Database {
     /// let first = stream.next();
     /// assert!(first.is_some());
     /// ```
-    pub fn query_schema_stream(
+    pub fn query_schema_stream<'a>(
         &self,
-        query: &str,
+        query: impl Into<QueryInput<'a>>,
     ) -> Result<crate::schema_eval::ResultStream<'_>, DatabaseError> {
         let (q, ex) = self.compile(query)?;
         let plan = self.plan_for(&q, &ex);
@@ -519,9 +531,9 @@ impl Database {
     /// output entry counts from one direct execution — for
     /// `approxql query --explain`. Goes through the plan cache like any
     /// other query.
-    pub fn explain_direct(
+    pub fn explain_direct<'a>(
         &self,
-        query: &str,
+        query: impl Into<QueryInput<'a>>,
         n: Option<usize>,
         opts: EvalOptions,
     ) -> Result<String, DatabaseError> {
@@ -535,6 +547,28 @@ impl Database {
                 opts,
             )),
             None => Ok(String::from("(query has no executable plan)\n")),
+        }
+    }
+
+    /// [`Self::explain_direct`] as a JSON document: the plan DAG, its
+    /// shape fingerprint, and per-operator entry counts — the machine
+    /// face of `--explain`, for diffing plans across query surfaces.
+    pub fn explain_direct_json<'a>(
+        &self,
+        query: impl Into<QueryInput<'a>>,
+        n: Option<usize>,
+        opts: EvalOptions,
+    ) -> Result<String, DatabaseError> {
+        let (q, ex) = self.compile(query)?;
+        match self.plan_for(&q, &ex) {
+            Some(p) => Ok(direct::explain_json(
+                &p,
+                &self.labels,
+                self.tree.interner(),
+                n,
+                opts,
+            )),
+            None => Ok(String::from("{\"v\":1,\"ops\":[]}")),
         }
     }
 
@@ -644,6 +678,7 @@ pub(crate) fn load_from_store(store: &mut Store) -> Result<Database, DatabaseErr
 mod tests {
     use super::*;
     use approxql_cost::tables::paper_section6_costs;
+    use approxql_query::Surface;
 
     const CATALOG: &str = r#"<catalog>
         <cd><title>Piano Concerto</title><composer>Rachmaninov</composer></cd>
@@ -734,6 +769,49 @@ mod tests {
         let _ = db.query_direct(r#"cd[ title [ "piano" ] ]"#, None).unwrap();
         let norm = approxql_metrics::snapshot().diff(&before);
         assert_eq!(norm.get(Metric::PlanCacheHits), 3);
+    }
+
+    #[test]
+    fn surfaces_share_one_plan_cache_entry() {
+        let db = Database::from_xml_str(CATALOG, paper_section6_costs()).unwrap();
+        let classic = r#"cd[title["piano"]]"#;
+        let json =
+            r#"{"v":1,"query":{"name":"cd","child":{"name":"title","child":{"text":"piano"}}}}"#;
+        let xpath = r#"/cd//title["piano"]"#;
+        let before = approxql_metrics::snapshot();
+        let first = db.query_direct(classic, None).unwrap();
+        // The other two surfaces auto-detect and hit the classic entry:
+        // one compile total, cross-surface cache hits.
+        let via_json = db.query_direct(json, None).unwrap();
+        let via_xpath = db.query_direct(xpath, None).unwrap();
+        let delta = approxql_metrics::snapshot().diff(&before);
+        assert_eq!(delta.get(Metric::PlanCacheMisses), 1);
+        assert_eq!(delta.get(Metric::PlanCacheHits), 2);
+        assert_eq!(delta.get(Metric::PlanCompile), 1);
+        assert_eq!(first, via_json);
+        assert_eq!(first, via_xpath);
+        // Pinning the surface explicitly works too.
+        let pinned = db
+            .query_direct(QueryInput::with_surface(json, Surface::Json), None)
+            .unwrap();
+        assert_eq!(first, pinned);
+    }
+
+    #[test]
+    fn explain_json_carries_the_fingerprint() {
+        let db = Database::from_xml_str(CATALOG, paper_section6_costs()).unwrap();
+        let opts = EvalOptions::default();
+        let doc = db
+            .explain_direct_json(r#"cd[title["piano"]]"#, Some(10), opts)
+            .unwrap();
+        let parsed = approxql_query::json::parse(&doc).unwrap();
+        let fp = parsed.get("fingerprint").unwrap().as_str().unwrap();
+        assert!(fp.starts_with("0x"), "{fp}");
+        // Same fingerprint for the equivalent XPath-lite spelling.
+        let other = db
+            .explain_direct_json(r#"/cd//title["piano"]"#, Some(10), opts)
+            .unwrap();
+        assert_eq!(doc, other, "explain JSON must be surface-independent");
     }
 
     #[test]

@@ -224,6 +224,24 @@ pub fn explain(
     plan::render(plan, Some(&counts))
 }
 
+/// [`explain`] with JSON output: the plan DAG plus its shape fingerprint
+/// (`approxql query --explain --format json`), annotated with the same
+/// per-operator entry counts.
+pub fn explain_json(
+    plan: &Plan,
+    index: &LabelIndex,
+    interner: &Interner,
+    n: Option<usize>,
+    opts: EvalOptions,
+) -> String {
+    let (result, _, mut counts) = evaluate_plan_counted(plan, index, interner, opts);
+    let sorted = list::sort_best(n, &result, opts.enforce_leaf_match);
+    if let Some(c) = counts.get_mut(plan.result()) {
+        *c = sorted.len() as u64;
+    }
+    plan::render_json(plan, Some(&counts))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -40,6 +40,7 @@ pub mod schema_eval;
 pub mod secondary;
 pub mod topk;
 
+pub use approxql_query::{QueryInput, Surface};
 pub use approxql_storage::CheckReport;
 pub use database::{Database, DatabaseError, MutationDelta, QueryHit};
 pub use dbfile::DbFile;

@@ -30,6 +30,10 @@
 //! * `costs` — a cost file (crates/cost textual format) inlined as one
 //!   JSON string; per-query tables override the dataset default. Absent
 //!   means the database's own cost model (the one it was built with).
+//! * `surface` — `"classic"`, `"json"`, or `"xpath"`: the query surface
+//!   the `query` strings are written in. Absent means auto-detection
+//!   (classic queries, JSON-IR documents, and XPath-lite paths are
+//!   mutually unambiguous). Per-query values override the default.
 //! * `expected` — the ground truth: element preorder IDs with their
 //!   reference costs, in nondecreasing (cost, id) order. Produced by
 //!   `approxql eval --gen-truth` from the untruncated direct evaluator;
@@ -38,6 +42,7 @@
 
 use crate::json::{self, Json};
 use approxql_cost::Cost;
+use approxql_query::Surface;
 use std::fmt;
 
 /// Dataset schema version this module reads and writes.
@@ -132,6 +137,8 @@ pub struct Settings {
     pub evaluator: Option<EvaluatorSel>,
     /// Inline cost-file text (crates/cost format).
     pub costs: Option<String>,
+    /// Query surface of the `query` strings (`None` = auto-detect).
+    pub surface: Option<Surface>,
 }
 
 impl Settings {
@@ -155,6 +162,16 @@ impl Settings {
                 .ok_or_else(|| invalid(format!("{where_}: costs must be a string")))?;
             s.costs = Some(text.to_owned());
         }
+        if let Some(sf) = obj.get("surface") {
+            let text = sf
+                .as_str()
+                .ok_or_else(|| invalid(format!("{where_}: surface must be a string")))?;
+            s.surface = Some(Surface::from_name(text).ok_or_else(|| {
+                invalid(format!(
+                    "{where_}: surface must be \"classic\", \"json\", or \"xpath\", found \"{text}\""
+                ))
+            })?);
+        }
         Ok(s)
     }
 
@@ -170,6 +187,10 @@ impl Settings {
         if let Some(costs) = &self.costs {
             out.push_str(",\"costs\":");
             json::write_str(out, costs);
+        }
+        if let Some(surface) = self.surface {
+            out.push_str(",\"surface\":");
+            json::write_str(out, surface.name());
         }
     }
 }
@@ -211,6 +232,8 @@ pub struct Dataset {
 pub struct Resolved {
     pub k: KSpec,
     pub evaluator: EvaluatorSel,
+    /// `None` keeps surface auto-detection.
+    pub surface: Option<Surface>,
 }
 
 impl Dataset {
@@ -355,6 +378,7 @@ impl Dataset {
                 .evaluator
                 .or(self.defaults.evaluator)
                 .unwrap_or(EvaluatorSel::Both),
+            surface: query.overrides.surface.or(self.defaults.surface),
         }
     }
 
@@ -513,6 +537,44 @@ mod tests {
                 err.message
             );
         }
+    }
+
+    #[test]
+    fn surface_fields_resolve_and_round_trip() {
+        let ds = Dataset::parse(
+            r#"{"version": 1, "name": "s",
+                "defaults": {"surface": "json"},
+                "queries": [
+                  {"id": "a", "query": "{\"v\":1,\"query\":{\"name\":\"cd\"}}"},
+                  {"id": "b", "query": "/cd//title", "surface": "xpath"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            ds.resolve(&ds.queries[0], None).surface,
+            Some(Surface::Json)
+        );
+        assert_eq!(
+            ds.resolve(&ds.queries[1], None).surface,
+            Some(Surface::Xpath)
+        );
+        let back = Dataset::parse(&ds.to_json()).unwrap();
+        assert_eq!(back, ds);
+
+        // Absent everywhere → auto-detect (None).
+        let plain = Dataset::parse(
+            r#"{"version": 1, "name": "p",
+                "queries": [{"id": "a", "query": "cd"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(plain.resolve(&plain.queries[0], None).surface, None);
+
+        // Unknown surface names are rejected.
+        let err = Dataset::parse(
+            r#"{"version": 1, "name": "x",
+                "queries": [{"id": "a", "query": "cd", "surface": "sql"}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("surface"), "{}", err.message);
     }
 
     #[test]

@@ -23,11 +23,15 @@
 //! `--threads 1` and `--threads 4`.
 
 pub mod dataset;
-pub mod json;
 pub mod metrics;
 
+/// The dependency-free JSON reader/writer now lives in `approxql-query`
+/// (it parses the JSON query-IR surface too); re-exported here so dataset
+/// tooling keeps a single import path.
+pub use approxql_query::json;
+
 use approxql_core::schema_eval::SchemaEvalConfig;
-use approxql_core::{Database, DatabaseError, EvalOptions};
+use approxql_core::{Database, DatabaseError, EvalOptions, QueryInput};
 use approxql_cost::parse_cost_file;
 use approxql_metrics::Metric;
 use dataset::{Dataset, DatasetError, DatasetQuery, EvaluatorSel, KSpec, TruthEntry};
@@ -118,7 +122,7 @@ pub struct RunOutcome {
 }
 
 /// Aggregate scores for one evaluator across the dataset.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     pub engine: Engine,
     pub queries: usize,
@@ -190,7 +194,7 @@ fn db_for<'a>(
 /// order and the wall-clock latency.
 fn execute(
     db: &Database,
-    query: &str,
+    query: QueryInput<'_>,
     engine: Engine,
     k: KSpec,
     threads: usize,
@@ -238,7 +242,11 @@ pub fn run(db: &Database, ds: &Dataset, opts: RunOptions) -> Result<EvalReport, 
         let qdb = db_for(db, &variants, ds, q);
         for &engine in engines {
             Metric::EvalHarnessQueries.incr();
-            let (retrieved, nanos) = execute(qdb, &q.query, engine, resolved.k, opts.threads)?;
+            let input = QueryInput {
+                text: &q.query,
+                surface: resolved.surface,
+            };
+            let (retrieved, nanos) = execute(qdb, input, engine, resolved.k, opts.threads)?;
             let k_bound = match resolved.k {
                 KSpec::Unlimited => usize::MAX,
                 KSpec::At(n) => n,
@@ -305,7 +313,11 @@ pub fn gen_truth(db: &Database, ds: &mut Dataset, opts: RunOptions) -> Result<()
             threads: opts.threads,
             ..EvalOptions::default()
         };
-        let (hits, _) = qdb.query_direct_with(&q.query, None, eval_opts)?;
+        let input = QueryInput {
+            text: &q.query,
+            surface: ds.resolve(&q, None).surface,
+        };
+        let (hits, _) = qdb.query_direct_with(input, None, eval_opts)?;
         let truth: Vec<TruthEntry> = hits
             .iter()
             .map(|h| TruthEntry {

@@ -151,7 +151,7 @@ fn emit(args: &Args) -> Result<String, String> {
         defaults: Settings {
             k: Some(args.k),
             evaluator: Some(args.evaluator),
-            costs: None,
+            ..Settings::default()
         },
         queries,
     };

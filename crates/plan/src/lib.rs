@@ -540,6 +540,75 @@ fn op_params(op: &PlanOp) -> String {
     }
 }
 
+/// A 64-bit FNV-1a fingerprint of the plan's *shape*: the deterministic
+/// `render` text (operators, parameters, sharing structure), independent
+/// of runtime counts. Two queries — from any surface — that compile to
+/// byte-identical plans have equal fingerprints, which is what
+/// `--explain --format json` exposes for cross-surface plan diffing.
+pub fn fingerprint(plan: &Plan) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in render(plan, None).bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Renders a plan as a JSON document for `--explain --format json`
+/// (mirroring `approxql-lint --format json`): the operator DAG with
+/// parameters, inputs and use counts, the wave schedule, and the shape
+/// [`fingerprint`]. `counts` adds an `"entries"` member per operator.
+/// Deterministic and compact; handles are the `ops` array indices.
+pub fn render_json(plan: &Plan, counts: Option<&[u64]>) -> String {
+    let mut out = String::from("{\"v\":1,\"fingerprint\":");
+    let _ = write!(out, "\"{:#018x}\"", fingerprint(plan));
+    out.push_str(",\"ops\":[");
+    for (h, op) in plan.ops().iter().enumerate() {
+        if h > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"id\":{h},\"op\":\"{}\"", op.name());
+        let params = op_params(op);
+        if !params.is_empty() {
+            out.push_str(",\"params\":");
+            approxql_query::json::write_str(&mut out, params.trim_start());
+        }
+        out.push_str(",\"inputs\":[");
+        for (i, input) in op.inputs().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{input}");
+        }
+        let _ = write!(out, "],\"uses\":{}", plan.use_count(h));
+        if let Some(n) = counts.and_then(|c| c.get(h)) {
+            let _ = write!(out, ",\"entries\":{n}");
+        }
+        out.push('}');
+    }
+    let _ = write!(
+        out,
+        "],\"result\":{},\"root_list\":{},\"waves\":[",
+        plan.result(),
+        plan.root_list()
+    );
+    for (w, wave) in plan.waves().iter().enumerate() {
+        if w > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (i, h) in wave.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{h}");
+        }
+        out.push(']');
+    }
+    let _ = write!(out, "],\"cse_reuses\":{}}}", plan.cse_reuses());
+    out
+}
+
 fn render_node(
     plan: &Plan,
     h: PlanHandle,
@@ -595,6 +664,48 @@ mod tests {
         // fetch a, fetch b, fetch w, outerjoin, join, sort_best
         assert_eq!(p.ops().len(), 6);
         assert!(matches!(p.ops()[p.result()], PlanOp::SortBest { .. }));
+    }
+
+    #[test]
+    fn fingerprint_tracks_plan_shape() {
+        let costs = CostModel::new();
+        let a = plan_for(r#"a[b["w"]]"#, &costs);
+        let same = plan_for(r#"a[b["w"]]"#, &costs);
+        let other = plan_for(r#"a[b["v"]]"#, &costs);
+        assert_eq!(fingerprint(&a), fingerprint(&same));
+        assert_ne!(fingerprint(&a), fingerprint(&other));
+    }
+
+    #[test]
+    fn render_json_is_valid_and_complete() {
+        let p = plan_for(r#"a[b["w"]]"#, &CostModel::new());
+        let counts: Vec<u64> = (0..p.ops().len() as u64).collect();
+        let doc = approxql_query::json::parse(&render_json(&p, Some(&counts))).unwrap();
+        assert_eq!(doc.get("v").unwrap().as_uint(), Some(1));
+        let fp = doc.get("fingerprint").unwrap().as_str().unwrap().to_owned();
+        assert_eq!(fp, format!("{:#018x}", fingerprint(&p)));
+        let ops = doc.get("ops").unwrap().as_arr().unwrap();
+        assert_eq!(ops.len(), p.ops().len());
+        assert_eq!(ops[0].get("op").unwrap().as_str(), Some("fetch"));
+        assert!(ops[0]
+            .get("params")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("struct"));
+        assert_eq!(ops[3].get("entries").unwrap().as_uint(), Some(3));
+        assert_eq!(
+            doc.get("result").unwrap().as_uint(),
+            Some(p.result() as u64)
+        );
+        assert_eq!(
+            doc.get("waves").unwrap().as_arr().unwrap().len(),
+            p.waves().len()
+        );
+        // Without counts there is no "entries" member.
+        let bare = approxql_query::json::parse(&render_json(&p, None)).unwrap();
+        let bare_ops = bare.get("ops").unwrap().as_arr().unwrap();
+        assert!(bare_ops.iter().all(|o| o.get("entries").is_none()));
     }
 
     #[test]

@@ -1,11 +1,12 @@
-//! A minimal JSON reader/writer for the dataset format.
+//! A minimal JSON reader/writer shared by the JSON query-IR surface and
+//! the `approxql-eval` dataset format (which re-exports this module).
 //!
 //! The workspace builds offline with no registry access, so — like the
-//! rest of the stack — the harness carries its own small parser instead
-//! of depending on serde. It supports exactly the JSON the dataset
-//! format needs: objects, arrays, strings (with the standard escapes),
+//! rest of the stack — the crate carries its own small parser instead
+//! of depending on serde. It supports exactly the JSON those formats
+//! need: objects, arrays, strings (with the standard escapes),
 //! integers/floats, booleans, and null. Numbers are kept as `f64`; the
-//! dataset layer re-validates integer fields.
+//! consuming layers re-validate integer fields.
 
 use std::fmt;
 

@@ -12,6 +12,22 @@
 //!
 //! Example: `cd[title["piano" and "concerto"] and composer["rachmaninov"]]`.
 //!
+//! That grammar is the **classic surface** — one of three concrete
+//! syntaxes accepted by the multi-surface front-end ([`surface`]):
+//!
+//! * **classic** — the hand-written syntax above ([`parse_query`]),
+//! * **json** — a versioned machine-friendly JSON query-IR,
+//!   `{"v":1,"query":…}` ([`json_ir`], [`parse_json_query`]),
+//! * **xpath** — an XPath-lite navigational syntax, `/cd//title["piano"]`
+//!   ([`xpath`], [`parse_xpath_query`]).
+//!
+//! All three parse to the same [`Query`] AST, are normalized
+//! ([`Query::normalize`]) and lower through one shared path to the
+//! physical plan, so equivalent queries produce byte-identical plans and
+//! share a plan-cache entry regardless of surface. Any accepted query
+//! renders canonically into every surface ([`Surface::render`],
+//! [`Query::to_json_ir`], [`Query::to_xpath`]).
+//!
 //! Three representations are provided:
 //!
 //! * the parsed **AST** ([`Query`] / [`QueryNode`]),
@@ -25,9 +41,16 @@
 mod ast;
 mod conjunctive;
 pub mod expand;
+pub mod json;
+pub mod json_ir;
 mod lexer;
 mod parser;
+pub mod surface;
+pub mod xpath;
 
 pub use ast::{Query, QueryNode};
 pub use conjunctive::{ConjunctiveNode, ConjunctiveQuery};
+pub use json_ir::{parse_json_query, JSON_IR_VERSION};
 pub use parser::{parse_query, ParseError};
+pub use surface::{QueryInput, Surface};
+pub use xpath::parse_xpath_query;

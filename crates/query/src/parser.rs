@@ -19,34 +19,92 @@ use crate::lexer::{tokenize, Spanned, Token};
 use approxql_tree::text::split_words;
 use std::fmt;
 
-/// A syntax error with the byte offset where it was detected.
+/// A syntax error with the position where it was detected and a rendered
+/// caret snippet pointing into the offending source line.
+///
+/// All three query surfaces (classic, JSON query-IR, XPath-lite) report
+/// failures through this type, so every front-end error carries a
+/// line/column and a `^` marker.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// Byte offset into the query string.
     pub offset: usize,
+    /// 1-based line of the error.
+    pub line: usize,
+    /// 1-based column (in characters) of the error within its line.
+    pub col: usize,
     /// Description of the problem.
     pub message: String,
+    /// The source line containing the error (caret snippet body).
+    pub snippet: String,
+}
+
+impl ParseError {
+    /// Builds an error pointing at `offset` (a byte position) in `input`,
+    /// deriving the line/column and the snippet line.
+    pub fn at_offset(input: &str, offset: usize, message: impl Into<String>) -> ParseError {
+        let offset = offset.min(input.len());
+        let line_start = input[..offset].rfind('\n').map_or(0, |i| i + 1);
+        let line_end = input[offset..]
+            .find('\n')
+            .map_or(input.len(), |i| offset + i);
+        ParseError {
+            offset,
+            line: input[..offset].matches('\n').count() + 1,
+            col: input[line_start..offset].chars().count() + 1,
+            message: message.into(),
+            snippet: input[line_start..line_end].to_owned(),
+        }
+    }
+
+    /// Builds an error from a 1-based line/column pair (as reported by the
+    /// JSON reader), deriving the byte offset and the snippet line.
+    pub fn at_line_col(
+        input: &str,
+        line: usize,
+        col: usize,
+        message: impl Into<String>,
+    ) -> ParseError {
+        let line_start = input
+            .split_inclusive('\n')
+            .take(line.saturating_sub(1))
+            .map(str::len)
+            .sum::<usize>();
+        let within: usize = input[line_start..]
+            .chars()
+            .take(col.saturating_sub(1))
+            .map(char::len_utf8)
+            .sum();
+        ParseError::at_offset(input, line_start + within, message)
+    }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "query syntax error at offset {}: {}",
-            self.offset, self.message
+            "query syntax error at line {}, column {}: {}",
+            self.line, self.col, self.message
+        )?;
+        write!(
+            f,
+            "\n  {}\n  {:>caret$}",
+            self.snippet,
+            "^",
+            caret = self.col
         )
     }
 }
 
 impl std::error::Error for ParseError {}
 
-struct Parser {
+struct Parser<'a> {
+    input: &'a str,
     tokens: Vec<Spanned>,
     pos: usize,
-    input_len: usize,
 }
 
-impl Parser {
+impl Parser<'_> {
     fn peek(&self) -> Option<&Token> {
         self.tokens.get(self.pos).map(|s| &s.token)
     }
@@ -55,7 +113,7 @@ impl Parser {
         self.tokens
             .get(self.pos)
             .map(|s| s.offset)
-            .unwrap_or(self.input_len)
+            .unwrap_or(self.input.len())
     }
 
     fn bump(&mut self) -> Option<Token> {
@@ -67,10 +125,7 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError {
-            offset: self.offset(),
-            message: message.into(),
-        }
+        ParseError::at_offset(self.input, self.offset(), message)
     }
 
     fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
@@ -178,14 +233,11 @@ impl Parser {
 /// assert_eq!(q.selector_count(), 4);
 /// ```
 pub fn parse_query(input: &str) -> Result<Query, ParseError> {
-    let tokens = tokenize(input).map_err(|e| ParseError {
-        offset: e.offset,
-        message: e.message,
-    })?;
+    let tokens = tokenize(input).map_err(|e| ParseError::at_offset(input, e.offset, e.message))?;
     let mut p = Parser {
+        input,
         tokens,
         pos: 0,
-        input_len: input.len(),
     };
     let root = p.step()?;
     if p.peek().is_some() {
@@ -319,5 +371,37 @@ mod tests {
     fn error_offsets_point_at_problem() {
         let err = parse_query("cd[a and ]").unwrap_err();
         assert_eq!(err.offset, 9);
+        assert_eq!((err.line, err.col), (1, 10));
+    }
+
+    #[test]
+    fn errors_render_a_caret_snippet() {
+        let err = parse_query("cd[a and ]").unwrap_err();
+        let rendered = err.to_string();
+        assert!(
+            rendered.starts_with("query syntax error at line 1, column 10:"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.ends_with("\n  cd[a and ]\n           ^"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn errors_locate_later_lines() {
+        let err = parse_query("cd[\n  a and\n]").unwrap_err();
+        assert_eq!((err.line, err.col), (3, 1));
+        assert_eq!(err.snippet, "]");
+        let same = ParseError::at_line_col("cd[\n  a and\n]", 3, 1, "x");
+        assert_eq!((same.offset, same.line, same.col), (err.offset, 3, 1));
+    }
+
+    #[test]
+    fn end_of_input_errors_point_past_the_last_char() {
+        let err = parse_query("cd[a").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert_eq!(err.col, 5);
+        assert!(err.to_string().ends_with("\n  cd[a\n      ^"), "{err}");
     }
 }

@@ -41,7 +41,8 @@ pub use approxql_cost::{
 };
 pub use approxql_query::{
     expand::{ExpandedNode, ExpandedQuery, RepType},
-    parse_query, ConjunctiveNode, ConjunctiveQuery, ParseError, Query, QueryNode,
+    parse_query, ConjunctiveNode, ConjunctiveQuery, ParseError, Query, QueryInput, QueryNode,
+    Surface,
 };
 pub use approxql_tree::{DataTree, DataTreeBuilder, NodeId, TreeError};
 pub use approxql_xml::{parse_document, Document, XmlError, XmlEvent, XmlReader};

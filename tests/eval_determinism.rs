@@ -54,7 +54,7 @@ fn generated_dataset() -> Dataset {
         defaults: Settings {
             k: Some(KSpec::At(10)),
             evaluator: Some(EvaluatorSel::Both),
-            costs: None,
+            ..Settings::default()
         },
         queries,
     }

@@ -64,6 +64,45 @@ fn figure2_metrics_are_pinned() {
 }
 
 #[test]
+fn figure2_json_mirror_matches_classic_exactly() {
+    // `datasets/figure2_json.json` is the same workload spelled in the
+    // JSON query-IR surface (generated with `approxql translate`), with
+    // identical expected arrays. Because every surface lowers through one
+    // normalized AST, the evaluation report must match the classic
+    // dataset run-for-run: same ids, engines, result counts, and pinned
+    // quality scores.
+    let db = Database::from_xml_str(CATALOG, CostModel::new()).unwrap();
+    let classic = Dataset::parse(FIGURE2).unwrap();
+    let mirror = Dataset::parse(include_str!("../datasets/figure2_json.json")).unwrap();
+    assert_eq!(mirror.queries.len(), classic.queries.len());
+    let opts = RunOptions {
+        timing: false,
+        ..RunOptions::default()
+    };
+    let classic_rep = run(&db, &classic, opts).unwrap();
+    let mirror_rep = run(&db, &mirror, opts).unwrap();
+    assert_eq!(mirror_rep.runs.len(), classic_rep.runs.len());
+    for (m, c) in mirror_rep.runs.iter().zip(&classic_rep.runs) {
+        assert_eq!(m.query_id, c.query_id);
+        assert_eq!(m.engine, c.engine);
+        assert_eq!(m.k, c.k);
+        assert_eq!(m.retrieved, c.retrieved, "{}", m.query_id);
+        assert_eq!(m.truth_len, c.truth_len, "{}", m.query_id);
+        assert_eq!(m.scores, c.scores, "{}", m.query_id);
+    }
+    assert_eq!(mirror_rep.summaries.len(), classic_rep.summaries.len());
+    for (m, c) in mirror_rep.summaries.iter().zip(&classic_rep.summaries) {
+        // Everything but the wall-clock percentiles must agree.
+        assert_eq!(m.engine, c.engine);
+        assert_eq!(m.queries, c.queries);
+        assert_eq!(m.avg_recall, c.avg_recall);
+        assert_eq!(m.avg_precision, c.avg_precision);
+        assert_eq!(m.mean_rr, c.mean_rr);
+        assert_eq!(m.mean_ndcg, c.mean_ndcg);
+    }
+}
+
+#[test]
 fn committed_truth_matches_regenerated_truth() {
     // The committed `expected` arrays must stay in sync with what
     // gen-truth produces today; a silent evaluator change that shifts

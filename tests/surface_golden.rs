@@ -1,0 +1,175 @@
+//! Plan-identity golden suite for the three query surfaces.
+//!
+//! The multi-surface front-end promises that the surface a query is
+//! written in is *invisible* past the parser: classic approXQL, the JSON
+//! query-IR, and XPath-lite forms of the same query must compile to the
+//! **byte-identical** rendered plan, carry the same plan fingerprint,
+//! share one plan-cache entry (one compile, cross-surface cache hits),
+//! and return byte-identical results at every thread count.
+//!
+//! The queries are the committed figure-2 and figure-7 evaluation
+//! workloads; their JSON-IR and XPath-lite spellings are derived with the
+//! canonical emitters (`approxql translate` uses the same code), so this
+//! suite also pins the emitters against the parsers.
+
+use approxql::crates::plan;
+use approxql::{Database, EvalOptions, Metric, QueryInput, Surface};
+use std::sync::OnceLock;
+
+const CATALOG: &str = include_str!("../datasets/catalog.xml");
+const FIGURE7_CORPUS: &str = include_str!("../datasets/figure7_corpus.xml");
+
+/// Every query from `datasets/figure2.json`.
+const FIGURE2_QUERIES: &[&str] = &[
+    r#"cd[track[title["piano" and "concerto"]] and composer["rachmaninov"]]"#,
+    r#"cd[title["piano"]]"#,
+    r#"cd[title["piano" and "concerto"]]"#,
+    r#"cd[composer["brahms"]]"#,
+    r#"cd[title]"#,
+];
+
+/// Every query from `datasets/figure7_ren0.json` (the ren5/ren10 variants
+/// reuse the same query texts with different cost tables, which do not
+/// affect surface translation).
+const FIGURE7_QUERIES: &[&str] = &[
+    r#"name034[name096["term112" and ("term18947" or "term348")]]"#,
+    r#"name034[name012["term8290" and ("term482" or "term3")]]"#,
+    r#"name034[name034["term92" and ("term555" or "term588")]]"#,
+    r#"name034[name034["term3" and ("term1" or "term7309")]]"#,
+    r#"name034[name000["term85" and ("term383" or "term65930")]]"#,
+];
+
+/// The three spellings of a classic query: (classic, json-ir, xpath-lite).
+fn spellings(classic: &str) -> [(Surface, String); 3] {
+    let q = QueryInput::new(classic).parse().unwrap();
+    [
+        (Surface::Classic, classic.to_string()),
+        (Surface::Json, q.to_json_ir()),
+        (Surface::Xpath, q.to_xpath()),
+    ]
+}
+
+fn catalog_db() -> Database {
+    Database::from_xml_str(CATALOG, approxql::tables::paper_section6_costs()).unwrap()
+}
+
+fn figure7_db() -> &'static Database {
+    static DB: OnceLock<Database> = OnceLock::new();
+    DB.get_or_init(|| Database::from_xml_str(FIGURE7_CORPUS, approxql::CostModel::new()).unwrap())
+}
+
+/// Each workload query compiles — through any surface — to one shared
+/// plan-cache entry with equal fingerprints and a byte-identical
+/// `--explain` rendering (operator tree *and* executed entry counts).
+#[test]
+fn surfaces_compile_to_byte_identical_plans() {
+    let opts = EvalOptions {
+        threads: 1,
+        ..EvalOptions::default()
+    };
+    // Fresh databases so the plan caches start cold and the pinned
+    // miss/hit counts below are exact.
+    let dbs = [
+        (catalog_db(), FIGURE2_QUERIES),
+        (
+            Database::from_xml_str(FIGURE7_CORPUS, approxql::CostModel::new()).unwrap(),
+            FIGURE7_QUERIES,
+        ),
+    ];
+    for (db, queries) in &dbs {
+        for classic in *queries {
+            let before = approxql::metrics_snapshot();
+            let mut explains = Vec::new();
+            let mut fingerprints = Vec::new();
+            for (surface, text) in spellings(classic) {
+                let input = QueryInput::with_surface(&text, surface);
+                explains.push(db.explain_direct(input, Some(10), opts).unwrap());
+                let (q, ex) = db.compile(input).unwrap();
+                let plan = db.plan_for(&q, &ex).unwrap();
+                fingerprints.push(plan::fingerprint(&plan));
+            }
+            let delta = approxql::metrics_snapshot().diff(&before);
+            assert_eq!(
+                explains[0], explains[1],
+                "classic vs JSON-IR explain differs for {classic}"
+            );
+            assert_eq!(
+                explains[0], explains[2],
+                "classic vs XPath-lite explain differs for {classic}"
+            );
+            assert_eq!(fingerprints[0], fingerprints[1], "{classic}");
+            assert_eq!(fingerprints[0], fingerprints[2], "{classic}");
+            // One compile for the first surface; everything after —
+            // including the five follow-up `plan_for` lookups — hits the
+            // shared cache entry.
+            assert_eq!(delta.get(Metric::PlanCompile), 1, "{classic}");
+            assert_eq!(delta.get(Metric::PlanCacheMisses), 1, "{classic}");
+            assert!(
+                delta.get(Metric::PlanCacheHits) >= 2,
+                "cross-surface cache hits missing for {classic}: {}",
+                delta.get(Metric::PlanCacheHits)
+            );
+        }
+    }
+}
+
+/// Results are byte-identical across surfaces and thread counts: the
+/// surface chooses a parser, nothing downstream.
+#[test]
+fn surface_results_are_identical_at_every_thread_count() {
+    let dbs: [(&Database, &[&str]); 2] = [
+        (&catalog_db(), FIGURE2_QUERIES),
+        (figure7_db(), FIGURE7_QUERIES),
+    ];
+    for (db, queries) in dbs {
+        for classic in queries {
+            let baseline = db.query_direct(*classic, Some(10)).unwrap();
+            for (surface, text) in spellings(classic) {
+                for threads in [1, 2, 4] {
+                    let opts = EvalOptions {
+                        threads,
+                        ..EvalOptions::default()
+                    };
+                    let (hits, _) = db
+                        .query_direct_with(QueryInput::with_surface(&text, surface), Some(10), opts)
+                        .unwrap();
+                    assert_eq!(
+                        hits, baseline,
+                        "{classic} via {surface} at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The JSON explain document is surface-independent too, and carries the
+/// same fingerprint that `plan::fingerprint` computes.
+#[test]
+fn explain_json_is_surface_independent() {
+    let db = catalog_db();
+    let opts = EvalOptions {
+        threads: 1,
+        ..EvalOptions::default()
+    };
+    for classic in FIGURE2_QUERIES {
+        let docs: Vec<String> = spellings(classic)
+            .into_iter()
+            .map(|(surface, text)| {
+                db.explain_direct_json(QueryInput::with_surface(&text, surface), Some(10), opts)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(docs[0], docs[1], "{classic}");
+        assert_eq!(docs[0], docs[2], "{classic}");
+        let parsed = approxql::crates::query::json::parse(&docs[0]).unwrap();
+        let rendered_fp = parsed
+            .get("fingerprint")
+            .and_then(|v| v.as_str())
+            .unwrap()
+            .to_string();
+        let (q, ex) = db.compile(*classic).unwrap();
+        let plan = db.plan_for(&q, &ex).unwrap();
+        assert_eq!(rendered_fp, format!("{:#018x}", plan::fingerprint(&plan)));
+    }
+}
